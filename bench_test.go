@@ -1,0 +1,319 @@
+package dacpara
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Custom metrics carry the paper's quality
+// columns: area-reduction (AND gates removed), final delay, abort counts
+// and wasted speculative work. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Set -benchtime=1x for a single sweep per data point; the scale defaults
+// to the tiny suite so the full harness finishes in minutes (see
+// EXPERIMENTS.md for small/full-scale runs via cmd/exptables).
+
+import (
+	"os"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bench"
+	"dacpara/internal/core"
+	"dacpara/internal/lockpar"
+	"dacpara/internal/rewrite"
+	"dacpara/internal/staticpar"
+)
+
+// benchScale picks the generated benchmark sizes; override with
+// DACPARA_BENCH_SCALE=small or =full.
+func benchScale() bench.Scale {
+	switch os.Getenv("DACPARA_BENCH_SCALE") {
+	case "small":
+		return bench.ScaleSmall
+	case "full":
+		return bench.ScaleFull
+	}
+	return bench.ScaleTiny
+}
+
+func benchLib(b *testing.B) *Library {
+	b.Helper()
+	lib, err := DefaultLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lib
+}
+
+func reportResult(b *testing.B, res rewrite.Result) {
+	b.ReportMetric(float64(res.AreaReduction()), "area-red")
+	b.ReportMetric(float64(res.FinalDelay), "delay")
+	b.ReportMetric(float64(res.Aborts), "aborts")
+	b.ReportMetric(100*res.WastedFraction(), "wasted-%")
+}
+
+// BenchmarkTable1_Generate regenerates the benchmark suite (Table 1's
+// rows); the metric columns carry the circuit statistics.
+func BenchmarkTable1_Generate(b *testing.B) {
+	sc := benchScale()
+	for _, c := range bench.Suite(sc) {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var st aig.Stats
+			for i := 0; i < b.N; i++ {
+				st = c.Instantiate(sc).Stats()
+			}
+			b.ReportMetric(float64(st.Ands), "area")
+			b.ReportMetric(float64(st.Delay), "delay")
+			b.ReportMetric(float64(st.PIs), "pis")
+			b.ReportMetric(float64(st.POs), "pos")
+		})
+	}
+}
+
+// BenchmarkTable2 reproduces Table 2: serial ABC rewriting, the fused-
+// operator ICCAD'18 engine and DACPara over the whole suite, reporting
+// runtime (ns/op), area reduction and final delay per circuit.
+func BenchmarkTable2(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	engines := []struct {
+		name string
+		run  func(*aig.AIG) rewrite.Result
+	}{
+		{"abc", func(a *aig.AIG) rewrite.Result {
+			return rewrite.Serial(a, libInternal(lib), rewrite.Config{})
+		}},
+		{"iccad18", func(a *aig.AIG) rewrite.Result {
+			return lockpar.Rewrite(a, libInternal(lib), rewrite.Config{})
+		}},
+		{"dacpara", func(a *aig.AIG) rewrite.Result {
+			return core.Rewrite(a, libInternal(lib), rewrite.Config{})
+		}},
+	}
+	for _, c := range bench.Suite(sc) {
+		for _, e := range engines {
+			c, e := c, e
+			b.Run(c.Name+"/"+e.name, func(b *testing.B) {
+				var res rewrite.Result
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					a := c.Instantiate(sc)
+					b.StartTimer()
+					res = e.run(a)
+				}
+				reportResult(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 reproduces Table 3 on the MtM set: ICCAD'18, the CPU
+// models of the DAC'22/TCAD'23 GPU methods, and DACPara under the P1 and
+// P2 parameterizations.
+func BenchmarkTable3(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	drwCfg := rewrite.Config{MaxCuts: 8, MaxStructs: 5, NumClasses: 222, Passes: 2}
+	engines := []struct {
+		name string
+		run  func(*aig.AIG) rewrite.Result
+	}{
+		{"iccad18", func(a *aig.AIG) rewrite.Result {
+			return lockpar.Rewrite(a, libInternal(lib), rewrite.Config{})
+		}},
+		{"dac22", func(a *aig.AIG) rewrite.Result {
+			return staticpar.Rewrite(a, libInternal(lib), drwCfg, staticpar.DAC22)
+		}},
+		{"tcad23", func(a *aig.AIG) rewrite.Result {
+			return staticpar.Rewrite(a, libInternal(lib), drwCfg, staticpar.TCAD23)
+		}},
+		{"dacpara-p1", func(a *aig.AIG) rewrite.Result {
+			return core.Rewrite(a, libInternal(lib), rewrite.P1())
+		}},
+		{"dacpara-p2", func(a *aig.AIG) rewrite.Result {
+			return core.Rewrite(a, libInternal(lib), rewrite.P2())
+		}},
+	}
+	for _, c := range bench.MtMSet(sc) {
+		for _, e := range engines {
+			c, e := c, e
+			b.Run(c.Name+"/"+e.name, func(b *testing.B) {
+				var res rewrite.Result
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					a := c.Instantiate(sc)
+					b.StartTimer()
+					res = e.run(a)
+				}
+				reportResult(b, res)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Conflicts reproduces the Fig. 2 experiment: the fraction
+// of speculative work wasted by lock conflicts under the fused operator
+// versus DACPara's split operators.
+func BenchmarkFig2Conflicts(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	c, ok := findSuiteCircuit(sc, "mult")
+	if !ok {
+		b.Skip("mult missing from suite")
+	}
+	for _, e := range []struct {
+		name  string
+		fused bool
+	}{{"iccad18-fused", true}, {"dacpara-split", false}} {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			var res rewrite.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := c.Instantiate(sc)
+				b.StartTimer()
+				if e.fused {
+					res = lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+				} else {
+					res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+				}
+			}
+			reportResult(b, res)
+		})
+	}
+}
+
+// BenchmarkThreadScaling sweeps worker counts for the two parallel
+// engines (the speedup columns of Table 2; requires a many-core machine
+// for wall-clock effects).
+func BenchmarkThreadScaling(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	c, ok := findSuiteCircuit(sc, "mult")
+	if !ok {
+		b.Skip("mult missing from suite")
+	}
+	for _, th := range []int{1, 2, 4, 8} {
+		th := th
+		b.Run(engineThreads("dacpara", th), func(b *testing.B) {
+			var res rewrite.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := c.Instantiate(sc)
+				b.StartTimer()
+				res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th})
+			}
+			reportResult(b, res)
+		})
+		b.Run(engineThreads("iccad18", th), func(b *testing.B) {
+			var res rewrite.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := c.Instantiate(sc)
+				b.StartTimer()
+				res = lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th})
+			}
+			reportResult(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationNoLevels compares DACPara's level lists against a flat
+// worklist (the nodeDividing ablation of DESIGN.md).
+func BenchmarkAblationNoLevels(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	c, ok := findSuiteCircuit(sc, "sin")
+	if !ok {
+		b.Skip("sin missing from suite")
+	}
+	for _, e := range []struct {
+		name string
+		flat bool
+	}{{"level-lists", false}, {"flat-worklist", true}} {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			var res rewrite.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := c.Instantiate(sc)
+				b.StartTimer()
+				if e.flat {
+					res = core.RewriteFlat(a, libInternal(lib), rewrite.Config{Workers: 8})
+				} else {
+					res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+				}
+			}
+			reportResult(b, res)
+			b.ReportMetric(float64(res.Stale), "stale")
+		})
+	}
+}
+
+// BenchmarkAblationStrash compares decentralized fanout-list hashing
+// against a sharded global map (the structural-hashing ablation).
+func BenchmarkAblationStrash(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	c, ok := findSuiteCircuit(sc, "mult")
+	if !ok {
+		b.Skip("mult missing from suite")
+	}
+	for _, e := range []struct {
+		name   string
+		global bool
+	}{{"decentralized", false}, {"global-map", true}} {
+		e := e
+		b.Run(e.name, func(b *testing.B) {
+			var res rewrite.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := c.Instantiate(sc)
+				if e.global {
+					a = a.CloneWith(aig.Options{GlobalStrash: true})
+				}
+				b.StartTimer()
+				res = rewrite.Serial(a, libInternal(lib), rewrite.Config{})
+			}
+			reportResult(b, res)
+		})
+	}
+}
+
+// BenchmarkEquivalenceCheck measures the verification substrate the
+// paper's Section 5.2 relies on ("the rewritten circuits all passed the
+// equivalence check").
+func BenchmarkEquivalenceCheck(b *testing.B) {
+	sc := benchScale()
+	lib := benchLib(b)
+	c, ok := findSuiteCircuit(sc, "sin")
+	if !ok {
+		b.Skip("sin missing from suite")
+	}
+	a := c.Instantiate(sc)
+	golden := a.Clone()
+	core.Rewrite(a, libInternal(lib), rewrite.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eq, err := Equivalent(golden, a)
+		if err != nil || !eq {
+			b.Fatalf("equivalence check failed: eq=%v err=%v", eq, err)
+		}
+	}
+}
+
+func engineThreads(engine string, th int) string {
+	return engine + "-" + string(rune('0'+th)) + "t"
+}
+
+func findSuiteCircuit(sc bench.Scale, base string) (bench.Circuit, bool) {
+	for _, c := range bench.Suite(sc) {
+		if c.Name == base || (len(c.Name) > len(base) && c.Name[:len(base)] == base && c.Name[len(base)] == '_') {
+			return c, true
+		}
+	}
+	return bench.Circuit{}, false
+}
+
+// libInternal unwraps the facade alias for the internal engine APIs.
+func libInternal(l *Library) *Library { return l }

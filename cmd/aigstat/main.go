@@ -1,0 +1,36 @@
+// Command aigstat prints network statistics for AIGER files: PI/PO/AND
+// counts, delay (depth), and a level histogram — the per-level worklist
+// sizes DACPara's nodeDividing would produce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/core"
+)
+
+func main() {
+	hist := flag.Bool("levels", false, "print the level histogram (DACPara worklist sizes)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: aigstat [-levels] file.aig ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		a, err := aig.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigstat:", err)
+			os.Exit(1)
+		}
+		st := a.Stats()
+		fmt.Printf("%s: pi=%d po=%d and=%d delay=%d\n", path, st.PIs, st.POs, st.Ands, st.Delay)
+		if *hist {
+			for lv, wl := range core.NodeDividing(a) {
+				fmt.Printf("  level %4d: %d nodes\n", lv+1, len(wl))
+			}
+		}
+	}
+}

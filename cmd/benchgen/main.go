@@ -1,0 +1,88 @@
+// Command benchgen generates the benchmark suite of the paper's Table 1
+// as AIGER files, or prints the Table-1-style detail table.
+//
+// Usage:
+//
+//	benchgen -table -scale small          # print Table 1 for the scale
+//	benchgen -out bench/ -scale small     # write AIGER files
+//	benchgen -name mult -double 3 -out .  # one circuit, doubled 3 times
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bench"
+	"dacpara/internal/report"
+)
+
+func main() {
+	var (
+		table  = flag.Bool("table", false, "print the benchmark detail table (paper Table 1)")
+		outDir = flag.String("out", "", "directory to write AIGER files into")
+		scale  = flag.String("scale", "small", "tiny, small, full")
+		name   = flag.String("name", "", "generate only the named benchmark")
+		double = flag.Int("double", -1, "override the number of doublings")
+	)
+	flag.Parse()
+	sc := parseScale(*scale)
+
+	circuits := bench.Suite(sc)
+	if *name != "" {
+		var filtered []bench.Circuit
+		for _, c := range circuits {
+			if c.Name == *name {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q\n", *name)
+			os.Exit(2)
+		}
+		circuits = filtered
+	}
+
+	tbl := report.New(fmt.Sprintf("Benchmark Detail (scale=%s; cf. paper Table 1)", sc),
+		"Benchmark", "PIs", "POs", "Area", "Delay", "Sources")
+	for _, c := range circuits {
+		if *double >= 0 {
+			c.Doublings = *double
+		}
+		a := c.Instantiate(sc)
+		st := a.Stats()
+		tbl.Row(c.Name, st.PIs, st.POs, st.Ands, st.Delay, c.Source)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, c.Name+".aig")
+			if err := a.WriteFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d ands)\n", path, st.Ands)
+		}
+		_ = aig.Stats{}
+	}
+	if *table || *outDir == "" {
+		tbl.Render(os.Stdout)
+	}
+}
+
+func parseScale(s string) bench.Scale {
+	switch s {
+	case "tiny":
+		return bench.ScaleTiny
+	case "full":
+		return bench.ScaleFull
+	default:
+		return bench.ScaleSmall
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command dacpara rewrites an AIGER circuit with any of the implemented
+// engines and reports area/delay/runtime, optionally verifying the result
+// against the input with the built-in equivalence checker.
+//
+// Usage:
+//
+//	dacpara -in circuit.aig -out optimized.aig -engine dacpara -threads 8
+//	dacpara -gen mult -scale small -engine abc -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dacpara"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input AIGER file (ASCII or binary)")
+		gen     = flag.String("gen", "", "generate a named benchmark instead of reading a file (see -list)")
+		scale   = flag.String("scale", "small", "generated benchmark scale: tiny, small, full")
+		out     = flag.String("out", "", "output AIGER file (optional)")
+		engine  = flag.String("engine", "dacpara", "engine: abc, iccad18, dacpara, dac22, tcad23")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		passes  = flag.Int("passes", 1, "rewriting passes")
+		p1      = flag.Bool("p1", false, "use the paper's P1 configuration (8 cuts, 5 structures, 2 passes)")
+		p2      = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
+		zero    = flag.Bool("z", false, "also apply zero-gain rewrites")
+		level   = flag.Bool("l", false, "preserve levels: reject depth-increasing rewrites")
+		verify  = flag.Bool("verify", false, "equivalence-check the result against the input")
+		simOnly = flag.Bool("sim-only", false, "verification by simulation only (for large circuits)")
+		lut     = flag.Int("lut", 0, "after optimizing, also map into k-input LUTs and report mapped area/depth")
+		script  = flag.String("script", "", "run an ABC-style flow instead of one engine, e.g. \"balance; rewrite; refactor\" (use 'resyn2' for the classic script)")
+		list    = flag.Bool("list", false, "list generatable benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range dacpara.BenchmarkNames(parseScale(*scale)) {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var net *dacpara.Network
+	var err error
+	switch {
+	case *gen != "":
+		net, err = dacpara.Generate(*gen, parseScale(*scale))
+	case *in != "":
+		net, err = dacpara.ReadAIGER(*in)
+	default:
+		fmt.Fprintln(os.Stderr, "dacpara: need -in or -gen (see -h)")
+		os.Exit(2)
+	}
+	fatal(err)
+
+	cfg := dacpara.Config{Workers: *threads, Passes: *passes, ZeroGain: *zero, PreserveDelay: *level}
+	if *p1 {
+		cfg = dacpara.P1()
+		cfg.Workers = *threads
+	}
+	if *p2 {
+		cfg = dacpara.P2()
+		cfg.Workers = *threads
+	}
+
+	var golden *dacpara.Network
+	if *verify {
+		golden = net.Clone()
+	}
+
+	before := net.Stats()
+	if *script != "" {
+		text := *script
+		switch text {
+		case "resyn2":
+			text = dacpara.Resyn2
+		case "resyn2rs":
+			text = dacpara.Resyn2rs
+		}
+		results, final, err := dacpara.Flow(net, text, cfg)
+		fatal(err)
+		net = final
+		for _, r := range results {
+			fmt.Printf("%-16s area %7d -> %7d  delay %5d -> %5d  %8.3fs\n",
+				r.Engine, r.InitialAnds, r.FinalAnds, r.InitialDelay, r.FinalDelay,
+				r.Duration.Seconds())
+		}
+		after := net.Stats()
+		fmt.Printf("flow total: area %d -> %d, delay %d -> %d\n",
+			before.Ands, after.Ands, before.Delay, after.Delay)
+	} else {
+		res, err := dacpara.Rewrite(net, dacpara.Engine(*engine), cfg)
+		fatal(err)
+		after := net.Stats()
+		fmt.Printf("engine=%s threads=%d time=%.3fs\n", res.Engine, res.Threads, res.Duration.Seconds())
+		fmt.Printf("area  %d -> %d (reduction %d, %.2f%%)\n", before.Ands, after.Ands,
+			res.AreaReduction(), 100*float64(res.AreaReduction())/float64(max(before.Ands, 1)))
+		fmt.Printf("delay %d -> %d\n", before.Delay, after.Delay)
+		fmt.Printf("replacements=%d attempts=%d stale=%d commits=%d aborts=%d\n",
+			res.Replacements, res.Attempts, res.Stale, res.Commits, res.Aborts)
+	}
+
+	if *lut > 0 {
+		m, err := dacpara.MapLUT(net, *lut)
+		fatal(err)
+		fmt.Printf("mapped: %d LUT%d, depth %d\n", m.Area, *lut, m.Depth)
+	}
+
+	if *verify {
+		var eq bool
+		if *simOnly {
+			eq, err = dacpara.EquivalentFast(golden, net)
+		} else {
+			eq, err = dacpara.Equivalent(golden, net)
+		}
+		fatal(err)
+		if !eq {
+			fmt.Fprintln(os.Stderr, "dacpara: EQUIVALENCE CHECK FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("equivalence check passed")
+	}
+
+	if *out != "" {
+		fatal(net.WriteFile(*out))
+	}
+}
+
+func parseScale(s string) dacpara.Scale {
+	switch s {
+	case "tiny":
+		return dacpara.ScaleTiny
+	case "full":
+		return dacpara.ScaleFull
+	default:
+		return dacpara.ScaleSmall
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dacpara:", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

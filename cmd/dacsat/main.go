@@ -1,0 +1,48 @@
+// Command dacsat is a standalone DIMACS front end for the CDCL SAT solver
+// that backs the equivalence checker.
+//
+// Usage:
+//
+//	dacsat formula.cnf
+//	dacsat < formula.cnf
+//
+// Prints "s SATISFIABLE" with a "v" model line, or "s UNSATISFIABLE";
+// exit codes follow the SAT-competition convention (10/20).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dacpara/internal/sat"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dacsat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	s, numVars, err := sat.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dacsat:", err)
+		os.Exit(1)
+	}
+	if s.Solve() {
+		fmt.Println("s SATISFIABLE")
+		sat.WriteDIMACSModel(os.Stdout, s, numVars)
+		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d\n",
+			s.Conflicts, s.Decisions, s.Propagations)
+		os.Exit(10)
+	}
+	fmt.Println("s UNSATISFIABLE")
+	fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d\n",
+		s.Conflicts, s.Decisions, s.Propagations)
+	os.Exit(20)
+}

@@ -1,0 +1,189 @@
+// Package dacpara is a Go implementation of DACPara — "A Divide-and-
+// Conquer Parallel Approach for High-Quality Logic Rewriting in
+// Large-Scale Circuits" (Qu, Tian, Duan; DAC 2024) — together with every
+// substrate the paper builds on: an AIG package with structural hashing
+// and functionally-safe replacement, 4-input cut enumeration, NPN
+// classification, a precomputed rewriting structure library, a
+// Galois-style speculative parallel executor, the serial ABC `rewrite`
+// baseline, the ICCAD'18 fused-lock parallel baseline, CPU models of the
+// DAC'22/TCAD'23 GPU rewriters, a CDCL SAT solver with combinational
+// equivalence checking, and generators for the EPFL-style benchmark suite
+// of the paper's Table 1.
+//
+// This package is the facade: load or generate a network, rewrite it with
+// any engine, inspect the result, verify equivalence.
+//
+//	net, _ := dacpara.Generate("mult", dacpara.ScaleSmall)
+//	golden := net.Clone()
+//	res, _ := dacpara.Rewrite(net, dacpara.EngineDACPara, dacpara.Config{})
+//	fmt.Println(res.AreaReduction())
+//	eq, _ := dacpara.Equivalent(golden, net)
+package dacpara
+
+import (
+	"fmt"
+	"sync"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bench"
+	"dacpara/internal/cec"
+	"dacpara/internal/core"
+	"dacpara/internal/lockpar"
+	"dacpara/internal/npn"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/rewrite"
+	"dacpara/internal/staticpar"
+)
+
+// Network is an And-Inverter Graph; see the methods on aig.AIG (Stats,
+// Clone, WriteFile, Check, ...).
+type Network = aig.AIG
+
+// Config carries the rewriting knobs shared by all engines; the zero
+// value is the ABC-`rewrite`-like default.
+type Config = rewrite.Config
+
+// Result reports one rewriting run.
+type Result = rewrite.Result
+
+// Library is the NPN structure forest shared by all engines.
+type Library = rewlib.Library
+
+// Scale selects generated benchmark sizes.
+type Scale = bench.Scale
+
+// Benchmark scales re-exported for callers.
+const (
+	ScaleTiny  = bench.ScaleTiny
+	ScaleSmall = bench.ScaleSmall
+	ScaleFull  = bench.ScaleFull
+)
+
+// Engine names a rewriting implementation.
+type Engine string
+
+// The five engines of the paper's experimental comparison.
+const (
+	// EngineSerial is the serial DAG-aware rewriting of ABC's `rewrite`.
+	EngineSerial Engine = "abc"
+	// EngineLockPar is the fused-operator parallel rewriting of ICCAD'18.
+	EngineLockPar Engine = "iccad18"
+	// EngineDACPara is the paper's divide-and-conquer three-stage
+	// parallel rewriting.
+	EngineDACPara Engine = "dacpara"
+	// EngineStaticDAC22 models the DAC'22 GPU rewriter (NovelRewrite) on
+	// the CPU: static-information evaluation, serial conditional
+	// replacement.
+	EngineStaticDAC22 Engine = "dac22"
+	// EngineStaticTCAD23 models the TCAD'23 GPU rewriter on the CPU.
+	EngineStaticTCAD23 Engine = "tcad23"
+)
+
+// Engines lists all engine names.
+func Engines() []Engine {
+	return []Engine{EngineSerial, EngineLockPar, EngineDACPara, EngineStaticDAC22, EngineStaticTCAD23}
+}
+
+// P1 is the paper's Table 3 DACPara-P1 configuration (8 cuts, 5
+// structures, 134 classes, two passes).
+func P1() Config { return rewrite.P1() }
+
+// P2 is the paper's DACPara-P2 configuration (ICCAD'18 setup: unlimited
+// cuts/structures, one pass).
+func P2() Config { return rewrite.P2() }
+
+var defaultLibrary = sync.OnceValues(func() (*Library, error) {
+	return rewlib.Build(npn.Shared(), rewlib.Params{})
+})
+
+// DefaultLibrary returns the process-wide structure library, built on
+// first use (a few hundred milliseconds, then cached).
+func DefaultLibrary() (*Library, error) { return defaultLibrary() }
+
+// Rewrite optimizes the network in place with the chosen engine and
+// returns the run statistics.
+func Rewrite(net *Network, engine Engine, cfg Config) (Result, error) {
+	lib, err := DefaultLibrary()
+	if err != nil {
+		return Result{}, err
+	}
+	return RewriteWithLibrary(net, engine, cfg, lib)
+}
+
+// RewriteWithLibrary is Rewrite against a custom structure library.
+func RewriteWithLibrary(net *Network, engine Engine, cfg Config, lib *Library) (Result, error) {
+	switch engine {
+	case EngineSerial:
+		return rewrite.Serial(net, lib, cfg), nil
+	case EngineLockPar:
+		return lockpar.Rewrite(net, lib, cfg), nil
+	case EngineDACPara, "":
+		return core.Rewrite(net, lib, cfg), nil
+	case EngineStaticDAC22:
+		return staticpar.Rewrite(net, lib, cfg, staticpar.DAC22), nil
+	case EngineStaticTCAD23:
+		return staticpar.Rewrite(net, lib, cfg, staticpar.TCAD23), nil
+	}
+	return Result{}, fmt.Errorf("dacpara: unknown engine %q", engine)
+}
+
+// ReadAIGER loads a network from an AIGER file (ASCII or binary).
+func ReadAIGER(path string) (*Network, error) { return aig.ReadFile(path) }
+
+// NewNetwork returns an empty network for programmatic construction.
+func NewNetwork() *Network { return aig.New() }
+
+// Generate builds one of the named benchmark circuits of the paper's
+// Table 1 ("sin", "voter", "square", "sqrt", "mult", "log2", "mem_ctrl",
+// "hyp", "div", "sixteen", "twenty", "twentythree"), including its
+// `double` scaling, at the requested scale.
+func Generate(name string, scale Scale) (*Network, error) {
+	for _, c := range bench.Suite(scale) {
+		if c.Name == name || baseName(c.Name) == name {
+			return c.Instantiate(scale), nil
+		}
+	}
+	return nil, fmt.Errorf("dacpara: unknown benchmark %q", name)
+}
+
+// BenchmarkNames lists the generatable circuits at a scale.
+func BenchmarkNames(scale Scale) []string {
+	var names []string
+	for _, c := range bench.Suite(scale) {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+func baseName(n string) string {
+	for i := 0; i < len(n); i++ {
+		if n[i] == '_' {
+			// strip the "_10xd" style suffix only
+			if i+1 < len(n) && n[i+1] >= '0' && n[i+1] <= '9' {
+				return n[:i]
+			}
+		}
+	}
+	return n
+}
+
+// Equivalent checks combinational equivalence of two networks (random
+// simulation screening plus a SAT proof per output).
+func Equivalent(a, b *Network) (bool, error) {
+	r, err := cec.Check(a, b, cec.Options{})
+	if err != nil {
+		return false, err
+	}
+	return r.Equivalent, nil
+}
+
+// EquivalentFast is a simulation-only check for very large networks:
+// inequivalence is definitive, equivalence is high-confidence but not
+// proved.
+func EquivalentFast(a, b *Network) (bool, error) {
+	r, err := cec.Check(a, b, cec.Options{SimOnly: true, SimRounds: 64})
+	if err != nil {
+		return false, err
+	}
+	return r.Equivalent, nil
+}

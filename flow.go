@@ -1,0 +1,136 @@
+package dacpara
+
+import (
+	"fmt"
+	"strings"
+
+	"dacpara/internal/balance"
+	"dacpara/internal/cec"
+	"dacpara/internal/lutmap"
+	"dacpara/internal/refactor"
+	"dacpara/internal/resub"
+)
+
+// Balance returns a depth-balanced copy of the network (ABC's `balance`):
+// AND chains are re-associated into arrival-sorted balanced trees.
+func Balance(net *Network) *Network { return balance.Run(net) }
+
+// Refactor resynthesizes large reconvergence-driven cones (up to ten
+// leaves by default) through SOP factoring — ABC's `refactor`, the
+// complement to 4-cut rewriting.
+func Refactor(net *Network, zeroGain bool) Result {
+	return refactor.Run(net, refactor.Config{ZeroGain: zeroGain})
+}
+
+// LUTMapping is a k-input LUT cover of a network.
+type LUTMapping = lutmap.Mapping
+
+// MapLUT covers the network with k-input LUTs (priority-cuts technology
+// mapping, depth-oriented with area recovery) — the downstream consumer
+// that turns AIG-level rewriting gains into mapped area and depth.
+func MapLUT(net *Network, k int) (LUTMapping, error) {
+	return lutmap.Map(net, lutmap.Config{K: k})
+}
+
+// Resub resubstitutes nodes as simple functions of existing divisors in
+// their reconvergence windows (ABC's `resub`), freeing their MFFCs.
+func Resub(net *Network, zeroGain bool) Result {
+	return resub.Run(net, resub.Config{ZeroGain: zeroGain})
+}
+
+// Fraig performs functional reduction in place: simulation-guided,
+// SAT-proved merging of functionally equivalent nodes (ABC's `fraig`),
+// catching equivalences that structural rewriting cannot see. It returns
+// the number of nodes merged.
+func Fraig(net *Network) int {
+	return cec.Fraig(net, cec.FraigOptions{}).Merged
+}
+
+// Flow runs an ABC-style synthesis script over the network: a
+// semicolon-separated command sequence, e.g.
+//
+//	"balance; rewrite; refactor; balance; rewrite -z; balance"
+//
+// (the classic resyn2 shape). Supported commands: every Engine name
+// (abc, iccad18, dacpara, dac22, tcad23) and the aliases rewrite
+// (= dacpara), plus balance, refactor, resub and fraig;
+// rewrite/refactor/resub accept -z.
+// It returns the per-command results and the final network (balance
+// rebuilds the graph, so the returned pointer may differ from the
+// argument).
+func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
+	var results []Result
+	for _, raw := range strings.Split(script, ";") {
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := fields[0]
+		zero := false
+		for _, f := range fields[1:] {
+			switch f {
+			case "-z":
+				zero = true
+			default:
+				return nil, net, fmt.Errorf("dacpara: flow command %q: unknown flag %q", cmd, f)
+			}
+		}
+		switch cmd {
+		case "balance":
+			before := net.Stats()
+			net = Balance(net)
+			after := net.Stats()
+			results = append(results, Result{
+				Engine:       "balance",
+				Threads:      1,
+				Passes:       1,
+				InitialAnds:  before.Ands,
+				FinalAnds:    after.Ands,
+				InitialDelay: before.Delay,
+				FinalDelay:   after.Delay,
+			})
+		case "refactor":
+			results = append(results, Refactor(net, zero))
+		case "resub":
+			results = append(results, Resub(net, zero))
+		case "fraig":
+			before := net.Stats()
+			merged := Fraig(net)
+			after := net.Stats()
+			results = append(results, Result{
+				Engine:       "fraig",
+				Threads:      1,
+				Passes:       1,
+				Replacements: merged,
+				InitialAnds:  before.Ands,
+				FinalAnds:    after.Ands,
+				InitialDelay: before.Delay,
+				FinalDelay:   after.Delay,
+			})
+		case "rewrite":
+			c := cfg
+			c.ZeroGain = zero
+			res, err := Rewrite(net, EngineDACPara, c)
+			if err != nil {
+				return nil, net, err
+			}
+			results = append(results, res)
+		default:
+			c := cfg
+			c.ZeroGain = zero
+			res, err := Rewrite(net, Engine(cmd), c)
+			if err != nil {
+				return nil, net, err
+			}
+			results = append(results, res)
+		}
+	}
+	return results, net, nil
+}
+
+// Resyn2 is the classic ABC optimization script shape adapted to the
+// engines available here.
+const Resyn2 = "balance; rewrite; refactor; balance; rewrite; rewrite -z; balance; refactor -z; rewrite -z; balance"
+
+// Resyn2rs is the resubstitution-enhanced variant (ABC's resyn2rs shape).
+const Resyn2rs = "balance; resub; rewrite; refactor; resub -z; rewrite -z; balance; resub -z; refactor -z; rewrite -z; balance"

@@ -1,0 +1,177 @@
+package dacpara
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlowResyn2(t *testing.T) {
+	net, err := Generate("sin", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	initial := net.Stats()
+	results, final, err := Flow(net, Resyn2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(strings.Split(Resyn2, ";")) {
+		t.Fatalf("expected one result per command, got %d", len(results))
+	}
+	st := final.Stats()
+	if st.Ands >= initial.Ands {
+		t.Fatalf("resyn2 did not reduce area: %d -> %d", initial.Ands, st.Ands)
+	}
+	eq, err := Equivalent(golden, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("flow broke equivalence")
+	}
+}
+
+func TestFlowBalanceReducesDepth(t *testing.T) {
+	// A skewed AND chain balances to logarithmic depth through the flow.
+	net := NewNetwork()
+	acc := net.AddPI()
+	for i := 1; i < 32; i++ {
+		acc = net.And(acc, net.AddPI())
+	}
+	net.AddPO(acc)
+	_, final, err := Flow(net, "balance", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Delay() != 5 {
+		t.Fatalf("balanced 32-AND chain depth %d, want 5", final.Delay())
+	}
+}
+
+func TestFlowRejectsUnknownCommands(t *testing.T) {
+	net, err := Generate("voter", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Flow(net, "balance; frobnicate", Config{}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, _, err := Flow(net, "rewrite -q", Config{}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestFlowEngineCommands(t *testing.T) {
+	net, err := Generate("voter", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	results, final, err := Flow(net, "abc; iccad18; dacpara", Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	eq, err := Equivalent(golden, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("engine sequence broke equivalence")
+	}
+}
+
+func TestRefactorFacade(t *testing.T) {
+	net, err := Generate("log2", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	res := Refactor(net, false)
+	if res.Engine != "refactor" {
+		t.Fatalf("engine %q", res.Engine)
+	}
+	if res.AreaReduction() < 0 {
+		t.Fatal("refactor grew the network")
+	}
+	eq, err := Equivalent(golden, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("refactor broke equivalence")
+	}
+}
+
+func TestFlowFraig(t *testing.T) {
+	net, err := Generate("mem_ctrl", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	results, final, err := Flow(net, "fraig; rewrite; fraig", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0].Engine != "fraig" {
+		t.Fatalf("results %+v", results)
+	}
+	eq, err := Equivalent(golden, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("fraig flow broke equivalence")
+	}
+}
+
+func TestRewritingImprovesLUTMapping(t *testing.T) {
+	base, err := Generate("mult", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := MapLUT(base, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := base.Clone()
+	if _, err := Rewrite(opt, EngineDACPara, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := MapLUT(opt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LUT6 area %d -> %d, depth %d -> %d", before.Area, after.Area, before.Depth, after.Depth)
+	if after.Area > before.Area {
+		t.Fatalf("rewriting worsened mapped area: %d -> %d", before.Area, after.Area)
+	}
+}
+
+func TestFlowResub(t *testing.T) {
+	net, err := Generate("sin", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	results, final, err := Flow(net, "resub; rewrite; resub -z", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0].Engine != "resub" {
+		t.Fatalf("results %+v", results)
+	}
+	if final.NumAnds() >= golden.NumAnds() {
+		t.Fatalf("flow did not shrink: %d -> %d", golden.NumAnds(), final.NumAnds())
+	}
+	eq, err := Equivalent(golden, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("resub flow broke equivalence")
+	}
+}

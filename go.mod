@@ -1,0 +1,3 @@
+module dacpara
+
+go 1.22

@@ -1,0 +1,212 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBench writes the network in the ISCAS/EPFL BENCH format: INPUT and
+// OUTPUT declarations followed by AND and NOT assignments. Inverters on
+// edges materialize as NOT gates; names are nN for nodes, poK for output
+// wrappers.
+func (a *AIG) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if a.Name != "" {
+		fmt.Fprintf(bw, "# %s\n", a.Name)
+	}
+	for _, pi := range a.PIs() {
+		fmt.Fprintf(bw, "INPUT(n%d)\n", pi)
+	}
+	for k := range a.POs() {
+		fmt.Fprintf(bw, "OUTPUT(po%d)\n", k)
+	}
+	// Constant-false feeder, only when referenced.
+	needConst := false
+	check := func(l Lit) {
+		if l.IsConst() {
+			needConst = true
+		}
+	}
+	for _, id := range a.TopoOrder(nil) {
+		n := a.N(id)
+		if n.IsAnd() {
+			check(n.Fanin0())
+			check(n.Fanin1())
+		}
+	}
+	for _, po := range a.POs() {
+		check(po)
+	}
+	if needConst {
+		// A BENCH idiom: a constant built from an input-free gate is not
+		// expressible, so feed it from any input (or emit a dedicated
+		// zero when there are no inputs).
+		if a.NumPIs() > 0 {
+			pi := a.PIs()[0]
+			fmt.Fprintf(bw, "n0_not = NOT(n%d)\n", pi)
+			fmt.Fprintf(bw, "n0 = AND(n%d, n0_not)\n", pi)
+		} else {
+			return fmt.Errorf("bench: constant output without inputs is not expressible")
+		}
+	}
+	// Inverter wrappers are emitted on demand, memoized per literal.
+	inverted := map[Lit]string{}
+	ref := func(l Lit) string {
+		if !l.Compl() {
+			return fmt.Sprintf("n%d", l.Node())
+		}
+		if name, ok := inverted[l]; ok {
+			return name
+		}
+		name := fmt.Sprintf("n%d_inv", l.Node())
+		inverted[l] = name
+		fmt.Fprintf(bw, "%s = NOT(n%d)\n", name, l.Node())
+		return name
+	}
+	for _, id := range a.TopoOrder(nil) {
+		n := a.N(id)
+		if !n.IsAnd() {
+			continue
+		}
+		in0 := ref(n.Fanin0())
+		in1 := ref(n.Fanin1())
+		fmt.Fprintf(bw, "n%d = AND(%s, %s)\n", id, in0, in1)
+	}
+	for k, po := range a.POs() {
+		if po.Compl() {
+			fmt.Fprintf(bw, "po%d = NOT(n%d)\n", k, po.Node())
+		} else {
+			fmt.Fprintf(bw, "po%d = BUFF(n%d)\n", k, po.Node())
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBench parses a BENCH netlist with INPUT/OUTPUT declarations and
+// AND/OR/NAND/NOR/XOR/XNOR/NOT/BUFF gates of any arity (multi-input gates
+// are decomposed into AND trees).
+func ReadBench(r io.Reader) (*AIG, error) {
+	a := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	signals := map[string]Lit{}
+	type gate struct {
+		out, fn string
+		ins     []string
+	}
+	var gates []gate
+	var outputs []string
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
+			name := strings.TrimSuffix(strings.TrimPrefix(line, "INPUT("), ")")
+			signals[strings.TrimSpace(name)] = a.AddPI()
+		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			name := strings.TrimSuffix(strings.TrimPrefix(line, "OUTPUT("), ")")
+			outputs = append(outputs, strings.TrimSpace(name))
+		default:
+			eq := strings.Index(line, "=")
+			open := strings.Index(line, "(")
+			if eq < 0 || open < eq || !strings.HasSuffix(line, ")") {
+				return nil, fmt.Errorf("bench: cannot parse %q", line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			fn := strings.ToUpper(strings.TrimSpace(line[eq+1 : open]))
+			var ins []string
+			for _, in := range strings.Split(line[open+1:len(line)-1], ",") {
+				ins = append(ins, strings.TrimSpace(in))
+			}
+			gates = append(gates, gate{out: out, fn: fn, ins: ins})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Resolve gates iteratively (BENCH files need not be topologically
+	// sorted).
+	remaining := gates
+	for len(remaining) > 0 {
+		progress := false
+		var next []gate
+		for _, g := range remaining {
+			lits := make([]Lit, 0, len(g.ins))
+			ok := true
+			for _, in := range g.ins {
+				l, defined := signals[in]
+				if !defined {
+					ok = false
+					break
+				}
+				lits = append(lits, l)
+			}
+			if !ok {
+				next = append(next, g)
+				continue
+			}
+			out, err := buildBenchGate(a, g.fn, lits)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", g.out, err)
+			}
+			signals[g.out] = out
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("bench: unresolved signals (cycle or missing definition), %d gates left", len(next))
+		}
+		remaining = next
+	}
+	for _, name := range outputs {
+		l, ok := signals[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: undefined output %q", name)
+		}
+		a.AddPO(l)
+	}
+	return a, nil
+}
+
+func buildBenchGate(a *AIG, fn string, ins []Lit) (Lit, error) {
+	reduce := func(op func(x, y Lit) Lit, empty Lit) Lit {
+		if len(ins) == 0 {
+			return empty
+		}
+		out := ins[0]
+		for _, l := range ins[1:] {
+			out = op(out, l)
+		}
+		return out
+	}
+	switch fn {
+	case "AND":
+		return reduce(a.And, LitTrue), nil
+	case "NAND":
+		return reduce(a.And, LitTrue).Not(), nil
+	case "OR":
+		return reduce(a.Or, LitFalse), nil
+	case "NOR":
+		return reduce(a.Or, LitFalse).Not(), nil
+	case "XOR":
+		return reduce(a.Xor, LitFalse), nil
+	case "XNOR":
+		return reduce(a.Xor, LitFalse).Not(), nil
+	case "NOT":
+		if len(ins) != 1 {
+			return 0, fmt.Errorf("NOT with %d inputs", len(ins))
+		}
+		return ins[0].Not(), nil
+	case "BUFF", "BUF":
+		if len(ins) != 1 {
+			return 0, fmt.Errorf("BUFF with %d inputs", len(ins))
+		}
+		return ins[0], nil
+	}
+	return 0, fmt.Errorf("unknown gate %q", fn)
+}

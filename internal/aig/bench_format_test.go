@@ -1,0 +1,104 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBenchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 10; iter++ {
+		a := randomNetwork(t, rng, 6, 100, 5)
+		var buf bytes.Buffer
+		if err := a.WriteBench(&buf); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadBench(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		checkSameFunction(t, a, b)
+	}
+}
+
+func TestBenchParsesKnownNetlist(t *testing.T) {
+	in := `
+# a full adder
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+sum = XOR(a, b, cin)
+ab = AND(a, b)
+acin = AND(a, cin)
+bcin = AND(b, cin)
+cout = OR(ab, acin, bcin)
+`
+	a, err := ReadBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 3 || a.NumPOs() != 2 {
+		t.Fatalf("stats %v", a.Stats())
+	}
+	sim := NewSimulator(a)
+	out := sim.Run([]uint64{0b00001111, 0b00110011, 0b01010101})
+	if out[0]&0xFF != 0b01101001 { // sum = a^b^c
+		t.Fatalf("sum = %08b", out[0]&0xFF)
+	}
+	if out[1]&0xFF != 0b00010111 { // carry = majority
+		t.Fatalf("cout = %08b", out[1]&0xFF)
+	}
+}
+
+func TestBenchOutOfOrderDefinitions(t *testing.T) {
+	in := `
+INPUT(x)
+INPUT(y)
+OUTPUT(f)
+f = AND(g, x)
+g = OR(x, y)
+`
+	a, err := ReadBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAnds() == 0 {
+		t.Fatal("no gates built")
+	}
+}
+
+func TestBenchRejectsBroken(t *testing.T) {
+	for _, in := range []string{
+		"INPUT(x)\nOUTPUT(f)\nf = FROB(x)\n",
+		"INPUT(x)\nOUTPUT(f)\nf = AND(x, undefined_signal)\n",
+		"INPUT(x)\nOUTPUT(nope)\nf = NOT(x)\n",
+		"INPUT(x)\nOUTPUT(f)\nthis is not a gate line\n",
+	} {
+		if _, err := ReadBench(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted broken netlist:\n%s", in)
+		}
+	}
+}
+
+func TestBenchConstantOutput(t *testing.T) {
+	a := New()
+	x := a.AddPI()
+	a.AddPO(a.And(x, x.Not())) // const0
+	var buf bytes.Buffer
+	if err := a.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(b)
+	out := sim.Run([]uint64{^uint64(0)})
+	if out[0] != 0 {
+		t.Fatalf("constant PO = %x", out[0])
+	}
+}

@@ -1,0 +1,370 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Clone returns a compact structural copy of the graph (dead slots
+// squeezed out, IDs renumbered topologically) built with the same strash
+// options.
+func (a *AIG) Clone() *AIG {
+	return a.CloneWith(Options{GlobalStrash: a.strash != nil})
+}
+
+// CloneWith clones the graph under different construction options — for
+// example into a global-strash network for the structural-hashing
+// ablation experiment.
+func (a *AIG) CloneWith(opts Options) *AIG {
+	opts.CapacityHint = a.NumAnds() + a.NumPIs() + 1
+	b := New(opts)
+	b.Name = a.Name
+	m := make([]Lit, a.Capacity())
+	m[0] = LitFalse
+	for _, pi := range a.PIs() {
+		m[pi] = b.AddPI()
+	}
+	for _, id := range a.TopoOrder(nil) {
+		n := a.N(id)
+		if n.IsAnd() {
+			m[id] = b.And(m[n.Fanin0().Node()].XorCompl(n.Fanin0().Compl()),
+				m[n.Fanin1().Node()].XorCompl(n.Fanin1().Compl()))
+		}
+	}
+	for _, po := range a.POs() {
+		b.AddPO(m[po.Node()].XorCompl(po.Compl()))
+	}
+	return b
+}
+
+// Double appends a second copy of the network with fresh PIs and POs,
+// reproducing ABC's "double" command, which the paper uses to scale the
+// EPFL benchmarks ("_10xd" means doubled ten times). Doubling keeps the
+// circuit's complexity per cone unchanged while multiplying its size.
+func Double(a *AIG) *AIG {
+	b := a.Clone()
+	m := make([]Lit, a.Capacity())
+	m[0] = LitFalse
+	for _, pi := range a.PIs() {
+		m[pi] = b.AddPI()
+	}
+	for _, id := range a.TopoOrder(nil) {
+		n := a.N(id)
+		if n.IsAnd() {
+			m[id] = b.And(m[n.Fanin0().Node()].XorCompl(n.Fanin0().Compl()),
+				m[n.Fanin1().Node()].XorCompl(n.Fanin1().Compl()))
+		}
+	}
+	for _, po := range a.POs() {
+		b.AddPO(m[po.Node()].XorCompl(po.Compl()))
+	}
+	return b
+}
+
+// DoubleN doubles the network n times.
+func DoubleN(a *AIG, n int) *AIG {
+	for i := 0; i < n; i++ {
+		a = Double(a)
+	}
+	return a
+}
+
+// WriteASCII writes the network in the AIGER 1.9 ASCII format ("aag").
+func (a *AIG) WriteASCII(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	vars, order := a.aigerNumbering()
+	numAnds := len(order)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", a.NumPIs()+numAnds, a.NumPIs(), a.NumPOs(), numAnds)
+	for i := range a.PIs() {
+		fmt.Fprintf(bw, "%d\n", 2*(i+1))
+	}
+	for _, po := range a.POs() {
+		fmt.Fprintf(bw, "%d\n", mapLit(po, vars))
+	}
+	for _, id := range order {
+		n := a.N(id)
+		fmt.Fprintf(bw, "%d %d %d\n", 2*vars[id], mapLit(n.Fanin0(), vars), mapLit(n.Fanin1(), vars))
+	}
+	if a.Name != "" {
+		fmt.Fprintf(bw, "c\n%s\n", a.Name)
+	}
+	return bw.Flush()
+}
+
+// WriteBinary writes the network in the AIGER binary format ("aig").
+func (a *AIG) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	vars, order := a.aigerNumbering()
+	numAnds := len(order)
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", a.NumPIs()+numAnds, a.NumPIs(), a.NumPOs(), numAnds)
+	for _, po := range a.POs() {
+		fmt.Fprintf(bw, "%d\n", mapLit(po, vars))
+	}
+	for _, id := range order {
+		n := a.N(id)
+		lhs := 2 * vars[id]
+		r0 := mapLit(n.Fanin0(), vars)
+		r1 := mapLit(n.Fanin1(), vars)
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		writeLEB(bw, lhs-r0)
+		writeLEB(bw, r0-r1)
+	}
+	if a.Name != "" {
+		fmt.Fprintf(bw, "c\n%s\n", a.Name)
+	}
+	return bw.Flush()
+}
+
+// aigerNumbering assigns AIGER variable numbers: PIs get 1..I in order,
+// AND nodes get I+1.. in topological order. It returns the per-node
+// variable table and the AND order.
+func (a *AIG) aigerNumbering() ([]uint, []int32) {
+	vars := make([]uint, a.Capacity())
+	v := uint(1)
+	for _, pi := range a.PIs() {
+		vars[pi] = v
+		v++
+	}
+	var order []int32
+	for _, id := range a.TopoOrder(nil) {
+		if a.N(id).IsAnd() {
+			vars[id] = v
+			v++
+			order = append(order, id)
+		}
+	}
+	return vars, order
+}
+
+func mapLit(l Lit, vars []uint) uint {
+	u := 2 * vars[l.Node()]
+	if l.Compl() {
+		u |= 1
+	}
+	return u
+}
+
+func writeLEB(w *bufio.Writer, x uint) {
+	for x >= 0x80 {
+		w.WriteByte(byte(x&0x7F | 0x80))
+		x >>= 7
+	}
+	w.WriteByte(byte(x))
+}
+
+// Read parses an AIGER file in either ASCII or binary format. Latches are
+// not supported: rewriting is a combinational optimization.
+func Read(r io.Reader) (*AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: short header %q", strings.TrimSpace(header))
+	}
+	format := fields[0]
+	var m, i, l, o, n uint
+	for k, dst := range []*uint{&m, &i, &l, &o, &n} {
+		if _, err := fmt.Sscanf(fields[k+1], "%d", dst); err != nil {
+			return nil, fmt.Errorf("aiger: bad header field %q: %w", fields[k+1], err)
+		}
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("aiger: %d latches present; only combinational networks are supported", l)
+	}
+	a := New(Options{CapacityHint: int(m) + 1})
+	const undef = ^Lit(0)
+	lits := make([]Lit, m+1)
+	for k := range lits {
+		lits[k] = undef
+	}
+	lits[0] = LitFalse
+	get := func(u uint) (Lit, error) {
+		v := u / 2
+		if v > m {
+			return 0, fmt.Errorf("aiger: literal %d out of range", u)
+		}
+		l := lits[v]
+		if l == undef {
+			return 0, fmt.Errorf("aiger: variable %d used before definition", v)
+		}
+		return l.XorCompl(u&1 == 1), nil
+	}
+
+	switch format {
+	case "aag":
+		readUint := func() (uint, error) {
+			var u uint
+			_, err := fmt.Fscan(br, &u)
+			return u, err
+		}
+		inputVars := make([]uint, i)
+		for k := range inputVars {
+			u, err := readUint()
+			if err != nil {
+				return nil, fmt.Errorf("aiger: reading input %d: %w", k, err)
+			}
+			inputVars[k] = u / 2
+			lits[u/2] = a.AddPI()
+		}
+		outLits := make([]uint, o)
+		for k := range outLits {
+			if outLits[k], err = readUint(); err != nil {
+				return nil, fmt.Errorf("aiger: reading output %d: %w", k, err)
+			}
+		}
+		for k := uint(0); k < n; k++ {
+			var lhs, r0, r1 uint
+			if _, err := fmt.Fscan(br, &lhs, &r0, &r1); err != nil {
+				return nil, fmt.Errorf("aiger: reading AND %d: %w", k, err)
+			}
+			l0, err := get(r0)
+			if err != nil {
+				return nil, err
+			}
+			l1, err := get(r1)
+			if err != nil {
+				return nil, err
+			}
+			lits[lhs/2] = a.And(l0, l1)
+		}
+		for _, u := range outLits {
+			l, err := get(u)
+			if err != nil {
+				return nil, err
+			}
+			a.AddPO(l)
+		}
+	case "aig":
+		for k := uint(0); k < i; k++ {
+			lits[k+1] = a.AddPI()
+		}
+		outLits := make([]uint, o)
+		for k := range outLits {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("aiger: reading output %d: %w", k, err)
+			}
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d", &outLits[k]); err != nil {
+				return nil, fmt.Errorf("aiger: bad output literal %q: %w", strings.TrimSpace(line), err)
+			}
+		}
+		for k := uint(0); k < n; k++ {
+			lhs := 2 * (i + 1 + k)
+			d0, err := readLEB(br)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: reading AND %d: %w", k, err)
+			}
+			d1, err := readLEB(br)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: reading AND %d: %w", k, err)
+			}
+			r0 := lhs - d0
+			r1 := r0 - d1
+			l0, err := get(r0)
+			if err != nil {
+				return nil, err
+			}
+			l1, err := get(r1)
+			if err != nil {
+				return nil, err
+			}
+			lits[lhs/2] = a.And(l0, l1)
+		}
+		for _, u := range outLits {
+			l, err := get(u)
+			if err != nil {
+				return nil, err
+			}
+			a.AddPO(l)
+		}
+	default:
+		return nil, fmt.Errorf("aiger: unknown format %q", format)
+	}
+	a.Name = readName(br)
+	return a, nil
+}
+
+// readName scans the optional symbol table and comment section for the
+// design name (the first comment line, as written by WriteASCII).
+func readName(br *bufio.Reader) string {
+	inComment := false
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimSpace(line)
+		if inComment && line != "" {
+			return line
+		}
+		if line == "c" {
+			inComment = true
+		}
+		if err != nil {
+			return ""
+		}
+	}
+}
+
+func readLEB(br *bufio.Reader) (uint, error) {
+	var x uint
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		x |= uint(b&0x7F) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+	}
+}
+
+// ReadFile reads a circuit file from disk: AIGER (".aig"/".aag") or
+// BENCH (".bench") by extension, AIGER otherwise.
+func ReadFile(path string) (*AIG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var a *AIG
+	if strings.HasSuffix(path, ".bench") {
+		a, err = ReadBench(f)
+	} else {
+		a, err = Read(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Name == "" {
+		a.Name = path
+	}
+	return a, nil
+}
+
+// WriteFile writes a circuit file: binary AIGER for ".aig", BENCH for
+// ".bench", structural Verilog for ".v", ASCII AIGER otherwise.
+func (a *AIG) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".aig"):
+		return a.WriteBinary(f)
+	case strings.HasSuffix(path, ".bench"):
+		return a.WriteBench(f)
+	case strings.HasSuffix(path, ".v"):
+		return a.WriteVerilog(f, "")
+	}
+	return a.WriteASCII(f)
+}

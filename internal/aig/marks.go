@@ -1,0 +1,55 @@
+package aig
+
+// Marks is an epoch-stamped node marking scratchpad. Traversals that need
+// per-node visited flags use a worker-local Marks so that parallel stages
+// never share traversal state (the AIG itself carries no travID).
+type Marks struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// NewMarks returns a scratchpad sized for the graph's current capacity; it
+// grows on demand as the graph does.
+func NewMarks(a *AIG) *Marks {
+	return &Marks{stamp: make([]uint32, a.Capacity()+64)}
+}
+
+// Next starts a new marking epoch, invalidating all previous marks in
+// O(1).
+func (m *Marks) Next() {
+	m.cur++
+	if m.cur == 0 { // stamp wrap-around: reset lazily
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+func (m *Marks) grow(id int32) {
+	if int(id) >= len(m.stamp) {
+		next := make([]uint32, int(id)*2+64)
+		copy(next, m.stamp)
+		m.stamp = next
+	}
+}
+
+// Mark marks node id in the current epoch.
+func (m *Marks) Mark(id int32) {
+	m.grow(id)
+	m.stamp[id] = m.cur
+}
+
+// Unmark clears node id's mark.
+func (m *Marks) Unmark(id int32) {
+	m.grow(id)
+	m.stamp[id] = 0
+}
+
+// Marked reports whether node id is marked in the current epoch.
+func (m *Marks) Marked(id int32) bool {
+	if int(id) >= len(m.stamp) {
+		return false
+	}
+	return m.stamp[id] == m.cur
+}

@@ -1,0 +1,82 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAndStrash(b *testing.B) {
+	a := New()
+	var pis []Lit
+	for i := 0; i < 64; i++ {
+		pis = append(pis, a.AddPI())
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	lits := pis
+	for i := 0; i < b.N; i++ {
+		x := lits[rng.Intn(len(lits))]
+		y := lits[rng.Intn(len(lits))].XorCompl(i&1 == 0)
+		l := a.And(x, y)
+		if !l.IsConst() && len(lits) < 1<<16 {
+			lits = append(lits, l)
+		}
+	}
+}
+
+func BenchmarkSimulate64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomNetwork(b, rng, 32, 20000, 32)
+	sim := NewSimulator(a)
+	pi := make([]uint64, a.NumPIs())
+	for i := range pi {
+		pi[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(pi)
+	}
+	b.ReportMetric(float64(a.NumAnds()), "gates")
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomNetwork(b, rng, 32, 20000, 32)
+	b.ResetTimer()
+	var buf []int32
+	for i := 0; i < b.N; i++ {
+		buf = a.TopoOrder(buf[:0])
+	}
+}
+
+func BenchmarkReplace(b *testing.B) {
+	// The network is rebuilt only every few thousand iterations so the
+	// untimed setup stays negligible regardless of b.N.
+	rng := rand.New(rand.NewSource(4))
+	var a *AIG
+	var ands []int32
+	rebuild := func() {
+		a = randomNetwork(b, rng, 16, 2000, 16)
+		ands = ands[:0]
+		a.ForEachAnd(func(id int32) { ands = append(ands, id) })
+	}
+	rebuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 4095 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		id := ands[rng.Intn(len(ands))]
+		n := a.N(id)
+		if !n.IsAnd() {
+			continue // replaced in an earlier iteration
+		}
+		equiv := a.Or(n.Fanin0().Not(), n.Fanin1().Not()).Not()
+		if equiv.Node() == id {
+			continue
+		}
+		a.Replace(id, equiv, ReplaceOptions{CascadeMerge: true})
+	}
+}

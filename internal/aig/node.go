@@ -1,0 +1,130 @@
+package aig
+
+import "sync/atomic"
+
+// Kind discriminates the node types of an AIG.
+type Kind uint8
+
+// Node kinds. Primary outputs are not nodes; they are complemented
+// references held by the graph. KindFree is deliberately the zero value:
+// a freshly allocated slot that was never initialized (for example when a
+// parallel engine's lock filter rejected the ID) must read as dead, not
+// as a constant.
+const (
+	KindFree  Kind = iota // dead slot available for ID reuse
+	KindConst             // the constant-false node, always ID 0
+	KindPI                // primary input
+	KindAnd               // two-input AND gate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConst:
+		return "const"
+	case KindPI:
+		return "pi"
+	case KindAnd:
+		return "and"
+	case KindFree:
+		return "free"
+	}
+	return "invalid"
+}
+
+// Node is one slot of the graph. Nodes are addressed by ID and must not be
+// copied.
+//
+// Field synchronization: kind, the fanins, the reference count and the
+// incarnation version are atomic, so the lock-free evaluation stage and
+// speculative activities may read them at any time (they see a consistent
+// individual value; cross-field consistency requires the node's exclusive
+// lock, which every writer holds). The fanout list and level are accessed
+// only under the node's lock (or single-threaded).
+type Node struct {
+	fanin0, fanin1 atomic.Uint32
+	fanouts        []int32 // AND fanout IDs; -(k+1) encodes PO index k
+	ref            atomic.Int32
+	version        atomic.Uint32
+	kind           atomic.Uint32
+	level          int32
+}
+
+// Version identifies the node slot's incarnation: it is bumped every time
+// the slot is allocated for a new AND gate and every time the gate is
+// deleted. A stored reference to node id taken at version v is stale —
+// the node was deleted, and its ID possibly reused for different logic
+// (the paper's Fig. 3 hazard) — exactly when Version() != v. PIs and the
+// constant are never deleted; their version stays 0.
+func (n *Node) Version() uint32 { return n.version.Load() }
+
+// Kind returns the node's kind.
+func (n *Node) Kind() Kind { return Kind(n.kind.Load()) }
+
+func (n *Node) setKind(k Kind) { n.kind.Store(uint32(k)) }
+
+// IsAnd reports whether the node is a live AND gate.
+func (n *Node) IsAnd() bool { return n.Kind() == KindAnd }
+
+// IsPI reports whether the node is a primary input.
+func (n *Node) IsPI() bool { return n.Kind() == KindPI }
+
+// IsDead reports whether the slot is free.
+func (n *Node) IsDead() bool { return n.Kind() == KindFree }
+
+// Fanin0 returns the first (smaller-literal) fanin of an AND node.
+func (n *Node) Fanin0() Lit { return Lit(n.fanin0.Load()) }
+
+// Fanin1 returns the second fanin of an AND node.
+func (n *Node) Fanin1() Lit { return Lit(n.fanin1.Load()) }
+
+func (n *Node) setFanins(f0, f1 Lit) {
+	n.fanin0.Store(uint32(f0))
+	n.fanin1.Store(uint32(f1))
+}
+
+// Ref returns the current reference count: the number of AND fanins and
+// primary outputs pointing at the node.
+func (n *Node) Ref() int32 { return n.ref.Load() }
+
+// Level returns the node's depth: 0 for PIs and the constant, and
+// 1+max(fanin levels) for AND nodes. Levels are maintained on creation and
+// recomputed on demand after replacements (see AIG.Levelize).
+func (n *Node) Level() int32 { return n.level }
+
+// FanoutCount returns the length of the fanout list (including PO
+// references).
+func (n *Node) FanoutCount() int { return len(n.fanouts) }
+
+// Fanouts returns the node's fanout list. Entries >= 0 are AND node IDs;
+// an entry -(k+1) is a reference from primary output k. The slice is the
+// live list: callers must hold the node's lock in parallel contexts and
+// must not mutate it.
+func (n *Node) Fanouts() []int32 { return n.fanouts }
+
+// addFanout appends a fanout entry.
+func (n *Node) addFanout(e int32) { n.fanouts = append(n.fanouts, e) }
+
+// removeFanout deletes one occurrence of e from the fanout list.
+func (n *Node) removeFanout(e int32) bool {
+	for i, x := range n.fanouts {
+		if x == e {
+			last := len(n.fanouts) - 1
+			n.fanouts[i] = n.fanouts[last]
+			n.fanouts = n.fanouts[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// POFanout converts a PO index to its fanout-list encoding.
+func POFanout(poIndex int) int32 { return -int32(poIndex) - 1 }
+
+// IsPOFanout reports whether a fanout entry refers to a primary output,
+// returning the PO index.
+func IsPOFanout(e int32) (int, bool) {
+	if e < 0 {
+		return int(-e - 1), true
+	}
+	return 0, false
+}

@@ -1,0 +1,58 @@
+package aig
+
+import "sync"
+
+// globalStrash is a sharded global structural-hash table mapping a
+// normalized fanin pair to the node implementing it. It exists as the
+// ablation counterpart of the decentralized fanout-list lookup the paper
+// uses; see Options.GlobalStrash.
+type globalStrash struct {
+	shards [64]strashShard
+}
+
+type strashShard struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+}
+
+func newGlobalStrash() *globalStrash {
+	g := &globalStrash{}
+	for i := range g.shards {
+		g.shards[i].m = make(map[uint64]int32)
+	}
+	return g
+}
+
+func strashKey(f0, f1 Lit) uint64 { return uint64(f0)<<32 | uint64(f1) }
+
+func (g *globalStrash) shard(key uint64) *strashShard {
+	// Fibonacci hashing spreads the sequential literal values.
+	return &g.shards[(key*0x9E3779B97F4A7C15)>>58]
+}
+
+func (g *globalStrash) lookup(f0, f1 Lit) (int32, bool) {
+	key := strashKey(f0, f1)
+	s := g.shard(key)
+	s.mu.Lock()
+	id, ok := s.m[key]
+	s.mu.Unlock()
+	return id, ok
+}
+
+func (g *globalStrash) insert(f0, f1 Lit, id int32) {
+	key := strashKey(f0, f1)
+	s := g.shard(key)
+	s.mu.Lock()
+	s.m[key] = id
+	s.mu.Unlock()
+}
+
+func (g *globalStrash) remove(f0, f1 Lit, id int32) {
+	key := strashKey(f0, f1)
+	s := g.shard(key)
+	s.mu.Lock()
+	if cur, ok := s.m[key]; ok && cur == id {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilog(t *testing.T) {
+	a := New()
+	x := a.AddPI()
+	y := a.AddPI()
+	f := a.And(x, y.Not())
+	a.AddPO(f.Not())
+	a.AddPO(LitTrue)
+	var buf bytes.Buffer
+	if err := a.WriteVerilog(&buf, "half"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module half (pi0, pi1, po0, po1);",
+		"input pi0;",
+		"output po0;",
+		"& ~pi1;",
+		"assign po1 = 1'b1;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVerilogAssignPerGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randomNetwork(t, rng, 5, 60, 4)
+	var buf bytes.Buffer
+	if err := a.WriteVerilog(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	assigns := strings.Count(buf.String(), "assign n")
+	if assigns != a.NumAnds() {
+		t.Fatalf("%d gate assigns for %d gates", assigns, a.NumAnds())
+	}
+	if !strings.Contains(buf.String(), "module dacpara_netlist") {
+		t.Fatal("default module name missing")
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"dacpara/internal/aig"
+)
+
+// The EPFL Random/Control family beyond mem_ctrl: structurally faithful
+// generators for the shifter, max, priority, decoder, arbiter and
+// int-to-float circuits. They widen the workload mix for the examples and
+// the harness; rewriting behaves very differently on control logic than
+// on arithmetic carry chains.
+
+// BarrelShifter builds an n-bit logical right barrel shifter with a
+// log2(n)-bit shift amount — the EPFL `bar` benchmark structure.
+func BarrelShifter(n int) *aig.AIG {
+	b := NewBuilder()
+	data := b.Inputs(n)
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	amount := b.Inputs(stages)
+	w := data
+	for s := 0; s < stages; s++ {
+		shifted := b.ShiftRightConst(w, 1<<uint(s))
+		w = b.Mux(amount[s], shifted, w)
+	}
+	b.Outputs(w)
+	b.A.Name = fmt.Sprintf("bar%d", n)
+	return b.A
+}
+
+// Max builds the k-way n-bit maximum — the EPFL `max` benchmark: a
+// comparator tree over unsigned words.
+func Max(k, n int) *aig.AIG {
+	b := NewBuilder()
+	words := make([]Word, k)
+	for i := range words {
+		words[i] = b.Inputs(n)
+	}
+	for len(words) > 1 {
+		var next []Word
+		for i := 0; i+1 < len(words); i += 2 {
+			x, y := words[i], words[i+1]
+			geq := b.GreaterEqual(x, y)
+			next = append(next, b.Mux(geq, x, y))
+		}
+		if len(words)%2 == 1 {
+			next = append(next, words[len(words)-1])
+		}
+		words = next
+	}
+	b.Outputs(words[0])
+	b.A.Name = fmt.Sprintf("max%dx%d", k, n)
+	return b.A
+}
+
+// PriorityEncoder builds an n-input priority encoder with valid flag —
+// the EPFL `priority` benchmark structure.
+func PriorityEncoder(n int) *aig.AIG {
+	b := NewBuilder()
+	req := b.Inputs(n)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	idx := b.Const(0, bits)
+	found := aig.LitFalse
+	for i := n - 1; i >= 0; i-- {
+		take := b.A.And(req[i], found.Not())
+		idx = b.Mux(take, b.Const(uint64(i), bits), idx)
+		found = b.A.Or(found, req[i])
+	}
+	b.Outputs(idx)
+	b.A.AddPO(found)
+	b.A.Name = fmt.Sprintf("priority%d", n)
+	return b.A
+}
+
+// Decoder builds an n-to-2^n one-hot decoder with enable — the EPFL
+// `dec` benchmark structure.
+func Decoder(n int) *aig.AIG {
+	b := NewBuilder()
+	sel := b.Inputs(n)
+	en := b.A.AddPI()
+	for m := 0; m < 1<<n; m++ {
+		line := en
+		for v := 0; v < n; v++ {
+			line = b.A.And(line, sel[v].XorCompl(m>>uint(v)&1 == 0))
+		}
+		b.A.AddPO(line)
+	}
+	b.A.Name = fmt.Sprintf("dec%d", n)
+	return b.A
+}
+
+// RoundRobinArbiter builds an n-requester arbiter with a grant per
+// requester and a log2(n)-bit pointer input (combinational unrolling of
+// one arbitration round) — the EPFL `arbiter` benchmark flavor.
+func RoundRobinArbiter(n int) *aig.AIG {
+	b := NewBuilder()
+	req := b.Inputs(n)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	ptr := b.Inputs(bits)
+	// grant[i] = req[i] & none of the requesters between ptr and i (in
+	// round-robin order) requested.
+	grants := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		grant := aig.LitFalse
+		// For each possible pointer value p, the priority chain starting
+		// at p reaches i only if no j in (p..i) requested.
+		for p := 0; p < n; p++ {
+			sel := b.Equal(ptr, b.Const(uint64(p), bits))
+			chain := aig.LitTrue
+			for off := 0; off < n; off++ {
+				j := (p + off) % n
+				if j == i {
+					break
+				}
+				chain = b.A.And(chain, req[j].Not())
+			}
+			grant = b.A.Or(grant, b.A.And(sel, chain))
+		}
+		grants[i] = b.A.And(req[i], grant)
+	}
+	for _, g := range grants {
+		b.A.AddPO(g)
+	}
+	b.A.Name = fmt.Sprintf("arbiter%d", n)
+	return b.A
+}
+
+// Int2Float converts an n-bit unsigned integer to a small floating-point
+// format (exponent = position of leading one, mantissa = normalized top
+// bits) — the EPFL `int2float` benchmark structure.
+func Int2Float(n, mantBits int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	expBits := 0
+	for 1<<expBits < n+1 {
+		expBits++
+	}
+	// Exponent: index of the leading one (0 when x == 0).
+	exp := b.Const(0, expBits)
+	found := aig.LitFalse
+	for i := n - 1; i >= 0; i-- {
+		isLead := b.A.And(x[i], found.Not())
+		found = b.A.Or(found, x[i])
+		exp, _ = b.Add(exp, b.AndBit(b.Const(uint64(i+1), expBits), isLead), aig.LitFalse)
+		exp = exp[:expBits]
+	}
+	// Mantissa: normalize by barrel-shifting the leading one to the top.
+	norm := append(Word{}, x...)
+	for s := expBits - 1; s >= 0; s-- {
+		k := 1 << uint(s)
+		topZero := aig.LitTrue
+		for j := 0; j < k && j < n; j++ {
+			topZero = b.A.And(topZero, norm[n-1-j].Not())
+		}
+		if k < n {
+			norm = b.Mux(topZero, b.ShiftLeftConst(norm, k)[:n], norm)
+		}
+	}
+	mant := make(Word, mantBits)
+	for i := 0; i < mantBits; i++ {
+		mant[i] = b.bit(norm, n-1-mantBits+i)
+	}
+	b.Outputs(exp)
+	b.Outputs(mant)
+	b.A.Name = fmt.Sprintf("int2float%d", n)
+	return b.A
+}

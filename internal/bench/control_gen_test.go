@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"dacpara/internal/aig"
+)
+
+func TestBarrelShifter(t *testing.T) {
+	const n = 16
+	a := BarrelShifter(n)
+	stages := 4
+	rng := rand.New(rand.NewSource(1))
+	var vals [][]uint64
+	for s := 0; s < 64; s++ {
+		vals = append(vals, []uint64{rng.Uint64() & mask(n), uint64(rng.Intn(n))})
+	}
+	out := aig.NewSimulator(a).Run(driveWords(vals, []int{n, stages}))
+	for s := 0; s < 64; s++ {
+		want := vals[s][0] >> vals[s][1]
+		got := evalWord(out, 0, n, uint(s))
+		if got != want {
+			t.Fatalf("slot %d: %x >> %d = %x, want %x", s, vals[s][0], vals[s][1], got, want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	const k, n = 4, 8
+	a := Max(k, n)
+	rng := rand.New(rand.NewSource(2))
+	var vals [][]uint64
+	for s := 0; s < 64; s++ {
+		row := make([]uint64, k)
+		for i := range row {
+			row[i] = rng.Uint64() & mask(n)
+		}
+		vals = append(vals, row)
+	}
+	widths := []int{n, n, n, n}
+	out := aig.NewSimulator(a).Run(driveWords(vals, widths))
+	for s := 0; s < 64; s++ {
+		want := uint64(0)
+		for _, v := range vals[s] {
+			if v > want {
+				want = v
+			}
+		}
+		if got := evalWord(out, 0, n, uint(s)); got != want {
+			t.Fatalf("slot %d: max%v = %d, want %d", s, vals[s], got, want)
+		}
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	const n = 16
+	a := PriorityEncoder(n)
+	rng := rand.New(rand.NewSource(3))
+	pi := make([]uint64, n)
+	for i := range pi {
+		pi[i] = rng.Uint64() & rng.Uint64() // sparse requests
+	}
+	out := aig.NewSimulator(a).Run(pi)
+	for s := uint(0); s < 64; s++ {
+		wantIdx, wantFound := 0, false
+		for i := n - 1; i >= 0; i-- {
+			if pi[i]>>s&1 == 1 {
+				wantIdx, wantFound = i, true
+				break
+			}
+		}
+		gotIdx := int(evalWord(out, 0, 4, s))
+		gotFound := out[4]>>s&1 == 1
+		if gotFound != wantFound || (wantFound && gotIdx != wantIdx) {
+			t.Fatalf("slot %d: got (%d,%v), want (%d,%v)", s, gotIdx, gotFound, wantIdx, wantFound)
+		}
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	const n = 4
+	a := Decoder(n)
+	var vals [][]uint64
+	for s := 0; s < 64; s++ {
+		vals = append(vals, []uint64{uint64(s % 16), uint64(s % 2)})
+	}
+	out := aig.NewSimulator(a).Run(driveWords(vals, []int{n, 1}))
+	for s := 0; s < 64; s++ {
+		sel := int(vals[s][0])
+		en := vals[s][1] == 1
+		for line := 0; line < 16; line++ {
+			want := en && line == sel
+			got := out[line]>>uint(s)&1 == 1
+			if got != want {
+				t.Fatalf("slot %d line %d: got %v, want %v", s, line, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundRobinArbiter(t *testing.T) {
+	const n = 4
+	a := RoundRobinArbiter(n)
+	rng := rand.New(rand.NewSource(4))
+	var vals [][]uint64
+	for s := 0; s < 64; s++ {
+		row := make([]uint64, n+1)
+		for i := 0; i < n; i++ {
+			row[i] = uint64(rng.Intn(2))
+		}
+		row[n] = uint64(rng.Intn(n))
+		vals = append(vals, row)
+	}
+	widths := []int{1, 1, 1, 1, 2}
+	out := aig.NewSimulator(a).Run(driveWords(vals, widths))
+	for s := 0; s < 64; s++ {
+		req := vals[s][:n]
+		ptr := int(vals[s][n])
+		// Model: the first requester at or after ptr wins.
+		want := -1
+		for off := 0; off < n; off++ {
+			j := (ptr + off) % n
+			if req[j] == 1 {
+				want = j
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			got := out[i]>>uint(s)&1 == 1
+			if got != (i == want) {
+				t.Fatalf("slot %d: grant[%d]=%v, want winner %d (req=%v ptr=%d)",
+					s, i, got, want, req, ptr)
+			}
+		}
+	}
+}
+
+func TestInt2Float(t *testing.T) {
+	const n, mant = 12, 4
+	a := Int2Float(n, mant)
+	rng := rand.New(rand.NewSource(5))
+	var vals [][]uint64
+	for s := 0; s < 64; s++ {
+		vals = append(vals, []uint64{rng.Uint64() & mask(n)})
+	}
+	out := aig.NewSimulator(a).Run(driveWords(vals, []int{n}))
+	expBits := 4
+	for s := 0; s < 64; s++ {
+		x := vals[s][0]
+		wantExp := 0
+		for i := n - 1; i >= 0; i-- {
+			if x>>uint(i)&1 == 1 {
+				wantExp = i + 1
+				break
+			}
+		}
+		gotExp := int(evalWord(out, 0, expBits, uint(s)))
+		if gotExp != wantExp {
+			t.Fatalf("slot %d: exp(%d) = %d, want %d", s, x, gotExp, wantExp)
+		}
+	}
+}
+
+func TestControlGeneratorsAreValidAndRewritable(t *testing.T) {
+	nets := []*aig.AIG{
+		BarrelShifter(32), Max(4, 12), PriorityEncoder(32),
+		Decoder(5), RoundRobinArbiter(8), Int2Float(16, 6),
+	}
+	for _, a := range nets {
+		if err := a.Check(aig.CheckOptions{}); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if a.NumAnds() == 0 {
+			t.Fatalf("%s: empty", a.Name)
+		}
+	}
+}

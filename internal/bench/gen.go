@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"dacpara/internal/aig"
+)
+
+// Adder builds an n-bit ripple-carry adder (quickstart-sized benchmark).
+func Adder(n int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	y := b.Inputs(n)
+	sum, cout := b.Add(x, y, aig.LitFalse)
+	b.Outputs(sum)
+	b.A.AddPO(cout)
+	b.A.Name = fmt.Sprintf("adder%d", n)
+	return b.A
+}
+
+// Multiplier builds an n x n array multiplier — the `mult` benchmark.
+func Multiplier(n int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	y := b.Inputs(n)
+	b.Outputs(b.Mul(x, y))
+	b.A.Name = fmt.Sprintf("mult%d", n)
+	return b.A
+}
+
+// Square builds the n-bit squarer — the `square` benchmark. Squaring is a
+// multiplier specialization: the partial-product matrix is symmetric, so
+// the generator folds the mirrored terms, which leaves exactly the kind of
+// structural redundancy rewriting exploits.
+func Square(n int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	acc := b.Const(0, 2*n)
+	for i := 0; i < n; i++ {
+		// x_i * x_i = x_i on the diagonal.
+		acc, _ = b.Add(acc, b.ShiftLeftConst(Word{x[i]}, 2*i), aig.LitFalse)
+		acc = acc[:2*n]
+		for j := i + 1; j < n; j++ {
+			// Off-diagonal terms appear twice: shift by one more bit.
+			pp := Word{b.A.And(x[i], x[j])}
+			acc, _ = b.Add(acc, b.ShiftLeftConst(pp, i+j+1), aig.LitFalse)
+			acc = acc[:2*n]
+		}
+	}
+	b.Outputs(acc)
+	b.A.Name = fmt.Sprintf("square%d", n)
+	return b.A
+}
+
+// Divider builds an n/n-bit restoring divider producing quotient and
+// remainder — the `div` benchmark.
+func Divider(n int) *aig.AIG {
+	b := NewBuilder()
+	num := b.Inputs(n)
+	den := b.Inputs(n)
+	rem := b.Const(0, n+1)
+	quo := make(Word, n)
+	for i := n - 1; i >= 0; i-- {
+		// Shift the remainder left and bring down the next numerator bit.
+		shifted := append(Word{num[i]}, rem[:n]...)
+		diff, geq := b.Sub(shifted, append(append(Word{}, den...), aig.LitFalse))
+		rem = b.Mux(geq, diff, shifted)
+		quo[i] = geq
+	}
+	b.Outputs(quo)
+	b.Outputs(rem[:n])
+	b.A.Name = fmt.Sprintf("div%d", n)
+	return b.A
+}
+
+// Sqrt builds the n-bit integer square root (restoring, digit-by-digit) —
+// the `sqrt` benchmark.
+func Sqrt(n int) *aig.AIG {
+	if n%2 != 0 {
+		n++
+	}
+	b := NewBuilder()
+	x := b.Inputs(n)
+	half := n / 2
+	root := b.Const(0, half)
+	rem := b.Const(0, n+2)
+	for i := half - 1; i >= 0; i-- {
+		// Bring down the next two bits of x.
+		shifted := append(Word{x[2*i], x[2*i+1]}, rem[:n]...)
+		// Trial subtrahend: (root << 2) | 01.
+		trial := append(Word{aig.LitTrue, aig.LitFalse}, root...)
+		diff, geq := b.Sub(shifted, trial)
+		rem = b.Mux(geq, diff, shifted)
+		// Prepend the new digit: the first-determined digit ends up in
+		// the most significant position.
+		root = append(Word{geq}, root...)[:half]
+	}
+	b.Outputs(root)
+	b.Outputs(rem[:n])
+	b.A.Name = fmt.Sprintf("sqrt%d", n)
+	return b.A
+}
+
+// Sin builds a CORDIC sine/cosine core with n-bit datapath and n rotation
+// stages — the `sin` benchmark structure.
+func Sin(n int) *aig.AIG {
+	b := NewBuilder()
+	angle := b.Inputs(n)
+	// CORDIC gain-compensated start vector (constant).
+	x := b.Const(0x26dd>>(16-min(n, 16))&mask(n), n) // ~0.607 scaled
+	y := b.Const(0, n)
+	z := angle
+	for k := 0; k < n; k++ {
+		// Rotation direction: sign of the residual angle.
+		d := z[n-1].Not() // d=1 when z >= 0
+		xs := b.ShiftRightArith(x, k)
+		ys := b.ShiftRightArith(y, k)
+		// x' = x -/+ (y>>k); y' = y +/- (x>>k); z' = z -/+ atan(2^-k)
+		xPlus, _ := b.Add(x, ys, aig.LitFalse)
+		xMinus, _ := b.Sub(x, ys)
+		x = b.Mux(d, xMinus[:n], xPlus[:n])
+		yPlus, _ := b.Add(y, xs, aig.LitFalse)
+		yMinus, _ := b.Sub(y, xs)
+		y = b.Mux(d, yPlus[:n], yMinus[:n])
+		at := b.Const(atanTable(k, n), n)
+		zPlus, _ := b.Add(z, at, aig.LitFalse)
+		zMinus, _ := b.Sub(z, at)
+		z = b.Mux(d, zMinus[:n], zPlus[:n])
+	}
+	b.Outputs(y) // sine
+	b.Outputs(x) // cosine
+	b.A.Name = fmt.Sprintf("sin%d", n)
+	return b.A
+}
+
+// atanTable returns atan(2^-k) in turns (fraction of a full circle)
+// scaled to an n-bit word.
+func atanTable(k, n int) uint64 {
+	turns := math.Atan(math.Pow(2, -float64(k))) / (2 * math.Pi)
+	scale := math.Pow(2, float64(min(n, 62)))
+	v := uint64(math.Round(turns * scale))
+	return v & mask(n)
+}
+
+// Voter builds the n-input majority voter — the `voter` benchmark: a
+// population-count tree compared against n/2.
+func Voter(n int) *aig.AIG {
+	b := NewBuilder()
+	in := b.Inputs(n)
+	count := b.PopCount([]aig.Lit(in))
+	threshold := b.Const(uint64(n/2+1), len(count))
+	b.A.AddPO(b.GreaterEqual(count, threshold))
+	b.A.Name = fmt.Sprintf("voter%d", n)
+	return b.A
+}
+
+// Log2 builds an integer/fractional base-2 logarithm: a priority encoder
+// for the integer part, a normalizing barrel shifter, and fraction bits
+// computed by iterated squaring (each fraction bit costs one squarer) —
+// the `log2` benchmark structure.
+func Log2(n, fracBits int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	// Integer part: index of the leading one (priority encoder).
+	intBits := 0
+	for 1<<intBits < n {
+		intBits++
+	}
+	intPart := b.Const(0, intBits)
+	found := aig.LitFalse
+	for i := n - 1; i >= 0; i-- {
+		isLead := b.A.And(x[i], found.Not())
+		found = b.A.Or(found, x[i])
+		intPart, _ = b.Add(intPart, b.AndBit(b.Const(uint64(i), intBits), isLead), aig.LitFalse)
+		intPart = intPart[:intBits]
+	}
+	// Normalize: barrel shift so the leading one lands at the top bit.
+	norm := append(Word{}, x...)
+	for s := 0; s < intBits; s++ {
+		k := 1 << uint(s)
+		// Shift left by k when the top k bits are all zero.
+		topZero := aig.LitTrue
+		for j := 0; j < k && j < n; j++ {
+			topZero = b.A.And(topZero, norm[n-1-j].Not())
+		}
+		norm = b.Mux(topZero, b.ShiftLeftConst(norm, k)[:n], norm)
+	}
+	// Fraction: iterated squaring of the normalized mantissa.
+	frac := make(Word, fracBits)
+	m := norm
+	for i := 0; i < fracBits; i++ {
+		sq := b.Mul(m, m)        // 2n bits
+		top := sq[len(sq)-1]     // >= 2 after squaring?
+		frac[fracBits-1-i] = top // fraction bit
+		shifted := b.ShiftRightConst(sq, 1)
+		sel := b.Mux(top, shifted, sq)
+		m = b.Truncate(b.ShiftRightConst(sel, n-1), n)
+	}
+	b.Outputs(intPart)
+	b.Outputs(frac)
+	b.A.Name = fmt.Sprintf("log2_%d_%d", n, fracBits)
+	return b.A
+}
+
+// Hypotenuse composes square, add and square root: sqrt(x^2+y^2) — the
+// `hyp` benchmark structure.
+func Hypotenuse(n int) *aig.AIG {
+	b := NewBuilder()
+	x := b.Inputs(n)
+	y := b.Inputs(n)
+	xx := b.Mul(x, x)
+	yy := b.Mul(y, y)
+	sum, carry := b.Add(xx, yy, aig.LitFalse)
+	sum = append(sum, carry)
+	root := b.isqrt(sum)
+	b.Outputs(root)
+	b.A.Name = fmt.Sprintf("hyp%d", n)
+	return b.A
+}
+
+// isqrt builds an integer square root datapath over an existing word.
+func (b *Builder) isqrt(x Word) Word {
+	n := len(x)
+	if n%2 != 0 {
+		x = append(x, aig.LitFalse)
+		n++
+	}
+	half := n / 2
+	root := b.Const(0, half)
+	rem := b.Const(0, n+2)
+	for i := half - 1; i >= 0; i-- {
+		shifted := append(Word{x[2*i], x[2*i+1]}, rem[:n]...)
+		trial := append(Word{aig.LitTrue, aig.LitFalse}, root...)
+		diff, geq := b.Sub(shifted, trial)
+		rem = b.Mux(geq, diff, shifted)
+		root = append(Word{geq}, root...)[:half]
+	}
+	return root
+}
+
+func mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"testing"
+
+	"dacpara/internal/aig"
+)
+
+func TestSuiteTinyBuilds(t *testing.T) {
+	for _, c := range Suite(ScaleTiny) {
+		a := c.Instantiate(ScaleTiny)
+		if err := a.Check(aig.CheckOptions{}); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		st := a.Stats()
+		t.Logf("%-14s pi=%d po=%d and=%d delay=%d", c.Name, st.PIs, st.POs, st.Ands, st.Delay)
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dacpara/internal/aig"
+)
+
+// ControlParams shape a random control-logic network.
+type ControlParams struct {
+	PIs   int
+	Gates int
+	POs   int
+	Seed  int64
+	// Locality biases operand selection toward recently created literals:
+	// 0 picks uniformly (shallow, highly shared logic), values toward 1
+	// chain gates into deep cones (the MtM circuits are deep: ~140-176
+	// levels over ~120-150 PIs).
+	Locality float64
+	// Redundancy is the fraction of gates spent re-implementing an
+	// existing cone with a different structure (restructured duplicates
+	// feeding back into the network). This is what gives rewriting real
+	// work to do, like the synthesis artifacts in real designs.
+	Redundancy float64
+	// Window is the recent-literal selection width used by Locality
+	// (0: Gates/200, at least 64).
+	Window int
+}
+
+// Control generates a random control-flavored network: decoders, wide
+// AND/OR cones, muxes and parity chains, modelled after the mem_ctrl
+// benchmark's profile (many PIs, shallow-ish, highly shared).
+func Control(p ControlParams) *aig.AIG {
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := NewBuilder()
+	lits := make([]aig.Lit, 0, p.PIs+p.Gates)
+	for i := 0; i < p.PIs; i++ {
+		lits = append(lits, b.A.AddPI())
+	}
+	// The recent-selection window controls depth: deep MtM-style circuits
+	// chain through a window that grows with the design so the level
+	// count stays in the paper's regime (~100-300) instead of growing
+	// linearly with area.
+	window := p.Window
+	if window <= 0 {
+		window = max(64, p.Gates/200)
+	}
+	pick := func() aig.Lit {
+		var idx int
+		if p.Locality > 0 && rng.Float64() < p.Locality && len(lits) > p.PIs {
+			win := window
+			if win > len(lits) {
+				win = len(lits)
+			}
+			idx = len(lits) - 1 - rng.Intn(win)
+		} else {
+			idx = rng.Intn(len(lits))
+		}
+		return lits[idx].XorCompl(rng.Intn(2) == 0)
+	}
+	add := func(l aig.Lit) {
+		if !l.IsConst() {
+			lits = append(lits, l)
+		}
+	}
+	for b.A.NumAnds() < p.Gates {
+		if p.Redundancy > 0 && rng.Float64() < p.Redundancy {
+			add(redundantCone(b, rng, lits))
+			continue
+		}
+		switch rng.Intn(6) {
+		case 0, 1:
+			add(b.A.And(pick(), pick()))
+		case 2:
+			add(b.A.Or(pick(), pick()))
+		case 3:
+			add(b.A.Xor(pick(), pick()))
+		case 4:
+			add(b.A.Mux(pick(), pick(), pick()))
+		default:
+			// Wide gate: a small decoder-style conjunction.
+			l := pick()
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				l = b.A.And(l, pick())
+			}
+			add(l)
+		}
+	}
+	for i := 0; i < p.POs; i++ {
+		b.A.AddPO(lits[len(lits)-1-rng.Intn(min(len(lits), 4*p.POs))])
+	}
+	return b.A
+}
+
+// redundantCone re-implements a random 3-input function of existing
+// literals in a deliberately non-optimal structure (sum-of-minterms), the
+// classic redundancy rewriting removes.
+func redundantCone(b *Builder, rng *rand.Rand, lits []aig.Lit) aig.Lit {
+	in := [3]aig.Lit{
+		lits[rng.Intn(len(lits))],
+		lits[rng.Intn(len(lits))],
+		lits[rng.Intn(len(lits))],
+	}
+	f := uint8(rng.Intn(255) + 1)
+	out := aig.LitFalse
+	for m := 0; m < 8; m++ {
+		if f>>uint(m)&1 == 0 {
+			continue
+		}
+		term := aig.LitTrue
+		for v := 0; v < 3; v++ {
+			term = b.A.And(term, in[v].XorCompl(m>>uint(v)&1 == 0))
+		}
+		out = b.A.Or(out, term)
+	}
+	return out
+}
+
+// MemCtrl generates the mem_ctrl-style benchmark: wide, shallow,
+// share-heavy control logic.
+func MemCtrl(gates int, seed int64) *aig.AIG {
+	a := Control(ControlParams{
+		PIs:        max(64, gates/40),
+		Gates:      gates,
+		POs:        max(64, gates/40),
+		Seed:       seed,
+		Locality:   0.3,
+		Redundancy: 0.15,
+	})
+	a.Name = fmt.Sprintf("mem_ctrl_%d", gates)
+	return a
+}
+
+// MtM generates an "MtM" (more-than-a-million-gates style) circuit: very
+// few PIs and POs, great depth, and synthesis-artifact redundancy — the
+// profile of the EPFL sixteen/twenty/twentythree designs (117-153 PIs,
+// 50-68 POs, 16-23 M gates, 140-176 levels). Size is a parameter so the
+// suite scales to the machine.
+func MtM(name string, gates int, seed int64) *aig.AIG {
+	pis := 117 + int(seed%40)
+	a := Control(ControlParams{
+		PIs:        pis,
+		Gates:      gates,
+		POs:        50 + int(seed%18),
+		Seed:       seed,
+		Locality:   0.92,
+		Redundancy: 0.25,
+	})
+	a.Name = name
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,331 @@
+// Package bigtt implements truth tables over up to 16 variables, the
+// function domain of large-cone refactoring (the tt package's Func16
+// covers only the 4-variable cut space of rewriting).
+//
+// A table stores 2^n function bits in 64-bit words. Variables below 6
+// live inside each word as repeating bit patterns; variables 6 and above
+// select word blocks.
+package bigtt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxVars bounds the supported variable count.
+const MaxVars = 16
+
+// TT is a truth table over a fixed number of variables.
+type TT struct {
+	nvars int
+	words []uint64
+}
+
+// wordPatterns are the in-word masks of variables 0..5.
+var wordPatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+func numWords(nvars int) int {
+	if nvars <= 6 {
+		return 1
+	}
+	return 1 << (nvars - 6)
+}
+
+// New returns the constant-false table over nvars variables.
+func New(nvars int) TT {
+	if nvars < 0 || nvars > MaxVars {
+		panic(fmt.Sprintf("bigtt: %d variables unsupported", nvars))
+	}
+	return TT{nvars: nvars, words: make([]uint64, numWords(nvars))}
+}
+
+// Const returns a constant table.
+func Const(nvars int, v bool) TT {
+	t := New(nvars)
+	if v {
+		for i := range t.words {
+			t.words[i] = ^uint64(0)
+		}
+		t.maskTop()
+	}
+	return t
+}
+
+// Var returns the table of variable v.
+func Var(nvars, v int) TT {
+	t := New(nvars)
+	if v < 0 || v >= nvars {
+		panic(fmt.Sprintf("bigtt: variable %d of %d", v, nvars))
+	}
+	if v < 6 {
+		for i := range t.words {
+			t.words[i] = wordPatterns[v]
+		}
+	} else {
+		block := 1 << (v - 6)
+		for i := range t.words {
+			if i/block%2 == 1 {
+				t.words[i] = ^uint64(0)
+			}
+		}
+	}
+	t.maskTop()
+	return t
+}
+
+// maskTop clears the unused bits of a sub-word table.
+func (t *TT) maskTop() {
+	if t.nvars < 6 {
+		t.words[0] &= 1<<(1<<t.nvars) - 1
+	}
+}
+
+// NumVars returns the variable count.
+func (t TT) NumVars() int { return t.nvars }
+
+func (t TT) check(u TT) {
+	if t.nvars != u.nvars {
+		panic("bigtt: mixed variable counts")
+	}
+}
+
+// And returns t & u.
+func (t TT) And(u TT) TT {
+	t.check(u)
+	out := New(t.nvars)
+	for i := range out.words {
+		out.words[i] = t.words[i] & u.words[i]
+	}
+	return out
+}
+
+// Or returns t | u.
+func (t TT) Or(u TT) TT {
+	t.check(u)
+	out := New(t.nvars)
+	for i := range out.words {
+		out.words[i] = t.words[i] | u.words[i]
+	}
+	return out
+}
+
+// Xor returns t ^ u.
+func (t TT) Xor(u TT) TT {
+	t.check(u)
+	out := New(t.nvars)
+	for i := range out.words {
+		out.words[i] = t.words[i] ^ u.words[i]
+	}
+	return out
+}
+
+// Not returns the complement.
+func (t TT) Not() TT {
+	out := New(t.nvars)
+	for i := range out.words {
+		out.words[i] = ^t.words[i]
+	}
+	out.maskTop()
+	return out
+}
+
+// AndNot returns t &^ u.
+func (t TT) AndNot(u TT) TT {
+	t.check(u)
+	out := New(t.nvars)
+	for i := range out.words {
+		out.words[i] = t.words[i] &^ u.words[i]
+	}
+	return out
+}
+
+// Equal reports table equality.
+func (t TT) Equal(u TT) bool {
+	t.check(u)
+	for i := range t.words {
+		if t.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst0 reports whether t is constant false.
+func (t TT) IsConst0() bool {
+	for _, w := range t.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst1 reports whether t is constant true.
+func (t TT) IsConst1() bool { return t.Not().IsConst0() }
+
+// Ones counts satisfying assignments.
+func (t TT) Ones() int {
+	n := 0
+	for _, w := range t.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Eval returns the function bit for the assignment in row.
+func (t TT) Eval(row uint) bool {
+	return t.words[row>>6]>>(row&63)&1 == 1
+}
+
+// Cofactor returns the cofactor with respect to variable v at the given
+// phase, expanded over the full domain (independent of v).
+func (t TT) Cofactor(v int, phase bool) TT {
+	out := New(t.nvars)
+	if v < 6 {
+		m := wordPatterns[v]
+		sh := uint(1) << v
+		for i, w := range t.words {
+			if phase {
+				hi := w & m
+				out.words[i] = hi | hi>>sh
+			} else {
+				lo := w &^ m
+				out.words[i] = lo | lo<<sh
+			}
+		}
+	} else {
+		block := 1 << (v - 6)
+		for i := range t.words {
+			src := i
+			if phase {
+				src |= block
+			} else {
+				src &^= block
+			}
+			out.words[i] = t.words[src]
+		}
+	}
+	out.maskTop()
+	return out
+}
+
+// DependsOn reports whether t depends on variable v.
+func (t TT) DependsOn(v int) bool {
+	return !t.Cofactor(v, false).Equal(t.Cofactor(v, true))
+}
+
+// SupportSize counts the variables t depends on.
+func (t TT) SupportSize() int {
+	n := 0
+	for v := 0; v < t.nvars; v++ {
+		if t.DependsOn(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy.
+func (t TT) Clone() TT {
+	out := New(t.nvars)
+	copy(out.words, t.words)
+	return out
+}
+
+// String renders the table as hex words (most significant first).
+func (t TT) String() string {
+	s := ""
+	for i := len(t.words) - 1; i >= 0; i-- {
+		s += fmt.Sprintf("%016x", t.words[i])
+	}
+	return "0x" + s
+}
+
+// Cube is a product term: Lits is the mask of participating variables,
+// Phase their polarities (bit set = positive).
+type Cube struct {
+	Lits  uint32
+	Phase uint32
+}
+
+// NumLits counts the literals.
+func (c Cube) NumLits() int { return bits.OnesCount32(c.Lits) }
+
+// Table expands the cube over nvars variables.
+func (c Cube) Table(nvars int) TT {
+	t := Const(nvars, true)
+	for v := 0; v < nvars; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		lit := Var(nvars, v)
+		if c.Phase>>uint(v)&1 == 0 {
+			lit = lit.Not()
+		}
+		t = t.And(lit)
+	}
+	return t
+}
+
+// ISOP computes an irredundant sum-of-products cover of some g with
+// on ⊆ g ⊆ on|dc (Minato–Morreale), returning the cover and its table.
+func ISOP(on, dc TT) ([]Cube, TT) {
+	on.check(dc)
+	return isop(on, on.Or(dc), on.nvars)
+}
+
+func isop(lower, upper TT, nv int) ([]Cube, TT) {
+	if lower.IsConst0() {
+		return nil, New(lower.nvars)
+	}
+	if upper.IsConst1() {
+		return []Cube{{}}, Const(lower.nvars, true)
+	}
+	v := nv - 1
+	for v >= 0 && !lower.DependsOn(v) && !upper.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		return []Cube{{}}, Const(lower.nvars, true)
+	}
+	l0, l1 := lower.Cofactor(v, false), lower.Cofactor(v, true)
+	u0, u1 := upper.Cofactor(v, false), upper.Cofactor(v, true)
+
+	cs0, t0 := isop(l0.AndNot(u1), u0, v)
+	cs1, t1 := isop(l1.AndNot(u0), u1, v)
+	lnew := l0.AndNot(t0).Or(l1.AndNot(t1))
+	cs2, t2 := isop(lnew, u0.And(u1), v)
+
+	var out []Cube
+	table := t2
+	nvar := Var(lower.nvars, v)
+	for _, c := range cs0 {
+		c.Lits |= 1 << uint(v)
+		out = append(out, c)
+		table = table.Or(c.Table(lower.nvars).And(nvar.Not()))
+	}
+	for _, c := range cs1 {
+		c.Lits |= 1 << uint(v)
+		c.Phase |= 1 << uint(v)
+		out = append(out, c)
+		table = table.Or(c.Table(lower.nvars).And(nvar))
+	}
+	out = append(out, cs2...)
+	return out, table
+}
+
+// CoverTable returns the union table of a cover.
+func CoverTable(nvars int, cover []Cube) TT {
+	t := New(nvars)
+	for _, c := range cover {
+		t = t.Or(c.Table(nvars))
+	}
+	return t
+}

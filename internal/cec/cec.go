@@ -1,0 +1,234 @@
+// Package cec implements combinational equivalence checking, the
+// verification step the paper applies to every rewritten circuit ("the
+// rewritten circuits all passed the equivalence check").
+//
+// Two networks are compared by building a miter — one AIG with shared
+// primary inputs whose outputs are the XORs of the corresponding output
+// pairs — which structural hashing already collapses wherever the two
+// circuits agree structurally. Random 64-bit-parallel simulation screens
+// for cheap counterexamples; each remaining miter output is then proved
+// constant false with the CDCL SAT solver via Tseitin encoding.
+package cec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/sat"
+)
+
+// Options configure a check.
+type Options struct {
+	// SimRounds is the number of random 64-pattern simulation rounds used
+	// to screen for counterexamples before SAT (0: 16 rounds).
+	SimRounds int
+	// SimOnly skips the SAT proof: the result is then only
+	// probabilistically sound for equivalence (inequivalence is always
+	// proved by the counterexample). Used for very large circuits.
+	SimOnly bool
+	// NoSweep disables SAT sweeping (fraiging) of the miter before the
+	// output proofs. Sweeping is what keeps arithmetic miters tractable;
+	// the switch exists for tests and ablation.
+	NoSweep bool
+	// OutputBudget bounds the SAT conflicts spent per output proof
+	// (0: 200000). On exhaustion the check degrades to simulation-only
+	// confidence for that output (Proved=false) instead of hanging.
+	OutputBudget int64
+	// Seed for the simulation patterns.
+	Seed int64
+}
+
+// Result reports a check.
+type Result struct {
+	Equivalent bool
+	// FailingOutput is the index of a differing output (-1 when
+	// equivalent).
+	FailingOutput int
+	// Counterexample, for inequivalent networks, is a PI assignment (one
+	// value per primary input, in PI order) on which FailingOutput
+	// differs.
+	Counterexample []bool
+	// Proved is true when equivalence was established by SAT on every
+	// output; false means simulation-only confidence.
+	Proved bool
+	// SATConflicts aggregates solver effort.
+	SATConflicts int64
+}
+
+// Check verifies that a and b compute identical functions. The networks
+// must agree in PI and PO counts (PIs correspond by creation order).
+func Check(a, b *aig.AIG, opts Options) (Result, error) {
+	if a.NumPIs() != b.NumPIs() {
+		return Result{}, fmt.Errorf("cec: PI count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
+	}
+	if a.NumPOs() != b.NumPOs() {
+		return Result{}, fmt.Errorf("cec: PO count mismatch: %d vs %d", a.NumPOs(), b.NumPOs())
+	}
+	m := Miter(a, b)
+
+	// Simulation screening.
+	rounds := opts.SimRounds
+	if rounds <= 0 {
+		rounds = 16
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 0x5EED))
+	sim := aig.NewSimulator(m)
+	pi := make([]uint64, m.NumPIs())
+	for r := 0; r < rounds; r++ {
+		for i := range pi {
+			pi[i] = rng.Uint64()
+		}
+		out := sim.Run(pi)
+		for k, w := range out {
+			if w != 0 {
+				bit := uint(0)
+				for w>>bit&1 == 0 {
+					bit++
+				}
+				cex := make([]bool, len(pi))
+				for i := range pi {
+					cex[i] = pi[i]>>bit&1 == 1
+				}
+				return Result{Equivalent: false, FailingOutput: k, Counterexample: cex, Proved: true}, nil
+			}
+		}
+	}
+	if opts.SimOnly {
+		return Result{Equivalent: true, FailingOutput: -1, Proved: false}, nil
+	}
+
+	// SAT sweeping merges internally equivalent cones of the two sides,
+	// then each remaining miter output is proved constant false.
+	enc := newEncoder(m)
+	if !opts.NoSweep {
+		sweep(m, enc, rng)
+	}
+	budget := opts.OutputBudget
+	if budget <= 0 {
+		budget = 200_000
+	}
+	res := Result{Equivalent: true, FailingOutput: -1, Proved: true}
+	for k := range m.POs() {
+		po := m.PO(k)
+		if po == aig.LitFalse {
+			continue // structurally identical cones merged in the miter
+		}
+		if po == aig.LitTrue {
+			return Result{Equivalent: false, FailingOutput: k, Proved: true}, nil
+		}
+		lit := enc.lit(po)
+		sat, decided := enc.s.SolveLimited(budget, lit)
+		switch {
+		case !decided:
+			// Budget exhausted: simulation said equivalent, SAT could not
+			// finish the proof — degrade honestly.
+			res.Proved = false
+		case sat:
+			res.Equivalent = false
+			res.FailingOutput = k
+			res.Counterexample = enc.model(m)
+			res.SATConflicts = enc.s.Conflicts
+			return res, nil
+		}
+		if !enc.s.Okay() {
+			// Root-level conflict: the miter output is constant false.
+			// Recreate the solver to keep checking further outputs.
+			res.SATConflicts += enc.s.Conflicts
+			enc = newEncoder(m)
+		}
+	}
+	res.SATConflicts += enc.s.Conflicts
+	return res, nil
+}
+
+// Miter builds the XOR miter of two networks over shared primary inputs.
+func Miter(a, b *aig.AIG) *aig.AIG {
+	m := aig.New(aig.Options{CapacityHint: a.NumAnds() + b.NumAnds() + 1})
+	m.Name = "miter"
+	pis := make([]aig.Lit, a.NumPIs())
+	for i := range pis {
+		pis[i] = m.AddPI()
+	}
+	am := copyInto(m, a, pis)
+	bm := copyInto(m, b, pis)
+	for k := range a.POs() {
+		m.AddPO(m.Xor(am[k], bm[k]))
+	}
+	return m
+}
+
+// copyInto clones src's logic into dst over the given PI literals and
+// returns the mapped PO literals.
+func copyInto(dst, src *aig.AIG, pis []aig.Lit) []aig.Lit {
+	mp := make([]aig.Lit, src.Capacity())
+	mp[0] = aig.LitFalse
+	for i, pi := range src.PIs() {
+		mp[pi] = pis[i]
+	}
+	for _, id := range src.TopoOrder(nil) {
+		n := src.N(id)
+		if n.IsAnd() {
+			f0 := mp[n.Fanin0().Node()].XorCompl(n.Fanin0().Compl())
+			f1 := mp[n.Fanin1().Node()].XorCompl(n.Fanin1().Compl())
+			mp[id] = dst.And(f0, f1)
+		}
+	}
+	out := make([]aig.Lit, src.NumPOs())
+	for k, po := range src.POs() {
+		out[k] = mp[po.Node()].XorCompl(po.Compl())
+	}
+	return out
+}
+
+// encoder Tseitin-encodes an AIG into a SAT solver lazily per cone.
+type encoder struct {
+	s    *sat.Solver
+	a    *aig.AIG
+	vars []int // node -> solver var + 1 (0 = unencoded)
+}
+
+func newEncoder(a *aig.AIG) *encoder {
+	return &encoder{s: sat.New(), a: a, vars: make([]int, a.Capacity())}
+}
+
+// lit returns the solver literal for an AIG literal, encoding the cone on
+// demand.
+func (e *encoder) lit(l aig.Lit) sat.Lit {
+	v := e.variable(l.Node())
+	return sat.MkLit(v, l.Compl())
+}
+
+// model extracts the PI assignment of a satisfying solver model;
+// unconstrained (unencoded) inputs default to false.
+func (e *encoder) model(m *aig.AIG) []bool {
+	cex := make([]bool, m.NumPIs())
+	for i, pi := range m.PIs() {
+		if e.vars[pi] != 0 {
+			cex[i] = e.s.Value(e.vars[pi] - 1)
+		}
+	}
+	return cex
+}
+
+func (e *encoder) variable(id int32) int {
+	if e.vars[id] != 0 {
+		return e.vars[id] - 1
+	}
+	v := e.s.NewVar()
+	e.vars[id] = v + 1
+	n := e.a.N(id)
+	switch n.Kind() {
+	case aig.KindConst:
+		e.s.AddClause(sat.MkLit(v, true)) // constant false
+	case aig.KindAnd:
+		f0 := e.lit(n.Fanin0())
+		f1 := e.lit(n.Fanin1())
+		c := sat.MkLit(v, false)
+		// v <-> f0 & f1
+		e.s.AddClause(c.Not(), f0)
+		e.s.AddClause(c.Not(), f1)
+		e.s.AddClause(f0.Not(), f1.Not(), c)
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"dacpara/internal/aig"
+)
+
+func randomAIG(rng *rand.Rand, pis, gates, pos int) *aig.AIG {
+	a := aig.New()
+	lits := make([]aig.Lit, 0, pis+gates)
+	for i := 0; i < pis; i++ {
+		lits = append(lits, a.AddPI())
+	}
+	for a.NumAnds() < gates {
+		x := lits[rng.Intn(len(lits))].XorCompl(rng.Intn(2) == 0)
+		y := lits[rng.Intn(len(lits))].XorCompl(rng.Intn(2) == 0)
+		var l aig.Lit
+		if rng.Intn(2) == 0 {
+			l = a.And(x, y)
+		} else {
+			l = a.Xor(x, y)
+		}
+		if !l.IsConst() {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < pos; i++ {
+		a.AddPO(lits[len(lits)-1-i].XorCompl(rng.Intn(2) == 0))
+	}
+	return a
+}
+
+func TestCloneIsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomAIG(rng, 8, 200, 5)
+	res, err := Check(a, a.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Proved {
+		t.Fatalf("clone not proved equivalent: %+v", res)
+	}
+}
+
+func TestRestructuredEquivalence(t *testing.T) {
+	// Two structurally different implementations of the same functions:
+	// f = a&(b&c) vs (a&b)&c; g = XOR via mux vs XOR via gates.
+	a1 := aig.New()
+	x, y, z := a1.AddPI(), a1.AddPI(), a1.AddPI()
+	a1.AddPO(a1.And(x, a1.And(y, z)))
+	a1.AddPO(a1.Xor(x, y))
+
+	a2 := aig.New()
+	x2, y2, z2 := a2.AddPI(), a2.AddPI(), a2.AddPI()
+	a2.AddPO(a2.And(a2.And(x2, y2), z2))
+	a2.AddPO(a2.Mux(x2, y2.Not(), y2))
+
+	res, err := Check(a1, a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.Proved {
+		t.Fatalf("restructured circuits not proved equivalent: %+v", res)
+	}
+}
+
+func TestDetectsInequivalence(t *testing.T) {
+	a1 := aig.New()
+	x, y := a1.AddPI(), a1.AddPI()
+	a1.AddPO(a1.And(x, y))
+
+	a2 := aig.New()
+	x2, y2 := a2.AddPI(), a2.AddPI()
+	a2.AddPO(a2.Or(x2, y2))
+
+	res, err := Check(a1, a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("AND vs OR reported equivalent")
+	}
+	if res.FailingOutput != 0 {
+		t.Fatalf("failing output %d", res.FailingOutput)
+	}
+}
+
+func TestDetectsSubtleInequivalence(t *testing.T) {
+	// Differ in exactly one minterm — simulation will usually catch it,
+	// SAT must always.
+	rng := rand.New(rand.NewSource(6))
+	a1 := randomAIG(rng, 6, 80, 3)
+	a2 := a1.Clone()
+	// Mutate one PO: XOR with a minterm of the inputs.
+	minterm := aig.LitTrue
+	for _, pi := range a2.PIs() {
+		minterm = a2.And(minterm, aig.MakeLit(pi, pi%2 == 0))
+	}
+	po := a2.PO(0)
+	mutated := a2.Xor(po, minterm)
+	a2.ReplacePO(0, mutated)
+	res, err := Check(a1, a2, Options{SimRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("single-minterm difference missed")
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a1 := aig.New()
+	a1.AddPI()
+	a1.AddPO(aig.LitTrue)
+	a2 := aig.New()
+	a2.AddPI()
+	a2.AddPI()
+	a2.AddPO(aig.LitTrue)
+	if _, err := Check(a1, a2, Options{}); err == nil {
+		t.Fatal("PI mismatch accepted")
+	}
+	a3 := aig.New()
+	a3.AddPI()
+	if _, err := Check(a1, a3, Options{}); err == nil {
+		t.Fatal("PO mismatch accepted")
+	}
+}
+
+func TestSimOnlyMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomAIG(rng, 10, 500, 8)
+	res, err := Check(a, a.Clone(), Options{SimOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Proved {
+		t.Fatalf("sim-only result wrong: %+v", res)
+	}
+}
+
+func TestMiterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomAIG(rng, 5, 60, 4)
+	m := Miter(a, a.Clone())
+	if m.NumPIs() != a.NumPIs() || m.NumPOs() != a.NumPOs() {
+		t.Fatalf("miter interface: %v", m.Stats())
+	}
+	// A self-miter collapses structurally: every output is constant
+	// false thanks to shared structural hashing.
+	for k := range m.POs() {
+		if m.PO(k) != aig.LitFalse {
+			t.Fatalf("self-miter output %d is %v, want const0", k, m.PO(k))
+		}
+	}
+}
+
+func TestConstantOutputs(t *testing.T) {
+	a1 := aig.New()
+	a1.AddPI()
+	a1.AddPO(aig.LitTrue)
+	a2 := aig.New()
+	x := a2.AddPI()
+	a2.AddPO(a2.Or(x, x.Not())) // tautology, simplifies to const1
+	res, err := Check(a1, a2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("tautologies not equivalent")
+	}
+}
+
+func TestCounterexampleIsReal(t *testing.T) {
+	// Build two circuits differing on exactly one known assignment and
+	// verify the returned counterexample actually distinguishes them.
+	mk := func(extra bool) *aig.AIG {
+		a := aig.New()
+		x, y, z := a.AddPI(), a.AddPI(), a.AddPI()
+		f := a.And(a.And(x, y), z)
+		if extra {
+			// differ only on x=1,y=0,z=1
+			m := a.And(a.And(x, y.Not()), z)
+			f = a.Or(f, m)
+		}
+		a.AddPO(f)
+		return a
+	}
+	a1, a2 := mk(false), mk(true)
+	res, err := Check(a1, a2, Options{SimRounds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("differing circuits reported equivalent")
+	}
+	if len(res.Counterexample) != 3 {
+		t.Fatalf("counterexample %v", res.Counterexample)
+	}
+	eval := func(a *aig.AIG, in []bool) bool {
+		pi := make([]uint64, len(in))
+		for i, b := range in {
+			if b {
+				pi[i] = 1
+			}
+		}
+		return aig.NewSimulator(a).Run(pi)[0]&1 == 1
+	}
+	if eval(a1, res.Counterexample) == eval(a2, res.Counterexample) {
+		t.Fatalf("counterexample %v does not distinguish the circuits", res.Counterexample)
+	}
+}
+
+func TestSATCounterexample(t *testing.T) {
+	// Circuits that differ on exactly one assignment among 2^24:
+	// one simulation round is overwhelmingly likely to miss it, so the
+	// counterexample must come from the SAT model.
+	const n = 24
+	a1 := aig.New()
+	a2 := aig.New()
+	var l2 []aig.Lit
+	for i := 0; i < n; i++ {
+		a1.AddPI()
+		l2 = append(l2, a2.AddPI())
+	}
+	a1.AddPO(aig.LitFalse)
+	// a2 outputs the single minterm "all ones": sim with 1 round has a
+	// 64/2^24 chance to catch it; SAT always does.
+	m2 := aig.LitTrue
+	for _, l := range l2 {
+		m2 = a2.And(m2, l)
+	}
+	a2.AddPO(m2)
+	res, err := Check(a1, a2, Options{SimRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("single-minterm circuit reported equivalent to constant false")
+	}
+	for i, b := range res.Counterexample {
+		if !b {
+			t.Fatalf("counterexample bit %d is false; the only difference is all-ones (%v)",
+				i, res.Counterexample)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package cec
+
+import (
+	"math/rand"
+
+	"dacpara/internal/aig"
+)
+
+// FraigOptions tune functional reduction.
+type FraigOptions struct {
+	// SimWords is the number of 64-pattern simulation rounds used to form
+	// candidate equivalence classes (0: 4).
+	SimWords int
+	// PairBudget bounds the SAT conflicts per candidate pair (0: 1000).
+	PairBudget int64
+	// Seed drives the simulation patterns.
+	Seed int64
+}
+
+// FraigResult reports a functional-reduction pass.
+type FraigResult struct {
+	InitialAnds, FinalAnds int
+	// Merged counts the SAT-proved equivalent nodes folded together.
+	Merged int
+}
+
+// Fraig performs functional reduction in place: simulation groups nodes
+// into candidate equivalence classes and budgeted SAT calls prove and
+// merge them (ABC's `fraig`). Rewriting is structural and local; fraiging
+// catches functionally equivalent cones rewriting cannot see, and flows
+// commonly run it between optimization passes.
+func Fraig(a *aig.AIG, opts FraigOptions) FraigResult {
+	res := FraigResult{InitialAnds: a.NumAnds()}
+	s := &sweeper{
+		m:          a,
+		enc:        newEncoder(a),
+		words:      opts.SimWords,
+		pairBudget: opts.PairBudget,
+	}
+	if s.words <= 0 {
+		s.words = 4
+	}
+	if s.pairBudget <= 0 {
+		s.pairBudget = defaultPairBudget
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 0xF4A16))
+	s.simulate(rng)
+
+	classes := make(map[uint64][]aig.Lit)
+	for _, id := range a.TopoOrder(nil) {
+		if !a.N(id).IsAnd() {
+			continue
+		}
+		sig, compl := s.normSig(id)
+		if sig == nil {
+			continue
+		}
+		key := hashSig(sig)
+		members := classes[key]
+		merged := false
+		for _, repr := range members {
+			rid := repr.Node()
+			if rid == id || a.N(rid).IsDead() {
+				continue
+			}
+			rsig, _ := s.normSig(rid)
+			if rsig == nil || !equalSig(rsig, sig) {
+				continue
+			}
+			target := repr.XorCompl(compl)
+			if target.Node() == id {
+				continue
+			}
+			if s.proveEqual(id, target) {
+				a.Replace(id, target, aig.ReplaceOptions{CascadeMerge: true})
+				res.Merged++
+				merged = true
+				break
+			}
+		}
+		if !merged && len(members) < 4 {
+			classes[key] = append(members, aig.MakeLit(id, compl))
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	return res
+}

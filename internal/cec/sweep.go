@@ -1,0 +1,167 @@
+package cec
+
+import (
+	"math/rand"
+
+	"dacpara/internal/aig"
+)
+
+// sweeper performs SAT sweeping (fraiging) on a miter: simulation groups
+// internal nodes into candidate-equivalence classes, and budgeted SAT
+// calls prove and merge them bottom-up, so the two sides of the miter
+// collapse onto each other long before the output proofs run. This is
+// what makes arithmetic miters (dividers, multipliers) tractable for the
+// equivalence checker.
+type sweeper struct {
+	m   *aig.AIG
+	enc *encoder
+
+	words      int
+	sig        [][]uint64
+	pairBudget int64
+}
+
+const defaultPairBudget = 1000
+
+// sweep merges SAT-proved equivalent internal nodes of m in place.
+func sweep(m *aig.AIG, enc *encoder, rng *rand.Rand) {
+	s := &sweeper{m: m, enc: enc, words: 4, pairBudget: defaultPairBudget}
+	s.simulate(rng)
+
+	// classes maps a normalized signature hash to up to a few member
+	// literals whose function carries that signature.
+	classes := make(map[uint64][]aig.Lit)
+	for _, id := range m.TopoOrder(nil) {
+		if !m.N(id).IsAnd() {
+			continue
+		}
+		sig, compl := s.normSig(id)
+		if sig == nil {
+			continue
+		}
+		key := hashSig(sig)
+		members := classes[key]
+		merged := false
+		for _, repr := range members {
+			rid := repr.Node()
+			if rid == id || m.N(rid).IsDead() {
+				continue
+			}
+			rsig, rcompl := s.normSig(rid)
+			if rsig == nil || !equalSig(rsig, sig) {
+				continue
+			}
+			// The stored member literal must be re-derived: repr's phase
+			// was fixed when it was inserted and normSig is stable, so
+			// repr.Compl() == rcompl; keep the assertion cheap.
+			_ = rcompl
+			target := repr.XorCompl(compl)
+			if target.Node() == id {
+				continue
+			}
+			if s.proveEqual(id, target) {
+				m.Replace(id, target, aig.ReplaceOptions{CascadeMerge: true})
+				merged = true
+				break
+			}
+		}
+		if !merged && len(members) < 4 {
+			classes[key] = append(members, aig.MakeLit(id, compl))
+		}
+	}
+}
+
+// simulate fills the signature table with random-pattern simulation.
+func (s *sweeper) simulate(rng *rand.Rand) {
+	m := s.m
+	s.sig = make([][]uint64, m.Capacity())
+	for w := 0; w < s.words; w++ {
+		pi := make([]uint64, m.NumPIs())
+		for i := range pi {
+			pi[i] = rng.Uint64()
+		}
+		vals := nodeValues(m, pi)
+		for id := int32(0); id < m.Capacity(); id++ {
+			if s.sig[id] == nil {
+				s.sig[id] = make([]uint64, s.words)
+			}
+			s.sig[id][w] = vals[id]
+		}
+	}
+}
+
+// nodeValues simulates one 64-pattern round and returns every node value.
+func nodeValues(m *aig.AIG, pi []uint64) []uint64 {
+	vals := make([]uint64, m.Capacity())
+	for i, p := range m.PIs() {
+		vals[p] = pi[i]
+	}
+	for _, id := range m.TopoOrder(nil) {
+		n := m.N(id)
+		if !n.IsAnd() {
+			continue
+		}
+		v0 := vals[n.Fanin0().Node()]
+		if n.Fanin0().Compl() {
+			v0 = ^v0
+		}
+		v1 := vals[n.Fanin1().Node()]
+		if n.Fanin1().Compl() {
+			v1 = ^v1
+		}
+		vals[id] = v0 & v1
+	}
+	return vals
+}
+
+// normSig returns the node's signature normalized so its first bit is 0,
+// plus the complementation applied, so a node and its complement land in
+// the same class.
+func (s *sweeper) normSig(id int32) ([]uint64, bool) {
+	if int(id) >= len(s.sig) || s.sig[id] == nil {
+		return nil, false
+	}
+	sig := s.sig[id]
+	if sig[0]&1 == 1 {
+		out := make([]uint64, len(sig))
+		for i, w := range sig {
+			out[i] = ^w
+		}
+		return out, true
+	}
+	return sig, false
+}
+
+func hashSig(sig []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range sig {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalSig(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// proveEqual establishes id == target by two budgeted UNSAT calls.
+func (s *sweeper) proveEqual(id int32, target aig.Lit) bool {
+	a := s.enc.lit(aig.MakeLit(id, false))
+	b := s.enc.lit(target)
+	if sat, decided := s.enc.s.SolveLimited(s.pairBudget, a, b.Not()); !decided || sat {
+		return false
+	}
+	if sat, decided := s.enc.s.SolveLimited(s.pairBudget, a.Not(), b); !decided || sat {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/core"
+	"dacpara/internal/lockpar"
+	"dacpara/internal/npn"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/rewrite"
+	"dacpara/internal/staticpar"
+)
+
+func randomAIG(t testing.TB, rng *rand.Rand, pis, gates, pos int) *aig.AIG {
+	t.Helper()
+	a := aig.New()
+	lits := make([]aig.Lit, 0, pis+gates)
+	for i := 0; i < pis; i++ {
+		lits = append(lits, a.AddPI())
+	}
+	for len(lits) < pis+gates {
+		x := lits[rng.Intn(len(lits))].XorCompl(rng.Intn(2) == 0)
+		y := lits[rng.Intn(len(lits))].XorCompl(rng.Intn(2) == 0)
+		var l aig.Lit
+		switch rng.Intn(4) {
+		case 0:
+			l = a.And(x, y)
+		case 1:
+			l = a.Or(x, y)
+		case 2:
+			l = a.Xor(x, y)
+		default:
+			l = a.Mux(x, y, lits[rng.Intn(len(lits))])
+		}
+		if !l.IsConst() {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < pos; i++ {
+		a.AddPO(lits[len(lits)-1-i%len(lits)].XorCompl(rng.Intn(2) == 0))
+	}
+	return a
+}
+
+func lib(t testing.TB) *rewlib.Library {
+	t.Helper()
+	l, err := rewlib.Build(npn.Shared(), rewlib.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+type engine struct {
+	name string
+	run  func(*aig.AIG, *rewlib.Library, rewrite.Config) rewrite.Result
+}
+
+var engines = []engine{
+	{"dacpara", core.Rewrite},
+	{"lockpar", lockpar.Rewrite},
+	{"staticpar-dac22", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) rewrite.Result {
+		return staticpar.Rewrite(a, l, c, staticpar.DAC22)
+	}},
+	{"staticpar-tcad23", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) rewrite.Result {
+		return staticpar.Rewrite(a, l, c, staticpar.TCAD23)
+	}},
+}
+
+func TestParallelEnginesPreserveFunction(t *testing.T) {
+	l := lib(t)
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				a := randomAIG(t, rng, 10, 1500, 16)
+				before := aig.RandomSignature(a, rand.New(rand.NewSource(7)), 4)
+				initial := a.NumAnds()
+				res := eng.run(a, l, rewrite.Config{Workers: 8})
+				if err := a.Check(aig.CheckOptions{AllowDuplicates: true}); err != nil {
+					t.Fatalf("seed %d: invariants: %v", seed, err)
+				}
+				after := aig.RandomSignature(a, rand.New(rand.NewSource(7)), 4)
+				if !aig.EqualSignatures(before, after) {
+					t.Fatalf("seed %d: function changed", seed)
+				}
+				t.Logf("seed %d: %d -> %d ands (repl=%d stale=%d commits=%d aborts=%d)",
+					seed, initial, a.NumAnds(), res.Replacements, res.Stale, res.Commits, res.Aborts)
+			}
+		})
+	}
+}

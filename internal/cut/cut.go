@@ -1,0 +1,421 @@
+// Package cut implements k-feasible cut enumeration (k = 4) with truth
+// table computation — the first stage of DAG-aware rewriting.
+//
+// A cut of node n is a set of nodes ("leaves") covering every path from
+// the primary inputs to n. Cuts are enumerated bottom-up: the cut set of
+// an AND node is the pairwise merge of its fanins' cut sets plus the
+// trivial cut {n}. Each cut carries the Boolean function of n expressed
+// over its leaves, which the evaluation stage canonicalizes into an NPN
+// class.
+package cut
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/tt"
+)
+
+// K is the cut width used throughout: the paper's rewriting (like ABC's)
+// is 4-input cut rewriting.
+const K = 4
+
+// Cut is a set of at most K leaves together with the function of the root
+// node over those leaves. Leaves are sorted ascending; variable i of TT
+// corresponds to Leaves[i]. LeafVer records each leaf's incarnation
+// version at enumeration time: a cut is stale — and must not be trusted —
+// once any leaf's version has moved (the leaf was deleted, and possibly
+// its ID reused for new logic, the paper's Fig. 3 hazard).
+type Cut struct {
+	Leaves  [K]int32
+	LeafVer [K]uint32
+	Size    uint8
+	TT      tt.Func16
+	sig     uint64
+}
+
+// NewCut builds a cut from a sorted leaf slice and its function.
+func NewCut(leaves []int32, f tt.Func16) Cut {
+	var c Cut
+	c.Size = uint8(len(leaves))
+	copy(c.Leaves[:], leaves)
+	c.TT = f
+	for _, l := range leaves {
+		c.sig |= 1 << (uint(l) & 63)
+	}
+	return c
+}
+
+// Stamp records the current incarnation versions of the cut's leaves.
+func (c *Cut) Stamp(a *aig.AIG) {
+	for i := uint8(0); i < c.Size; i++ {
+		c.LeafVer[i] = a.N(c.Leaves[i]).Version()
+	}
+}
+
+// Fresh reports whether every leaf of the cut is still alive in the same
+// incarnation it had when the cut was enumerated. Only the atomic version
+// counters are read, so Fresh is safe as a lock-free pre-filter: a leaf's
+// version moves when it is deleted (and again if its ID is reused), so a
+// version match implies the leaf is the same live node.
+func (c *Cut) Fresh(a *aig.AIG) bool {
+	for i := uint8(0); i < c.Size; i++ {
+		if a.N(c.Leaves[i]).Version() != c.LeafVer[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafSlice returns the live leaves.
+func (c *Cut) LeafSlice() []int32 { return c.Leaves[:c.Size] }
+
+// Contains reports whether id is a leaf of the cut.
+func (c *Cut) Contains(id int32) bool {
+	if c.sig&(1<<(uint(id)&63)) == 0 {
+		return false
+	}
+	for i := uint8(0); i < c.Size; i++ {
+		if c.Leaves[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SameLeaves reports whether two cuts have identical leaf sets.
+func (c *Cut) SameLeaves(d *Cut) bool {
+	if c.Size != d.Size || c.sig != d.sig {
+		return false
+	}
+	for i := uint8(0); i < c.Size; i++ {
+		if c.Leaves[i] != d.Leaves[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether c's leaves are a subset of d's.
+func (c *Cut) dominates(d *Cut) bool {
+	if c.Size > d.Size || c.sig&^d.sig != 0 {
+		return false
+	}
+	for i := uint8(0); i < c.Size; i++ {
+		if !d.Contains(c.Leaves[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Params configure enumeration.
+type Params struct {
+	// MaxCuts bounds the number of cuts stored per node (the trivial cut
+	// is always kept and does not count). The paper's P1 configuration
+	// uses 8; 0 means DefaultMaxCuts.
+	MaxCuts int
+}
+
+// DefaultMaxCuts matches ABC's practical per-node cut budget.
+const DefaultMaxCuts = 54
+
+func (p Params) maxCuts() int {
+	if p.MaxCuts <= 0 {
+		return DefaultMaxCuts
+	}
+	return p.MaxCuts
+}
+
+const (
+	cutPageBits = 12
+	cutPageSize = 1 << cutPageBits
+	cutPageMask = cutPageSize - 1
+)
+
+// entry is a node's stored cut set, tagged with the incarnation of the
+// node it was computed for.
+type entry struct {
+	cuts []Cut
+	ver  uint32
+	ok   bool
+}
+
+type cutPage [cutPageSize]entry
+
+// Manager stores the cut sets of every node (the paper's "Cut Manager").
+// Entries live in an append-only paged store, so the table can grow while
+// other goroutines hold entry pointers; a given entry is only accessed by
+// the thread holding the corresponding node's lock (or by the single
+// thread of a serial engine).
+type Manager struct {
+	a      *aig.AIG
+	params Params
+
+	pages  atomic.Pointer[[]*cutPage]
+	growMu sync.Mutex
+}
+
+// NewManager creates a cut manager for the graph.
+func NewManager(a *aig.AIG, params Params) *Manager {
+	m := &Manager{a: a, params: params}
+	pages := make([]*cutPage, 0, 8)
+	m.pages.Store(&pages)
+	m.ensure(a.Capacity())
+	return m
+}
+
+func (m *Manager) ensure(n int32) {
+	for {
+		pages := *m.pages.Load()
+		if int32(len(pages))*cutPageSize > n {
+			return
+		}
+		m.growMu.Lock()
+		cur := *m.pages.Load()
+		if int32(len(cur))*cutPageSize > n {
+			m.growMu.Unlock()
+			continue
+		}
+		next := make([]*cutPage, len(cur), len(cur)*2+2)
+		copy(next, cur)
+		for int32(len(next))*cutPageSize <= n {
+			next = append(next, new(cutPage))
+		}
+		m.pages.Store(&next)
+		m.growMu.Unlock()
+	}
+}
+
+func (m *Manager) entry(id int32) *entry {
+	m.ensure(id)
+	pages := *m.pages.Load()
+	return &pages[id>>cutPageBits][id&cutPageMask]
+}
+
+// Cuts returns node id's stored cut set and whether a set computed for
+// the node's current incarnation exists. The first cut, when present, is
+// the trivial cut. Individual cuts may still be stale (Cut.Fresh).
+func (m *Manager) Cuts(id int32) ([]Cut, bool) {
+	e := m.entry(id)
+	if !e.ok || e.ver != m.a.N(id).Version() {
+		return nil, false
+	}
+	return e.cuts, true
+}
+
+// Clear drops the stored cuts of id.
+func (m *Manager) Clear(id int32) {
+	e := m.entry(id)
+	e.cuts = nil
+	e.ok = false
+}
+
+// trivial returns the unit cut of a node.
+func (m *Manager) trivial(id int32) Cut {
+	c := NewCut([]int32{id}, tt.Var0)
+	c.Stamp(m.a)
+	return c
+}
+
+// constCut is the empty cut of the constant node.
+func constCut() Cut { return NewCut(nil, tt.False) }
+
+// Visitor is called by Ensure for every node whose cut entry it reads or
+// writes, before the access. Parallel operators acquire the node's
+// exclusive lock here and return false on conflict, aborting enumeration.
+type Visitor func(id int32) bool
+
+// Ensure computes and stores the cut set of id if absent or stale,
+// recursively ensuring fanin cut sets first (the paper's Section 4.2:
+// enumeration "recursively acquires exclusive locks for the current node
+// and all its relevant nodes"). visit, when non-nil, is invoked for every
+// node touched; a false return aborts with ok=false.
+func (m *Manager) Ensure(id int32, visit Visitor) ([]Cut, bool) {
+	if visit != nil && !visit(id) {
+		return nil, false
+	}
+	n := m.a.N(id)
+	e := m.entry(id)
+	if e.ok && e.ver == n.Version() {
+		return e.cuts, true
+	}
+	var set []Cut
+	switch n.Kind() {
+	case aig.KindConst:
+		set = []Cut{constCut()}
+	case aig.KindPI:
+		set = []Cut{m.trivial(id)}
+	case aig.KindAnd:
+		f0, f1 := n.Fanin0(), n.Fanin1()
+		s0, ok := m.Ensure(f0.Node(), visit)
+		if !ok {
+			return nil, false
+		}
+		s1, ok := m.Ensure(f1.Node(), visit)
+		if !ok {
+			return nil, false
+		}
+		set = m.merge(id, f0, f1, s0, s1)
+	default:
+		// A dead node has no cuts; store an empty set for its current
+		// incarnation so callers see "enumerated, nothing usable".
+		set = []Cut{}
+	}
+	e.cuts = set
+	e.ver = n.Version()
+	e.ok = true
+	return set, true
+}
+
+// Refresh recomputes id's cut set on the latest graph even if a set for
+// the current incarnation exists — the paper's re-enumeration step when a
+// stored result is found outdated at replacement time. Fanin sets are
+// reused (Ensure semantics) with their stale cuts filtered out.
+func (m *Manager) Refresh(id int32, visit Visitor) ([]Cut, bool) {
+	if visit != nil && !visit(id) {
+		return nil, false
+	}
+	m.entry(id).ok = false
+	return m.Ensure(id, visit)
+}
+
+// merge computes the cut set of an AND node from its fanins' sets,
+// skipping stale fanin cuts (whose leaves were deleted or reused by
+// rewriting since they were enumerated).
+func (m *Manager) merge(id int32, f0, f1 aig.Lit, s0, s1 []Cut) []Cut {
+	maxCuts := m.params.maxCuts()
+	out := make([]Cut, 0, min(maxCuts+1, len(s0)*len(s1)+1))
+	out = append(out, m.trivial(id))
+	for i := range s0 {
+		if !s0[i].Fresh(m.a) {
+			continue
+		}
+		for j := range s1 {
+			if !s1[j].Fresh(m.a) {
+				continue
+			}
+			c, ok := mergeCuts(&s0[i], &s1[j], f0.Compl(), f1.Compl())
+			if !ok {
+				continue
+			}
+			c.Stamp(m.a)
+			if addCut(&out, c, maxCuts) && len(out) > maxCuts {
+				// Keep the budget: drop the widest non-trivial cut.
+				drop := 1
+				for k := 2; k < len(out); k++ {
+					if out[k].Size > out[drop].Size {
+						drop = k
+					}
+				}
+				out = append(out[:drop], out[drop+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+// addCut inserts c unless it is dominated; it removes cuts c dominates.
+// Index 0 (the trivial cut) is never considered for dominance.
+func addCut(out *[]Cut, c Cut, maxCuts int) bool {
+	s := *out
+	for k := 1; k < len(s); k++ {
+		if s[k].dominates(&c) {
+			return false
+		}
+	}
+	w := 1
+	for k := 1; k < len(s); k++ {
+		if !c.dominates(&s[k]) {
+			s[w] = s[k]
+			w++
+		}
+	}
+	s = append(s[:w], c)
+	*out = s
+	return true
+}
+
+// mergeCuts unions two fanin cuts into a cut of the AND node, computing
+// the conjunction of the (possibly complemented) fanin functions over the
+// union leaf set. It fails when the union exceeds K leaves.
+func mergeCuts(c0, c1 *Cut, n0, n1 bool) (Cut, bool) {
+	// Quick reject: the signature ORs bits (id mod 64), so distinct set
+	// bits never exceed the true union size; more than K bits set proves
+	// the union is infeasible.
+	if c0.Size+c1.Size > K && bits.OnesCount64(c0.sig|c1.sig) > K {
+		return Cut{}, false
+	}
+	var leaves [2 * K]int32
+	i, j, n := uint8(0), uint8(0), 0
+	for i < c0.Size && j < c1.Size {
+		a, b := c0.Leaves[i], c1.Leaves[j]
+		switch {
+		case a == b:
+			leaves[n] = a
+			i, j = i+1, j+1
+		case a < b:
+			leaves[n] = a
+			i++
+		default:
+			leaves[n] = b
+			j++
+		}
+		n++
+	}
+	for ; i < c0.Size; i++ {
+		leaves[n] = c0.Leaves[i]
+		n++
+	}
+	for ; j < c1.Size; j++ {
+		leaves[n] = c1.Leaves[j]
+		n++
+	}
+	if n > K {
+		return Cut{}, false
+	}
+	t0 := expand(c0.TT, c0.LeafSlice(), leaves[:n])
+	t1 := expand(c1.TT, c1.LeafSlice(), leaves[:n])
+	if n0 {
+		t0 = t0.Not()
+	}
+	if n1 {
+		t1 = t1.Not()
+	}
+	return NewCut(leaves[:n], t0.And(t1)), true
+}
+
+// expand re-expresses a function over oldLeaves in terms of the superset
+// newLeaves (both sorted ascending).
+func expand(f tt.Func16, oldLeaves, newLeaves []int32) tt.Func16 {
+	if len(oldLeaves) == len(newLeaves) {
+		return f
+	}
+	// position of each old leaf within the new leaf list
+	var pos [K]int
+	j := 0
+	for i, l := range oldLeaves {
+		for newLeaves[j] != l {
+			j++
+		}
+		pos[i] = j
+	}
+	var out tt.Func16
+	for row := uint(0); row < 16; row++ {
+		src := uint(0)
+		for i := range oldLeaves {
+			src |= (row >> uint(pos[i]) & 1) << uint(i)
+		}
+		out |= tt.Func16(uint16(f)>>src&1) << row
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

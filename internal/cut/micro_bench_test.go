@@ -1,0 +1,27 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEnumerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomAIG(rng, 16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(a, Params{})
+		a.ForEachAnd(func(id int32) { m.Ensure(id, nil) })
+	}
+	b.ReportMetric(float64(a.NumAnds()), "gates")
+}
+
+func BenchmarkEnumerateP1Budget(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomAIG(rng, 16, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(a, Params{MaxCuts: 8})
+		a.ForEachAnd(func(id int32) { m.Ensure(id, nil) })
+	}
+}

@@ -1,0 +1,177 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dacpara/internal/tt"
+)
+
+func TestNumClasses(t *testing.T) {
+	m := Shared()
+	if m.NumClasses() != 222 {
+		t.Fatalf("4-input functions form 222 NPN classes, got %d", m.NumClasses())
+	}
+	// Class sizes must add up to the whole function space.
+	total := 0
+	for _, c := range m.Classes() {
+		total += c.Size
+	}
+	if total != 65536 {
+		t.Fatalf("class sizes sum to %d, want 65536", total)
+	}
+}
+
+func TestCanonIsIdempotentAndInvariant(t *testing.T) {
+	m := Shared()
+	err := quick.Check(func(a uint16) bool {
+		f := tt.Func16(a)
+		c := m.Canon(f)
+		// The representative is itself canonical.
+		if m.Canon(c) != c {
+			return false
+		}
+		// The representative is the minimum of the class, so <= f.
+		return c <= f
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToCanonTransform(t *testing.T) {
+	m := Shared()
+	err := quick.Check(func(a uint16) bool {
+		f := tt.Func16(a)
+		tr := m.ToCanon(f)
+		return tr.Apply(f) == m.Canon(f)
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonInvariantUnderRandomTransforms(t *testing.T) {
+	m := Shared()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		f := tt.Func16(rng.Uint32())
+		tr := randomTransform(rng)
+		if m.Canon(tr.Apply(f)) != m.Canon(f) {
+			t.Fatalf("canonical form not invariant: f=%v tr=%+v", f, tr)
+		}
+		if m.ClassIndex(tr.Apply(f)) != m.ClassIndex(f) {
+			t.Fatal("class index not invariant")
+		}
+	}
+}
+
+func randomTransform(rng *rand.Rand) Transform {
+	var tr Transform
+	perm := rng.Perm(4)
+	for i, p := range perm {
+		tr.Perm[i] = uint8(p)
+	}
+	tr.Flip = uint8(rng.Intn(16))
+	tr.Neg = rng.Intn(2) == 1
+	return tr
+}
+
+func TestTransformGroupLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		a := randomTransform(rng)
+		b := randomTransform(rng)
+		f := tt.Func16(rng.Uint32())
+		// Composition law.
+		if Compose(b, a).Apply(f) != b.Apply(a.Apply(f)) {
+			t.Fatalf("compose law broken: a=%+v b=%+v", a, b)
+		}
+		// Inverse law.
+		if a.Inverse().Apply(a.Apply(f)) != f {
+			t.Fatalf("inverse law broken: a=%+v", a)
+		}
+		if a.Apply(a.Inverse().Apply(f)) != f {
+			t.Fatalf("inverse law (other side) broken: a=%+v", a)
+		}
+	}
+	// Identity behaves.
+	if Identity.Apply(tt.Var1) != tt.Var1 {
+		t.Fatal("identity transform changed a function")
+	}
+}
+
+func TestTransformSemantics(t *testing.T) {
+	// A pure permutation transform must agree with PermuteVars: with
+	// g = T(f) and y_i = x_{Perm[i]}, input i of f reads variable Perm[i].
+	tr := Transform{Perm: [4]uint8{1, 0, 2, 3}}
+	f := tt.Var0
+	if got := tr.Apply(f); got != tt.Var1 {
+		t.Fatalf("permuted Var0 = %v, want Var1", got)
+	}
+	// Input flips complement the variable feeding that input.
+	tr = Transform{Perm: [4]uint8{0, 1, 2, 3}, Flip: 1}
+	if got := tr.Apply(tt.Var0); got != tt.Var0.Not() {
+		t.Fatalf("flipped Var0 = %v", got)
+	}
+	// Output negation.
+	tr = Transform{Perm: [4]uint8{0, 1, 2, 3}, Neg: true}
+	if got := tr.Apply(tt.Var2); got != tt.Var2.Not() {
+		t.Fatalf("negated Var2 = %v", got)
+	}
+}
+
+func TestKnownClassMembers(t *testing.T) {
+	m := Shared()
+	// All single variables (and their complements) are NPN-equivalent.
+	cls := m.ClassIndex(tt.Var0)
+	for v := 1; v < 4; v++ {
+		if m.ClassIndex(tt.Var(v)) != cls {
+			t.Fatalf("Var%d not in Var0's class", v)
+		}
+		if m.ClassIndex(tt.Var(v).Not()) != cls {
+			t.Fatalf("!Var%d not in Var0's class", v)
+		}
+	}
+	// AND2 and OR2 are NPN-equivalent (de Morgan), XOR2 is not.
+	and2 := tt.Var0.And(tt.Var1)
+	or2 := tt.Var0.Or(tt.Var1)
+	xor2 := tt.Var0.Xor(tt.Var1)
+	if m.ClassIndex(and2) != m.ClassIndex(or2) {
+		t.Fatal("AND2 and OR2 must share a class")
+	}
+	if m.ClassIndex(and2) == m.ClassIndex(xor2) {
+		t.Fatal("AND2 and XOR2 must not share a class")
+	}
+	// Constants form their own class of size 2.
+	cc := m.Classes()[m.ClassIndex(tt.False)]
+	if cc.Size != 2 {
+		t.Fatalf("constant class size %d, want 2", cc.Size)
+	}
+}
+
+func TestTopClasses(t *testing.T) {
+	m := Shared()
+	mask := m.TopClasses(10)
+	n := 0
+	minSelected := 1 << 30
+	maxDropped := 0
+	for i, sel := range mask {
+		size := m.Classes()[i].Size
+		if sel {
+			n++
+			if size < minSelected {
+				minSelected = size
+			}
+		} else if size > maxDropped {
+			maxDropped = size
+		}
+	}
+	if n != 10 {
+		t.Fatalf("selected %d classes, want 10", n)
+	}
+	if minSelected < maxDropped {
+		t.Fatalf("selection not by size: min selected %d < max dropped %d", minSelected, maxDropped)
+	}
+}

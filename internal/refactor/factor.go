@@ -1,0 +1,205 @@
+package refactor
+
+import (
+	"dacpara/internal/aig"
+	"dacpara/internal/bigtt"
+)
+
+// expr is a factored-form node: a leaf literal or an AND/OR of two
+// subtrees. The factoring algorithm (most-frequent-literal division, the
+// classic algebraic kernel extraction heuristic) produces the tree; the
+// instantiator maps it onto the AIG with structural-hash reuse.
+type expr struct {
+	op    exprOp
+	leaf  int // variable index for opLeaf
+	phase bool
+	l, rr *expr
+}
+
+type exprOp uint8
+
+const (
+	opLeaf exprOp = iota
+	opConst
+	opAnd
+	opOr
+)
+
+// gates counts the AND gates a tree costs before sharing (AND and OR both
+// cost one AIG gate).
+func (e *expr) gates() int {
+	switch e.op {
+	case opAnd, opOr:
+		return 1 + e.l.gates() + e.rr.gates()
+	}
+	return 0
+}
+
+// plan is a candidate implementation: a factored tree and an output
+// complementation.
+type plan struct {
+	tree  *expr
+	compl bool
+}
+
+// bestPlan factors both polarities of f and returns the cheaper plan
+// (nil when f is degenerate and better handled elsewhere).
+func bestPlan(f bigtt.TT) *plan {
+	if f.IsConst0() || f.IsConst1() {
+		v := f.IsConst1()
+		return &plan{tree: &expr{op: opConst, phase: v}}
+	}
+	nv := f.NumVars()
+	coverP, tp := bigtt.ISOP(f, bigtt.New(nv))
+	coverN, tn := bigtt.ISOP(f.Not(), bigtt.New(nv))
+	var pos, neg *plan
+	if tp.Equal(f) {
+		pos = &plan{tree: factorCover(coverP)}
+	}
+	if tn.Equal(f.Not()) {
+		neg = &plan{tree: factorCover(coverN), compl: true}
+	}
+	switch {
+	case pos == nil:
+		return neg
+	case neg == nil:
+		return pos
+	case neg.tree.gates() < pos.tree.gates():
+		return neg
+	default:
+		return pos
+	}
+}
+
+// factorCover recursively divides the cover by its most frequent literal.
+func factorCover(cover []bigtt.Cube) *expr {
+	if len(cover) == 0 {
+		return &expr{op: opConst, phase: false}
+	}
+	if len(cover) == 1 {
+		return cubeTree(cover[0])
+	}
+	var count [bigtt.MaxVars][2]int
+	for _, c := range cover {
+		for v := 0; v < bigtt.MaxVars; v++ {
+			if c.Lits>>uint(v)&1 == 1 {
+				count[v][c.Phase>>uint(v)&1]++
+			}
+		}
+	}
+	bestV, bestP, bestN := -1, 0, 1
+	for v := 0; v < bigtt.MaxVars; v++ {
+		for p := 0; p < 2; p++ {
+			if count[v][p] > bestN {
+				bestV, bestP, bestN = v, p, count[v][p]
+			}
+		}
+	}
+	if bestV < 0 {
+		// No shared literal: balanced OR of the cube trees.
+		mid := len(cover) / 2
+		return &expr{op: opOr, l: factorCover(cover[:mid]), rr: factorCover(cover[mid:])}
+	}
+	var quotient, remainder []bigtt.Cube
+	for _, c := range cover {
+		if c.Lits>>uint(bestV)&1 == 1 && int(c.Phase>>uint(bestV)&1) == bestP {
+			q := c
+			q.Lits &^= 1 << uint(bestV)
+			q.Phase &^= 1 << uint(bestV)
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	lit := &expr{op: opLeaf, leaf: bestV, phase: bestP == 0}
+	qf := &expr{op: opAnd, l: lit, rr: factorCover(quotient)}
+	if len(remainder) == 0 {
+		return qf
+	}
+	return &expr{op: opOr, l: qf, rr: factorCover(remainder)}
+}
+
+// cubeTree builds a balanced conjunction of a cube's literals.
+func cubeTree(c bigtt.Cube) *expr {
+	var lits []*expr
+	for v := 0; v < bigtt.MaxVars; v++ {
+		if c.Lits>>uint(v)&1 == 1 {
+			lits = append(lits, &expr{op: opLeaf, leaf: v, phase: c.Phase>>uint(v)&1 == 0})
+		}
+	}
+	if len(lits) == 0 {
+		return &expr{op: opConst, phase: true}
+	}
+	for len(lits) > 1 {
+		var next []*expr
+		for i := 0; i+1 < len(lits); i += 2 {
+			next = append(next, &expr{op: opAnd, l: lits[i], rr: lits[i+1]})
+		}
+		if len(lits)%2 == 1 {
+			next = append(next, lits[len(lits)-1])
+		}
+		lits = next
+	}
+	return lits[0]
+}
+
+// instantiate maps the plan onto the graph over the given leaves. In
+// count mode (build=false) it resolves existing logic via structural
+// hashing and counts the gates that would be created; in build mode it
+// creates them. Resolving to the root itself is rejected (cycle/no-op
+// guard, as in rewriting).
+func (r *refactorer) instantiate(p *plan, leaves []int32, root int32, build bool) (aig.Lit, int, bool) {
+	nNew := 0
+	bad := false
+	var rec func(e *expr) (aig.Lit, bool)
+	rec = func(e *expr) (lit aig.Lit, virtual bool) {
+		switch e.op {
+		case opConst:
+			return aig.LitFalse.XorCompl(e.phase), false
+		case opLeaf:
+			return aig.MakeLit(leaves[e.leaf], e.phase), false
+		}
+		l0, v0 := rec(e.l)
+		l1, v1 := rec(e.rr)
+		if bad {
+			return 0, false
+		}
+		if e.op == opOr {
+			l0, l1 = l0.Not(), l1.Not()
+		}
+		out, virtual := r.resolveAnd(l0, l1, v0 || v1, root, build, &nNew)
+		if out.Node() == root && !virtual {
+			bad = true
+		}
+		if e.op == opOr {
+			out = out.Not()
+		}
+		return out, virtual
+	}
+	out, outVirtual := rec(p.tree)
+	if bad {
+		return 0, 0, false
+	}
+	if p.compl {
+		out = out.Not()
+	}
+	if !outVirtual && out.Node() == root {
+		return 0, 0, false
+	}
+	return out, nNew, true
+}
+
+// resolveAnd is one AND step of plan instantiation.
+func (r *refactorer) resolveAnd(l0, l1 aig.Lit, forcedNew bool, root int32, build bool, nNew *int) (aig.Lit, bool) {
+	a := r.a
+	if !forcedNew {
+		if lit, ok := a.Lookup(l0, l1); ok {
+			return lit, false
+		}
+	}
+	*nNew++
+	if build {
+		return a.And(l0, l1), true
+	}
+	return 0, true
+}

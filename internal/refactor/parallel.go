@@ -1,0 +1,153 @@
+package refactor
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bigtt"
+	"dacpara/internal/rewrite"
+)
+
+// RunParallel applies the paper's divide-and-conquer principle to
+// refactoring: nodes are divided by level; each list's expensive stage —
+// reconvergence-cut computation, cone extraction and SOP factoring — runs
+// lock-free in parallel against the immutable graph (barrier semantics,
+// like DACPara's paraEvaOperator), and a serial commit stage re-validates
+// every stored plan on the latest graph before replacing. This
+// demonstrates the transfer of the paper's three-stage split beyond
+// 4-cut rewriting (its conclusion calls the approach "scalable and
+// continuously explorable").
+func RunParallel(a *aig.AIG, cfg Config, workers int) rewrite.Result {
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := rewrite.Result{
+		Engine:       "refactor-parallel",
+		Threads:      workers,
+		Passes:       1,
+		InitialAnds:  a.NumAnds(),
+		InitialDelay: a.Delay(),
+	}
+
+	// Divide by level, as in DACPara's nodeDividing.
+	a.Levelize()
+	var lists [][]int32
+	a.ForEachAnd(func(id int32) {
+		lv := int(a.N(id).Level()) - 1
+		for len(lists) <= lv {
+			lists = append(lists, nil)
+		}
+		lists[lv] = append(lists[lv], id)
+	})
+
+	type prep struct {
+		root    int32
+		rootVer uint32
+		leaves  []int32
+		f       bigtt.TT
+		plan    *plan
+		gain    int
+	}
+
+	workerStates := make([]*refactorer, workers)
+	for w := range workerStates {
+		workerStates[w] = &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
+	}
+	commitState := &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
+
+	for _, wl := range lists {
+		if len(wl) == 0 {
+			continue
+		}
+		// Stage 1+2: parallel, lock-free evaluation on the immutable
+		// graph (barrier between lists).
+		preps := make([]prep, len(wl))
+		var wg sync.WaitGroup
+		chunk := (len(wl) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(wl))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				r := workerStates[w]
+				for i := lo; i < hi; i++ {
+					id := wl[i]
+					if !a.N(id).IsAnd() {
+						continue
+					}
+					leaves, ok := r.reconvCut(id)
+					if !ok || len(leaves) < 3 {
+						continue
+					}
+					f, cone, ok := r.coneFunction(id, leaves)
+					if !ok {
+						continue
+					}
+					saved := r.coneSavings(id, cone, leaves)
+					p := bestPlan(f)
+					if p == nil {
+						continue
+					}
+					_, nNew, ok := r.instantiate(p, leaves, id, false)
+					if !ok || saved-nNew < 1 {
+						continue
+					}
+					preps[i] = prep{
+						root: id, rootVer: a.N(id).Version(),
+						leaves: leaves, f: f, plan: p, gain: saved - nNew,
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+
+		// Stage 3: serial commit with dynamic re-validation — the stored
+		// plan is applied only if the cone still computes the same
+		// function over still-alive leaves and the gain re-verifies.
+		for i := range preps {
+			p := &preps[i]
+			if p.plan == nil {
+				continue
+			}
+			res.Attempts++
+			if a.N(p.root).Version() != p.rootVer || !a.N(p.root).IsAnd() {
+				res.Stale++
+				continue
+			}
+			cur, cone, ok := commitState.coneFunction(p.root, p.leaves)
+			if !ok || !cur.Equal(p.f) {
+				res.Stale++
+				continue
+			}
+			saved := commitState.coneSavings(p.root, cone, p.leaves)
+			_, nNew, ok := commitState.instantiate(p.plan, p.leaves, p.root, false)
+			if !ok || saved-nNew < 1 {
+				continue
+			}
+			out, _, ok := commitState.instantiate(p.plan, p.leaves, p.root, true)
+			if !ok || out.Node() == p.root {
+				continue
+			}
+			a.Replace(p.root, out, aig.ReplaceOptions{CascadeMerge: true})
+			res.Replacements++
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	res.FinalDelay = a.Delay()
+	res.Duration = time.Since(start)
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

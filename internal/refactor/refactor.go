@@ -1,0 +1,269 @@
+// Package refactor implements large-cone resynthesis in the style of
+// ABC's `refactor` command: for each node, a reconvergence-driven cut of
+// up to MaxLeaves inputs is computed, the cone's function is extracted as
+// a wide truth table, re-synthesized by algebraic factoring of an
+// irredundant sum-of-products cover (trying both polarities), and the
+// factored form replaces the cone when it saves nodes.
+//
+// Refactoring complements 4-cut rewriting: it sees across much larger
+// windows (10 inputs by default), catching redundancy that no 4-input
+// replacement can express. Synthesis flows interleave the two (see the
+// -script option of cmd/dacpara).
+package refactor
+
+import (
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bigtt"
+	"dacpara/internal/rewrite"
+)
+
+// Config tunes refactoring.
+type Config struct {
+	// MaxLeaves bounds the reconvergence-driven cut width (0: 10, ABC's
+	// default; capped at bigtt.MaxVars).
+	MaxLeaves int
+	// MaxConeSize bounds the cone node count considered (0: 200).
+	MaxConeSize int
+	// ZeroGain also commits restructurings that do not change the count.
+	ZeroGain bool
+}
+
+func (c Config) maxLeaves() int {
+	n := c.MaxLeaves
+	if n <= 0 {
+		n = 10
+	}
+	if n > bigtt.MaxVars {
+		n = bigtt.MaxVars
+	}
+	return n
+}
+
+func (c Config) maxCone() int {
+	if c.MaxConeSize <= 0 {
+		return 200
+	}
+	return c.MaxConeSize
+}
+
+// Run refactors the network in place and reports statistics in a
+// rewrite.Result (the engines share the result shape).
+func Run(a *aig.AIG, cfg Config) rewrite.Result {
+	start := time.Now()
+	res := rewrite.Result{
+		Engine:       "refactor",
+		Threads:      1,
+		Passes:       1,
+		InitialAnds:  a.NumAnds(),
+		InitialDelay: a.Delay(),
+	}
+	r := &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
+	for _, id := range a.TopoOrder(nil) {
+		if !a.N(id).IsAnd() {
+			continue
+		}
+		switch r.tryNode(id) {
+		case committed:
+			res.Replacements++
+			res.Attempts++
+		case noGain:
+			res.Attempts++
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	res.FinalDelay = a.Delay()
+	res.Duration = time.Since(start)
+	return res
+}
+
+type outcome int
+
+const (
+	skipped outcome = iota
+	noGain
+	committed
+)
+
+type refactorer struct {
+	a     *aig.AIG
+	cfg   Config
+	delta map[int32]int32
+}
+
+// tryNode refactors one cone root.
+func (r *refactorer) tryNode(root int32) outcome {
+	leaves, ok := r.reconvCut(root)
+	if !ok || len(leaves) < 3 {
+		return skipped
+	}
+	f, cone, ok := r.coneFunction(root, leaves)
+	if !ok {
+		return skipped
+	}
+	// Savings: the cone nodes that die when root is replaced, respecting
+	// sharing (overlay dereference, like rewriting's evaluation).
+	saved := r.coneSavings(root, cone, leaves)
+
+	// Factor both polarities and keep the cheaper plan.
+	plan := bestPlan(f)
+	if plan == nil {
+		return skipped
+	}
+	out, nNew, ok := r.instantiate(plan, leaves, root, false)
+	if !ok {
+		return skipped
+	}
+	gain := saved - nNew
+	minGain := 1
+	if r.cfg.ZeroGain {
+		minGain = 0
+	}
+	if gain < minGain {
+		return noGain
+	}
+	out, _, ok = r.instantiate(plan, leaves, root, true)
+	if !ok || out.Node() == root {
+		return skipped
+	}
+	r.a.Replace(root, out, aig.ReplaceOptions{CascadeMerge: true})
+	return committed
+}
+
+// reconvCut grows a reconvergence-driven cut: starting from the node's
+// fanins, it repeatedly expands the leaf whose expansion adds the fewest
+// new leaves (preferring free, reconvergent expansions), while the leaf
+// budget holds.
+func (r *refactorer) reconvCut(root int32) ([]int32, bool) {
+	a := r.a
+	maxLeaves := r.cfg.maxLeaves()
+	inCut := map[int32]bool{}
+	var leaves []int32
+	n := a.N(root)
+	for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+		if !inCut[f.Node()] {
+			inCut[f.Node()] = true
+			leaves = append(leaves, f.Node())
+		}
+	}
+	for {
+		best := -1
+		bestCost := 3
+		for i, leaf := range leaves {
+			ln := a.N(leaf)
+			if !ln.IsAnd() {
+				continue
+			}
+			cost := 0
+			for _, f := range [2]aig.Lit{ln.Fanin0(), ln.Fanin1()} {
+				if !inCut[f.Node()] {
+					cost++
+				}
+			}
+			// Expanding replaces one leaf by cost new ones.
+			if len(leaves)-1+cost > maxLeaves {
+				continue
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			break
+		}
+		leaf := leaves[best]
+		leaves[best] = leaves[len(leaves)-1]
+		leaves = leaves[:len(leaves)-1]
+		ln := a.N(leaf)
+		for _, f := range [2]aig.Lit{ln.Fanin0(), ln.Fanin1()} {
+			if !inCut[f.Node()] {
+				inCut[f.Node()] = true
+				leaves = append(leaves, f.Node())
+			}
+		}
+	}
+	if len(leaves) > maxLeaves {
+		return nil, false
+	}
+	return leaves, true
+}
+
+// coneFunction computes the root's function over the leaves, returning
+// the cone's inner nodes.
+func (r *refactorer) coneFunction(root int32, leaves []int32) (bigtt.TT, []int32, bool) {
+	a := r.a
+	nvars := len(leaves)
+	pos := map[int32]int{}
+	for i, l := range leaves {
+		pos[l] = i
+	}
+	memo := map[int32]bigtt.TT{}
+	var cone []int32
+	var rec func(id int32) (bigtt.TT, bool)
+	rec = func(id int32) (bigtt.TT, bool) {
+		if i, isLeaf := pos[id]; isLeaf {
+			return bigtt.Var(nvars, i), true
+		}
+		if t, hit := memo[id]; hit {
+			return t, true
+		}
+		if len(cone) > r.cfg.maxCone() {
+			return bigtt.TT{}, false
+		}
+		n := a.N(id)
+		if !n.IsAnd() {
+			return bigtt.TT{}, false
+		}
+		cone = append(cone, id)
+		t0, ok := rec(n.Fanin0().Node())
+		if !ok {
+			return bigtt.TT{}, false
+		}
+		if n.Fanin0().Compl() {
+			t0 = t0.Not()
+		}
+		t1, ok := rec(n.Fanin1().Node())
+		if !ok {
+			return bigtt.TT{}, false
+		}
+		if n.Fanin1().Compl() {
+			t1 = t1.Not()
+		}
+		t := t0.And(t1)
+		memo[id] = t
+		return t, true
+	}
+	f, ok := rec(root)
+	return f, cone, ok
+}
+
+// coneSavings counts the cone nodes whose reference count reaches zero
+// when root is removed (a thread-local overlay dereference).
+func (r *refactorer) coneSavings(root int32, cone []int32, leaves []int32) int {
+	a := r.a
+	clear(r.delta)
+	isLeaf := map[int32]bool{}
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	var rec func(id int32) int
+	rec = func(id int32) int {
+		count := 1
+		n := a.N(id)
+		for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+			fid := f.Node()
+			fn := a.N(fid)
+			if !fn.IsAnd() || isLeaf[fid] {
+				continue
+			}
+			ref := fn.Ref() + r.delta[fid] - 1
+			r.delta[fid]--
+			if ref == 0 {
+				count += rec(fid)
+			}
+		}
+		return count
+	}
+	return rec(root)
+}

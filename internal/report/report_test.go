@@ -1,0 +1,56 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("Title", "A", "LongHeader", "C")
+	tbl.Row("x", 12345, 0.5)
+	tbl.Row("longer-cell", 1, 2)
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: every line has the separator-width prefix columns.
+	if !strings.Contains(lines[1], "LongHeader") {
+		t.Fatalf("header lost:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5000") {
+		t.Fatalf("floats must render with 4 decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "longer-cell") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean(ones) = %v", g)
+	}
+	// Zeros and negatives are skipped, not collapsing the mean.
+	if g := GeoMean([]float64{0, 4, -3, 4}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean with zeros = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(empty) = %v", g)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("division by zero must yield 0")
+	}
+}

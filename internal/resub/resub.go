@@ -1,0 +1,401 @@
+// Package resub implements window-based resubstitution (ABC's `resub`):
+// each node is re-expressed, when possible, as a simple function of
+// *divisors* — existing nodes in its reconvergence window that survive
+// the replacement — freeing the node's MFFC. Resubstitution finds savings
+// neither cut rewriting (bounded to 4 inputs) nor refactoring (bounded to
+// one cone) can express, and completes the classic optimization trio in
+// synthesis scripts.
+package resub
+
+import (
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bigtt"
+	"dacpara/internal/rewrite"
+)
+
+// Config tunes resubstitution.
+type Config struct {
+	// MaxLeaves bounds the window cut width (0: 8).
+	MaxLeaves int
+	// MaxDivisors bounds the divisor set per node (0: 50).
+	MaxDivisors int
+	// ZeroGain also accepts size-neutral substitutions.
+	ZeroGain bool
+}
+
+func (c Config) maxLeaves() int {
+	if c.MaxLeaves <= 0 {
+		return 8
+	}
+	if c.MaxLeaves > bigtt.MaxVars {
+		return bigtt.MaxVars
+	}
+	return c.MaxLeaves
+}
+
+func (c Config) maxDivisors() int {
+	if c.MaxDivisors <= 0 {
+		return 50
+	}
+	return c.MaxDivisors
+}
+
+// Run resubstitutes over the network in place.
+func Run(a *aig.AIG, cfg Config) rewrite.Result {
+	start := time.Now()
+	res := rewrite.Result{
+		Engine:       "resub",
+		Threads:      1,
+		Passes:       1,
+		InitialAnds:  a.NumAnds(),
+		InitialDelay: a.Delay(),
+	}
+	r := &resubber{a: a, cfg: cfg, delta: map[int32]int32{}}
+	for _, id := range a.TopoOrder(nil) {
+		if !a.N(id).IsAnd() {
+			continue
+		}
+		switch r.tryNode(id) {
+		case committed:
+			res.Replacements++
+			res.Attempts++
+		case noGain:
+			res.Attempts++
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	res.FinalDelay = a.Delay()
+	res.Duration = time.Since(start)
+	return res
+}
+
+type outcome int
+
+const (
+	skipped outcome = iota
+	noGain
+	committed
+)
+
+type resubber struct {
+	a     *aig.AIG
+	cfg   Config
+	delta map[int32]int32
+}
+
+type divisor struct {
+	id int32
+	tt bigtt.TT
+}
+
+func (r *resubber) tryNode(root int32) outcome {
+	leaves, ok := r.reconvCut(root)
+	if !ok || len(leaves) < 2 {
+		return skipped
+	}
+	// Window functions: the root's cone over the leaves, tracking each
+	// inner node's table.
+	fRoot, cone, tts, ok := r.coneFunctions(root, leaves)
+	if !ok {
+		return skipped
+	}
+	// The MFFC of root dies on substitution; divisors must survive, so
+	// exclude it.
+	mffc := r.mffcSet(root, leaves)
+	saved := len(mffc)
+
+	divs := make([]divisor, 0, r.cfg.maxDivisors())
+	for i, l := range leaves {
+		divs = append(divs, divisor{id: l, tt: bigtt.Var(len(leaves), i)})
+	}
+	for _, id := range cone {
+		if id == root || mffc[id] {
+			continue
+		}
+		divs = append(divs, divisor{id: id, tt: tts[id]})
+		if len(divs) >= r.cfg.maxDivisors() {
+			break
+		}
+	}
+
+	minGain := 1
+	if r.cfg.ZeroGain {
+		minGain = 0
+	}
+
+	// 0-resub: the root equals an existing divisor (or its complement).
+	for _, d := range divs {
+		if saved < minGain {
+			break
+		}
+		if d.tt.Equal(fRoot) {
+			return r.commit(root, aig.MakeLit(d.id, false))
+		}
+		if d.tt.Not().Equal(fRoot) {
+			return r.commit(root, aig.MakeLit(d.id, true))
+		}
+	}
+
+	// 1-resub: root = g(d1, d2) for a single fresh gate; costs 1 node,
+	// needs saved >= 2 for positive gain (or >= 1 for zero-gain).
+	if saved-1 < minGain {
+		return noGain
+	}
+	for i := 0; i < len(divs); i++ {
+		for j := i + 1; j < len(divs); j++ {
+			d1, d2 := &divs[i], &divs[j]
+			for p := 0; p < 4; p++ {
+				t1, t2 := d1.tt, d2.tt
+				if p&1 == 1 {
+					t1 = t1.Not()
+				}
+				if p&2 == 2 {
+					t2 = t2.Not()
+				}
+				l1 := aig.MakeLit(d1.id, p&1 == 1)
+				l2 := aig.MakeLit(d2.id, p&2 == 2)
+				switch {
+				case t1.And(t2).Equal(fRoot):
+					return r.commitGate(root, l1, l2, false)
+				case t1.And(t2).Not().Equal(fRoot):
+					return r.commitGate(root, l1, l2, true)
+				}
+			}
+			// XOR needs no phase sweep (xor absorbs input complements).
+			x := d1.tt.Xor(d2.tt)
+			if x.Equal(fRoot) {
+				return r.commitXor(root, d1.id, d2.id, false)
+			}
+			if x.Not().Equal(fRoot) {
+				return r.commitXor(root, d1.id, d2.id, true)
+			}
+		}
+	}
+	return noGain
+}
+
+// commit replaces root by an existing literal.
+func (r *resubber) commit(root int32, l aig.Lit) outcome {
+	if l.Node() == root {
+		return skipped
+	}
+	r.a.Replace(root, l, aig.ReplaceOptions{CascadeMerge: true})
+	return committed
+}
+
+// commitGate replaces root by a fresh (or shared) AND gate over two
+// divisors.
+func (r *resubber) commitGate(root int32, l1, l2 aig.Lit, compl bool) outcome {
+	if l1.Node() == root || l2.Node() == root {
+		return skipped
+	}
+	// A structural lookup may resolve to the root itself (same fanin
+	// pair); reject that no-op.
+	if g, ok := r.a.Lookup(l1, l2); ok && g.Node() == root {
+		return skipped
+	}
+	out := r.a.And(l1, l2).XorCompl(compl)
+	if out.Node() == root {
+		return skipped
+	}
+	r.a.Replace(root, out, aig.ReplaceOptions{CascadeMerge: true})
+	return committed
+}
+
+// commitXor replaces root by an XOR of two divisors (three gates, so it
+// only fires when the 0/1-resub checks found nothing cheaper; the gain
+// check happened against the single-gate budget, so require a larger
+// MFFC). All three gate pairs are pre-checked against the structural
+// hash BEFORE building, so the root is never reused as an intermediate
+// (cycle) and a bail-out never leaves dangling gates behind.
+func (r *resubber) commitXor(root int32, d1, d2 int32, compl bool) outcome {
+	if d1 == root || d2 == root {
+		return skipped
+	}
+	if r.mffcSizeQuick(root) < 4 { // 3 fresh gates + headroom
+		return noGain
+	}
+	a := r.a
+	la := aig.MakeLit(d1, false)
+	lb := aig.MakeLit(d2, false)
+	e1, ok1 := a.Lookup(la, lb.Not())
+	if ok1 && e1.Node() == root {
+		return skipped
+	}
+	e2, ok2 := a.Lookup(la.Not(), lb)
+	if ok2 && e2.Node() == root {
+		return skipped
+	}
+	if ok1 && ok2 {
+		if e3, ok3 := a.Lookup(e1.Not(), e2.Not()); ok3 && e3.Node() == root {
+			return skipped
+		}
+	}
+	out := a.Xor(la, lb).XorCompl(compl)
+	if out.Node() == root {
+		return skipped
+	}
+	a.Replace(root, out, aig.ReplaceOptions{CascadeMerge: true})
+	return committed
+}
+
+// reconvCut mirrors the refactoring cut growth, bounded by MaxLeaves.
+func (r *resubber) reconvCut(root int32) ([]int32, bool) {
+	a := r.a
+	maxLeaves := r.cfg.maxLeaves()
+	inCut := map[int32]bool{}
+	var leaves []int32
+	n := a.N(root)
+	for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+		if !inCut[f.Node()] {
+			inCut[f.Node()] = true
+			leaves = append(leaves, f.Node())
+		}
+	}
+	for {
+		best, bestCost := -1, 3
+		for i, leaf := range leaves {
+			ln := a.N(leaf)
+			if !ln.IsAnd() {
+				continue
+			}
+			cost := 0
+			for _, f := range [2]aig.Lit{ln.Fanin0(), ln.Fanin1()} {
+				if !inCut[f.Node()] {
+					cost++
+				}
+			}
+			if len(leaves)-1+cost > maxLeaves {
+				continue
+			}
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			break
+		}
+		leaf := leaves[best]
+		leaves[best] = leaves[len(leaves)-1]
+		leaves = leaves[:len(leaves)-1]
+		ln := a.N(leaf)
+		for _, f := range [2]aig.Lit{ln.Fanin0(), ln.Fanin1()} {
+			if !inCut[f.Node()] {
+				inCut[f.Node()] = true
+				leaves = append(leaves, f.Node())
+			}
+		}
+	}
+	if len(leaves) > maxLeaves {
+		return nil, false
+	}
+	return leaves, true
+}
+
+// coneFunctions computes the root's function and each cone node's table
+// over the leaves.
+func (r *resubber) coneFunctions(root int32, leaves []int32) (bigtt.TT, []int32, map[int32]bigtt.TT, bool) {
+	a := r.a
+	nvars := len(leaves)
+	pos := map[int32]int{}
+	for i, l := range leaves {
+		pos[l] = i
+	}
+	tts := map[int32]bigtt.TT{}
+	var cone []int32
+	var rec func(id int32) (bigtt.TT, bool)
+	rec = func(id int32) (bigtt.TT, bool) {
+		if i, ok := pos[id]; ok {
+			return bigtt.Var(nvars, i), true
+		}
+		if t, ok := tts[id]; ok {
+			return t, true
+		}
+		if len(cone) > 300 {
+			return bigtt.TT{}, false
+		}
+		n := a.N(id)
+		if !n.IsAnd() {
+			return bigtt.TT{}, false
+		}
+		t0, ok := rec(n.Fanin0().Node())
+		if !ok {
+			return bigtt.TT{}, false
+		}
+		if n.Fanin0().Compl() {
+			t0 = t0.Not()
+		}
+		t1, ok := rec(n.Fanin1().Node())
+		if !ok {
+			return bigtt.TT{}, false
+		}
+		if n.Fanin1().Compl() {
+			t1 = t1.Not()
+		}
+		t := t0.And(t1)
+		tts[id] = t
+		cone = append(cone, id)
+		return t, true
+	}
+	f, ok := rec(root)
+	return f, cone, tts, ok
+}
+
+// mffcSet computes the nodes that die when root is removed, bounded to
+// the window (overlay dereference).
+func (r *resubber) mffcSet(root int32, leaves []int32) map[int32]bool {
+	a := r.a
+	clear(r.delta)
+	isLeaf := map[int32]bool{}
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	set := map[int32]bool{root: true}
+	var rec func(id int32)
+	rec = func(id int32) {
+		n := a.N(id)
+		for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+			fid := f.Node()
+			fn := a.N(fid)
+			if !fn.IsAnd() || isLeaf[fid] {
+				continue
+			}
+			ref := fn.Ref() + r.delta[fid] - 1
+			r.delta[fid]--
+			if ref == 0 {
+				set[fid] = true
+				rec(fid)
+			}
+		}
+	}
+	rec(root)
+	return set
+}
+
+// mffcSizeQuick estimates the full MFFC size of root (unbounded by the
+// window) for the XOR cost check.
+func (r *resubber) mffcSizeQuick(root int32) int {
+	a := r.a
+	clear(r.delta)
+	var rec func(id int32) int
+	rec = func(id int32) int {
+		count := 1
+		n := a.N(id)
+		for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+			fid := f.Node()
+			fn := a.N(fid)
+			if !fn.IsAnd() {
+				continue
+			}
+			ref := fn.Ref() + r.delta[fid] - 1
+			r.delta[fid]--
+			if ref == 0 {
+				count += rec(fid)
+			}
+		}
+		return count
+	}
+	return rec(root)
+}

@@ -1,0 +1,291 @@
+package rewlib
+
+import "dacpara/internal/tt"
+
+// sbuilder constructs one Structure with builder-local structural hashing
+// and function memoization, so repeated subfunctions share gates.
+type sbuilder struct {
+	nodes  []SNode
+	strash map[uint32]SLit
+	memo   map[tt.Func16]SLit
+}
+
+func newBuilder() *sbuilder {
+	b := &sbuilder{strash: map[uint32]SLit{}, memo: map[tt.Func16]SLit{}}
+	b.memo[tt.False] = SConstFalse
+	for v := 0; v < 4; v++ {
+		b.memo[tt.Var(v)] = SInput(v)
+	}
+	return b
+}
+
+func (b *sbuilder) lookupMemo(f tt.Func16) (SLit, bool) {
+	if l, ok := b.memo[f]; ok {
+		return l, true
+	}
+	if l, ok := b.memo[f.Not()]; ok {
+		return l.not(), true
+	}
+	return 0, false
+}
+
+// and creates (or reuses) an AND gate over two literals.
+func (b *sbuilder) and(l0, l1 SLit) SLit {
+	switch {
+	case l0 == SConstFalse || l1 == SConstFalse:
+		return SConstFalse
+	case l0 == SConstTrue:
+		return l1
+	case l1 == SConstTrue:
+		return l0
+	case l0 == l1:
+		return l0
+	case l0 == l1.not():
+		return SConstFalse
+	}
+	if l0 > l1 {
+		l0, l1 = l1, l0
+	}
+	key := uint32(l0)<<16 | uint32(l1)
+	if l, ok := b.strash[key]; ok {
+		return l
+	}
+	b.nodes = append(b.nodes, SNode{In0: l0, In1: l1})
+	l := SLit(2 * (5 + len(b.nodes) - 1))
+	b.strash[key] = l
+	return l
+}
+
+func (b *sbuilder) or(l0, l1 SLit) SLit { return b.and(l0.not(), l1.not()).not() }
+func (b *sbuilder) xor(l0, l1 SLit) SLit {
+	return b.or(b.and(l0, l1.not()), b.and(l0.not(), l1))
+}
+func (b *sbuilder) mux(s, t, e SLit) SLit {
+	return b.or(b.and(s, t), b.and(s.not(), e))
+}
+
+// finish packages the builder state into a Structure rooted at out.
+func (b *sbuilder) finish(out SLit) Structure {
+	// Garbage-collect gates unreachable from out, preserving topological
+	// order, so alternative policies that explored dead ends still yield
+	// minimal serializations.
+	used := make([]bool, len(b.nodes))
+	var mark func(SLit)
+	mark = func(l SLit) {
+		k := l.AndIndex()
+		if k < 0 || used[k] {
+			return
+		}
+		used[k] = true
+		mark(b.nodes[k].In0)
+		mark(b.nodes[k].In1)
+	}
+	mark(out)
+	remap := make([]SLit, len(b.nodes))
+	var packed []SNode
+	fix := func(l SLit) SLit {
+		if k := l.AndIndex(); k >= 0 {
+			return remap[k].Compl(l.compl())
+		}
+		return l
+	}
+	for k, n := range b.nodes {
+		if !used[k] {
+			continue
+		}
+		packed = append(packed, SNode{In0: fix(n.In0), In1: fix(n.In1)})
+		remap[k] = SLit(2 * (5 + len(packed) - 1))
+	}
+	return Structure{Nodes: packed, Out: fix(out)}
+}
+
+// synthesize builds one structure for f under the given policy. ok is
+// false when recursion exceeded the size guard.
+func synthesize(f tt.Func16, p policy) (Structure, bool) {
+	b := newBuilder()
+	target := f
+	if p.complOut {
+		target = f.Not()
+	}
+	out, ok := b.synth(target, p, 0)
+	if !ok {
+		return Structure{}, false
+	}
+	if p.complOut {
+		out = out.not()
+	}
+	return b.finish(out), true
+}
+
+const maxGates = 40
+
+// synth recursively decomposes f. Policies differ in which variable is
+// preferred for extraction and whether XOR extraction is attempted before
+// MUX expansion.
+func (b *sbuilder) synth(f tt.Func16, p policy, depth int) (SLit, bool) {
+	if l, ok := b.lookupMemo(f); ok {
+		return l, true
+	}
+	if len(b.nodes) > maxGates || depth > 8 {
+		return 0, false
+	}
+	rec := func(g tt.Func16) (SLit, bool) { return b.synth(g, p, depth+1) }
+
+	// 1. Single-literal AND/OR extraction: peel variables that appear as
+	// top-level conjuncts or disjuncts.
+	for _, v := range p.order {
+		if !f.DependsOn(v) {
+			continue
+		}
+		c0, c1 := f.Cofactor0(v), f.Cofactor1(v)
+		x := SInput(v)
+		switch {
+		case c0 == tt.False: // f = x & c1
+			g, ok := rec(c1)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.and(x, g)), true
+		case c1 == tt.False: // f = !x & c0
+			g, ok := rec(c0)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.and(x.not(), g)), true
+		case c0 == tt.True: // f = !x | c1
+			g, ok := rec(c1)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.or(x.not(), g)), true
+		case c1 == tt.True: // f = x | c0
+			g, ok := rec(c0)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.or(x, g)), true
+		}
+	}
+	// 2. XOR extraction.
+	if p.xorFirst {
+		for _, v := range p.order {
+			if g, ok := f.IsXorDecomposable(v); ok && f.DependsOn(v) {
+				gl, ok := rec(g)
+				if !ok {
+					return 0, false
+				}
+				return b.memoize(f, b.xor(SInput(v), gl)), true
+			}
+		}
+	}
+	// 3. Shannon/MUX expansion on the first supported variable.
+	for _, v := range p.order {
+		if !f.DependsOn(v) {
+			continue
+		}
+		t, ok := rec(f.Cofactor1(v))
+		if !ok {
+			return 0, false
+		}
+		e, ok := rec(f.Cofactor0(v))
+		if !ok {
+			return 0, false
+		}
+		return b.memoize(f, b.mux(SInput(v), t, e)), true
+	}
+	// f is constant (True handled via memo of False complement).
+	if f == tt.True {
+		return SConstTrue, true
+	}
+	return SConstFalse, true
+}
+
+func (b *sbuilder) memoize(f tt.Func16, l SLit) SLit {
+	b.memo[f] = l
+	return l
+}
+
+// factorISOP builds a structure by algebraically factoring an irredundant
+// sum-of-products cover of f (or of its complement with the output
+// inverted), the classic SOP-driven alternative to decomposition.
+func factorISOP(f tt.Func16, compl bool) (Structure, bool) {
+	target := f
+	if compl {
+		target = f.Not()
+	}
+	cover, table := tt.ISOP(target, tt.False)
+	if table != target {
+		return Structure{}, false
+	}
+	b := newBuilder()
+	out := b.factor(cover)
+	if compl {
+		out = out.not()
+	}
+	s := b.finish(out)
+	if s.Func() != f {
+		return Structure{}, false
+	}
+	return s, true
+}
+
+// factor recursively divides a cover by its most frequent literal.
+func (b *sbuilder) factor(cover []tt.Cube) SLit {
+	if len(cover) == 0 {
+		return SConstFalse
+	}
+	if len(cover) == 1 {
+		return b.cubeAnd(cover[0])
+	}
+	// Count literal frequencies: literal = (var, phase).
+	var count [4][2]int
+	for _, c := range cover {
+		for v := 0; v < 4; v++ {
+			if c.Lits>>uint(v)&1 == 1 {
+				count[v][c.Phase>>uint(v)&1]++
+			}
+		}
+	}
+	bestV, bestP, bestN := -1, 0, 1
+	for v := 0; v < 4; v++ {
+		for p := 0; p < 2; p++ {
+			if count[v][p] > bestN {
+				bestV, bestP, bestN = v, p, count[v][p]
+			}
+		}
+	}
+	if bestV < 0 {
+		// No shared literal: balanced OR of cube ANDs.
+		mid := len(cover) / 2
+		return b.or(b.factor(cover[:mid]), b.factor(cover[mid:]))
+	}
+	var quotient, remainder []tt.Cube
+	for _, c := range cover {
+		if c.Lits>>uint(bestV)&1 == 1 && int(c.Phase>>uint(bestV)&1) == bestP {
+			q := c
+			q.Lits &^= 1 << uint(bestV)
+			q.Phase &^= 1 << uint(bestV)
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	lit := SInput(bestV).Compl(bestP == 0)
+	qf := b.and(lit, b.factor(quotient))
+	if len(remainder) == 0 {
+		return qf
+	}
+	return b.or(qf, b.factor(remainder))
+}
+
+// cubeAnd builds the conjunction of a cube's literals.
+func (b *sbuilder) cubeAnd(c tt.Cube) SLit {
+	out := SConstTrue
+	for v := 0; v < 4; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		out = b.and(out, SInput(v).Compl(c.Phase>>uint(v)&1 == 0))
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+// Package rewlib builds the precomputed structure library ("Structure
+// Manager") used by DAG-aware rewriting: for each of the 222 NPN classes
+// of 4-input functions, a forest of alternative AIG structures
+// implementing the class representative.
+//
+// ABC ships an offline-enumerated forest; this package synthesizes an
+// equivalent one at startup by running a family of decomposition policies
+// (single-literal AND/OR extraction, XOR extraction, Shannon/MUX
+// expansion, and ISOP-based algebraic factoring) over every canonical
+// function, under all variable preference orders and output phases, then
+// deduplicating and ranking the resulting DAGs by node count. Structures
+// within one DAG share subfunctions through builder-local structural
+// hashing, mirroring the shared-node forest of ABC's library.
+package rewlib
+
+import (
+	"fmt"
+	"sort"
+
+	"dacpara/internal/npn"
+	"dacpara/internal/tt"
+)
+
+// SLit is a literal inside a Structure: 2*index + complement, where index
+// 0 is constant false, 1..4 are the inputs x0..x3, and 5+k is AND node k.
+type SLit uint16
+
+// Structure literal constants for the constant node and inputs.
+const (
+	SConstFalse SLit = 0
+	SConstTrue  SLit = 1
+)
+
+// SInput returns the structure literal of input variable v (0..3).
+func SInput(v int) SLit { return SLit(2 * (1 + v)) }
+
+func (l SLit) index() int    { return int(l >> 1) }
+func (l SLit) compl() bool   { return l&1 == 1 }
+func (l SLit) not() SLit     { return l ^ 1 }
+func (l SLit) isInput() bool { i := l.index(); return i >= 1 && i <= 4 }
+
+// IsInput reports whether the literal refers to one of the four inputs,
+// returning the variable number.
+func (l SLit) IsInput() (int, bool) {
+	if l.isInput() {
+		return l.index() - 1, true
+	}
+	return 0, false
+}
+
+// IsConst reports whether the literal is a constant, returning its value.
+func (l SLit) IsConst() (bool, bool) {
+	if l.index() == 0 {
+		return l.compl(), true
+	}
+	return false, false
+}
+
+// AndIndex returns the AND-node index of an internal literal, or -1.
+func (l SLit) AndIndex() int {
+	if i := l.index(); i >= 5 {
+		return i - 5
+	}
+	return -1
+}
+
+// Compl returns the literal with phase conditionally flipped.
+func (l SLit) Compl(c bool) SLit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// SNode is one AND gate of a structure.
+type SNode struct {
+	In0, In1 SLit
+}
+
+// Structure is a DAG of AND gates over the four inputs, with a designated
+// output literal. Nodes are topologically ordered: fanins of Nodes[k]
+// refer only to inputs, constants, or Nodes[<k].
+type Structure struct {
+	Nodes []SNode
+	Out   SLit
+}
+
+// NumNodes returns the AND-gate count of the structure.
+func (s *Structure) NumNodes() int { return len(s.Nodes) }
+
+// Eval computes the structure's function when input v carries table in[v].
+func (s *Structure) Eval(in [4]tt.Func16) tt.Func16 {
+	vals := make([]tt.Func16, len(s.Nodes))
+	fetch := func(l SLit) tt.Func16 {
+		var v tt.Func16
+		switch {
+		case l.index() == 0:
+			v = tt.False
+		case l.isInput():
+			v = in[l.index()-1]
+		default:
+			v = vals[l.index()-5]
+		}
+		if l.compl() {
+			v = v.Not()
+		}
+		return v
+	}
+	for k, n := range s.Nodes {
+		vals[k] = fetch(n.In0).And(fetch(n.In1))
+	}
+	return fetch(s.Out)
+}
+
+// Func returns the structure's function over the plain variables.
+func (s *Structure) Func() tt.Func16 {
+	return s.Eval([4]tt.Func16{tt.Var0, tt.Var1, tt.Var2, tt.Var3})
+}
+
+// key serializes the structure for deduplication.
+func (s *Structure) key() string {
+	b := make([]byte, 0, 4*len(s.Nodes)+2)
+	for _, n := range s.Nodes {
+		b = append(b, byte(n.In0>>8), byte(n.In0), byte(n.In1>>8), byte(n.In1))
+	}
+	b = append(b, byte(s.Out>>8), byte(s.Out))
+	return string(b)
+}
+
+// Library is the per-class structure forest. It is immutable after Build
+// and safe for concurrent use.
+type Library struct {
+	npn     *npn.Manager
+	structs [][]Structure // by class index
+}
+
+// Params configure library construction.
+type Params struct {
+	// MaxPerClass bounds the number of structures kept per class;
+	// 0 keeps every distinct structure the policies produce.
+	MaxPerClass int
+}
+
+// Build synthesizes the library. It returns an error if any generated
+// structure fails functional verification against its class
+// representative (which would indicate a bug, not bad input).
+func Build(m *npn.Manager, p Params) (*Library, error) {
+	lib := &Library{npn: m, structs: make([][]Structure, m.NumClasses())}
+	for _, cls := range m.Classes() {
+		structs := synthesizeAll(cls.Repr, p.MaxPerClass)
+		for i := range structs {
+			if got := structs[i].Func(); got != cls.Repr {
+				return nil, fmt.Errorf("rewlib: class %s structure %d computes %s", cls.Repr, i, got)
+			}
+		}
+		lib.structs[cls.Index] = structs
+	}
+	return lib, nil
+}
+
+// Structures returns the forest of class cls, smallest structures first.
+func (l *Library) Structures(cls int) []Structure { return l.structs[cls] }
+
+// NPN returns the classification the library was built against.
+func (l *Library) NPN() *npn.Manager { return l.npn }
+
+// ForFunc returns the class index, the structures implementing the
+// canonical form of f, and the inverse transform mapping structure inputs
+// and output onto f's variables.
+func (l *Library) ForFunc(f tt.Func16) (cls int, structs []Structure, inv npn.Transform) {
+	cls = l.npn.ClassIndex(f)
+	return cls, l.structs[cls], l.npn.ToCanon(f).Inverse()
+}
+
+// PracticalClasses returns a class-index membership mask selecting the n
+// classes whose minimal implementation is cheapest (fewest AND gates),
+// ties broken by larger orbit. ABC's `rewrite` evaluates a practical
+// subset of 134 of the 222 classes while `drw` uses all of them; cheap
+// classes are the ones that actually occur in synthesized netlists
+// (parities, majorities, simple control cones), so minimal structure cost
+// is the natural reproduction of that subset.
+func (l *Library) PracticalClasses(n int) []bool {
+	type entry struct {
+		cls  int
+		cost int
+		size int
+	}
+	entries := make([]entry, len(l.structs))
+	for i, forest := range l.structs {
+		cost := 1 << 20
+		if len(forest) > 0 {
+			cost = forest[0].NumNodes() // forests are sorted by size
+		}
+		entries[i] = entry{cls: i, cost: cost, size: l.npn.Classes()[i].Size}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].cost != entries[b].cost {
+			return entries[a].cost < entries[b].cost
+		}
+		if entries[a].size != entries[b].size {
+			return entries[a].size > entries[b].size
+		}
+		return entries[a].cls < entries[b].cls
+	})
+	mask := make([]bool, len(l.structs))
+	for i := 0; i < n && i < len(entries); i++ {
+		mask[entries[i].cls] = true
+	}
+	return mask
+}
+
+// MaxStructures returns the largest per-class forest size, the bound a
+// "use all structures" configuration effectively evaluates.
+func (l *Library) MaxStructures() int {
+	m := 0
+	for _, s := range l.structs {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// synthesizeAll runs every decomposition policy on f and returns the
+// deduplicated forest ranked by size.
+func synthesizeAll(f tt.Func16, maxPerClass int) []Structure {
+	var all []Structure
+	seen := map[string]bool{}
+	add := func(s Structure, ok bool) {
+		if !ok {
+			return
+		}
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			all = append(all, s)
+		}
+	}
+	for _, order := range varOrders {
+		for _, xorFirst := range [2]bool{true, false} {
+			for _, complOut := range [2]bool{false, true} {
+				add(synthesize(f, policy{order: order, xorFirst: xorFirst, complOut: complOut}))
+			}
+		}
+	}
+	add(factorISOP(f, false))
+	add(factorISOP(f, true))
+	sort.SliceStable(all, func(i, j int) bool { return len(all[i].Nodes) < len(all[j].Nodes) })
+	if maxPerClass > 0 && len(all) > maxPerClass {
+		all = all[:maxPerClass]
+	}
+	return all
+}
+
+var varOrders = [][4]int{
+	{0, 1, 2, 3}, {1, 2, 3, 0}, {2, 3, 0, 1}, {3, 0, 1, 2},
+	{0, 2, 1, 3}, {1, 3, 2, 0}, {3, 1, 0, 2}, {2, 0, 3, 1},
+	{0, 3, 2, 1}, {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 1, 0, 3},
+}
+
+type policy struct {
+	order    [4]int
+	xorFirst bool
+	complOut bool
+}

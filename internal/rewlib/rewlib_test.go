@@ -1,0 +1,196 @@
+package rewlib
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dacpara/internal/npn"
+	"dacpara/internal/tt"
+)
+
+var sharedLib = sync.OnceValue(func() *Library {
+	lib, err := Build(npn.Shared(), Params{})
+	if err != nil {
+		panic(err)
+	}
+	return lib
+})
+
+func TestEveryClassHasStructures(t *testing.T) {
+	lib := sharedLib()
+	m := npn.Shared()
+	for i := 0; i < m.NumClasses(); i++ {
+		structs := lib.Structures(i)
+		if len(structs) == 0 {
+			t.Fatalf("class %d (%v) has no structures", i, m.Classes()[i].Repr)
+		}
+		// Forests are sorted by node count.
+		for k := 1; k < len(structs); k++ {
+			if structs[k].NumNodes() < structs[k-1].NumNodes() {
+				t.Fatalf("class %d forest not sorted by size", i)
+			}
+		}
+	}
+}
+
+func TestStructuresComputeTheirClass(t *testing.T) {
+	lib := sharedLib()
+	m := npn.Shared()
+	for _, cls := range m.Classes() {
+		for si, s := range lib.Structures(cls.Index) {
+			if got := s.Func(); got != cls.Repr {
+				t.Fatalf("class %v structure %d computes %v", cls.Repr, si, got)
+			}
+		}
+	}
+}
+
+func TestStructuresAreDeduplicated(t *testing.T) {
+	lib := sharedLib()
+	for i := 0; i < npn.Shared().NumClasses(); i++ {
+		seen := map[string]bool{}
+		for _, s := range lib.Structures(i) {
+			k := s.key()
+			if seen[k] {
+				t.Fatalf("class %d has duplicate structure", i)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestStructuresAreTopological(t *testing.T) {
+	lib := sharedLib()
+	for i := 0; i < npn.Shared().NumClasses(); i++ {
+		for _, s := range lib.Structures(i) {
+			for k, g := range s.Nodes {
+				for _, in := range [2]SLit{g.In0, g.In1} {
+					if ai := in.AndIndex(); ai >= k {
+						t.Fatalf("class %d: gate %d reads gate %d", i, k, ai)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForFuncInstantiation is the key soundness property of the Structure
+// Manager: evaluating a class structure with its inputs driven through the
+// inverse NPN transform must reproduce the original (non-canonical)
+// function.
+func TestForFuncInstantiation(t *testing.T) {
+	lib := sharedLib()
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 3000; i++ {
+		f := tt.Func16(rng.Uint32())
+		_, structs, inv := lib.ForFunc(f)
+		s := &structs[rng.Intn(len(structs))]
+		// Drive structure input i with variable inv.Perm[i], complemented
+		// per inv.Flip; complement the output per inv.Neg.
+		var in [4]tt.Func16
+		for v := 0; v < 4; v++ {
+			in[v] = tt.Var(int(inv.Perm[v]))
+			if inv.Flip>>uint(v)&1 == 1 {
+				in[v] = in[v].Not()
+			}
+		}
+		got := s.Eval(in)
+		if inv.Neg {
+			got = got.Not()
+		}
+		if got != f {
+			t.Fatalf("instantiated structure computes %v, want %v (inv=%+v)", got, f, inv)
+		}
+	}
+}
+
+func TestMaxPerClassLimit(t *testing.T) {
+	lib, err := Build(npn.Shared(), Params{MaxPerClass: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < npn.Shared().NumClasses(); i++ {
+		if n := len(lib.Structures(i)); n > 3 {
+			t.Fatalf("class %d has %d structures, limit 3", i, n)
+		}
+	}
+	if lib.MaxStructures() > 3 {
+		t.Fatal("MaxStructures exceeds the limit")
+	}
+}
+
+func TestPracticalClasses(t *testing.T) {
+	lib := sharedLib()
+	mask := lib.PracticalClasses(134)
+	count := 0
+	for _, b := range mask {
+		if b {
+			count++
+		}
+	}
+	if count != 134 {
+		t.Fatalf("selected %d classes, want 134", count)
+	}
+	m := npn.Shared()
+	// The practical subset must include the functions arithmetic circuits
+	// are made of: 2- and 3-input parities and the 3-input majority.
+	for _, f := range []tt.Func16{
+		tt.Var0.Xor(tt.Var1),
+		tt.Var0.Xor(tt.Var1).Xor(tt.Var2),
+		tt.Var0.And(tt.Var1).Or(tt.Var0.And(tt.Var2)).Or(tt.Var1.And(tt.Var2)),
+		tt.Var0.And(tt.Var1),
+		tt.Var0,
+	} {
+		if !mask[m.ClassIndex(f)] {
+			t.Fatalf("practical subset misses %v", f)
+		}
+	}
+	// Selecting everything yields the full space.
+	all := lib.PracticalClasses(m.NumClasses())
+	for i, b := range all {
+		if !b {
+			t.Fatalf("class %d missing from full selection", i)
+		}
+	}
+}
+
+func TestSLitHelpers(t *testing.T) {
+	if v, ok := SInput(2).IsInput(); !ok || v != 2 {
+		t.Fatal("SInput/IsInput round trip broken")
+	}
+	if val, ok := SConstTrue.IsConst(); !ok || !val {
+		t.Fatal("SConstTrue not recognized")
+	}
+	if val, ok := SConstFalse.IsConst(); !ok || val {
+		t.Fatal("SConstFalse not recognized")
+	}
+	if SInput(0).AndIndex() != -1 {
+		t.Fatal("input literal must not have an AND index")
+	}
+	l := SLit(2 * 5) // first gate
+	if l.AndIndex() != 0 {
+		t.Fatalf("first gate index %d", l.AndIndex())
+	}
+	if l.Compl(true) == l || l.Compl(false) != l {
+		t.Fatal("Compl behaves wrongly")
+	}
+}
+
+func TestStructureSizesAreReasonable(t *testing.T) {
+	lib := sharedLib()
+	m := npn.Shared()
+	worst := 0
+	for i := 0; i < m.NumClasses(); i++ {
+		n := lib.Structures(i)[0].NumNodes()
+		if n > worst {
+			worst = n
+		}
+	}
+	// Every 4-input function is implementable well under the builder's
+	// gate guard; the worst minimal structure should stay moderate.
+	if worst > 20 {
+		t.Fatalf("worst minimal structure has %d gates", worst)
+	}
+	t.Logf("worst minimal structure: %d gates", worst)
+}

@@ -1,0 +1,281 @@
+package rewrite
+
+import (
+	"dacpara/internal/aig"
+	"dacpara/internal/cut"
+	"dacpara/internal/tt"
+)
+
+// Status classifies the outcome of executing a candidate on the latest
+// graph.
+type Status int
+
+// Execute outcomes. StatusStale and StatusNoGain are the paper's "missed
+// optimization opportunities" — stored information that no longer holds on
+// the current AIG; StatusConflict means a lock could not be acquired and
+// the activity must abort and retry.
+const (
+	StatusCommitted Status = iota
+	StatusStale
+	StatusNoGain
+	StatusHazard
+	StatusConflict
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusCommitted:
+		return "committed"
+	case StatusStale:
+		return "stale"
+	case StatusNoGain:
+		return "no-gain"
+	case StatusHazard:
+		return "hazard"
+	case StatusConflict:
+		return "conflict"
+	}
+	return "invalid"
+}
+
+// Locker acquires the exclusive lock of a node on behalf of the current
+// activity, returning false on conflict. A nil Locker means serial
+// execution: every acquisition trivially succeeds.
+type Locker func(id int32) bool
+
+// planLimit bounds the number of nodes one replacement may touch; beyond
+// it the candidate is skipped rather than letting a single activity lock
+// an unbounded region.
+const planLimit = 2048
+
+// Execute re-validates candidate cand against the latest AIG and, if it
+// still yields an acceptable gain, commits the replacement. This is the
+// paper's replacement operator (Section 4.4): the stored cut must still be
+// a cut of the node (leaves alive, or re-enumerated and matched), the
+// stored structure must still match the cut function's NPN class, and the
+// gain is re-evaluated on the current graph before any mutation. All
+// affected nodes are locked before the first mutation (cautious operator),
+// so a conflict abort never needs rollback.
+func (e *Evaluator) Execute(cm *cut.Manager, cand *Candidate, lock Locker) (gain int, st Status) {
+	a := e.A
+	root := cand.Root
+	lk := func(id int32) bool { return lock == nil || lock(id) }
+	if !lk(root) {
+		return 0, StatusConflict
+	}
+	rn := a.N(root)
+	if !rn.IsAnd() || rn.Version() != cand.RootVer {
+		// The node was rewritten away (its ID possibly reused for new
+		// logic) since evaluation: the stored information is outdated.
+		return 0, StatusStale
+	}
+
+	// 1. Establish a valid cut on the latest graph.
+	c := cand.Cut
+	fresh := true
+	for i := uint8(0); i < c.Size; i++ {
+		if !lk(c.Leaves[i]) {
+			return 0, StatusConflict
+		}
+		if a.N(c.Leaves[i]).Version() != c.LeafVer[i] {
+			fresh = false
+		}
+	}
+	if !fresh {
+		// Some leaf was deleted (and its ID possibly reused): re-enumerate
+		// on the current graph and match the stored leaf set against the
+		// fresh cut set, as the paper prescribes for the Fig. 3 hazard.
+		set, ok := refreshCuts(cm, root, lock)
+		if !ok {
+			return 0, StatusConflict
+		}
+		matched := false
+		for i := range set {
+			if set[i].SameLeaves(&cand.Cut) {
+				c = set[i]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return 0, StatusStale
+		}
+	}
+
+	// 2. Recompute the cut function on the current graph under locks. This
+	// both revalidates that the leaf set still covers the cone and yields
+	// the authoritative truth table for NPN matching.
+	curTT, ok, conflict := e.coneTT(root, &c, lock)
+	if conflict {
+		return 0, StatusConflict
+	}
+	if !ok {
+		return 0, StatusStale
+	}
+
+	// 3. Resolve the replacement literal plan for the current function,
+	// locking every existing node the new logic will reuse and collecting
+	// the references the new gates will add to existing nodes.
+	var out aig.Lit
+	outNew := false
+	nNew := 0
+	var newRefs []aig.Lit
+	var buildStruct func(tryLock func(int32) bool) aig.Lit
+	switch cand.Kind {
+	case CandConst:
+		if curTT != tt.False && curTT != tt.True {
+			return 0, StatusStale
+		}
+		out = aig.LitFalse.XorCompl(curTT == tt.True)
+	case CandWire:
+		wc := c
+		wc.TT = curTT
+		leaf, phase, isWire := wireFunc(&wc)
+		if !isWire {
+			return 0, StatusStale
+		}
+		out = aig.MakeLit(leaf, phase)
+	case CandStruct:
+		cls, structs, inv := e.Lib.ForFunc(curTT)
+		if cls != cand.Class || cand.Struct >= len(structs) {
+			// The NPN class of the stored equivalent structure no longer
+			// matches the cut's truth table (Section 4.4).
+			return 0, StatusStale
+		}
+		st := &structs[cand.Struct]
+		conflicted := false
+		var lockFn func(int32) bool
+		if lock != nil {
+			lockFn = func(id int32) bool {
+				if !lock(id) {
+					conflicted = true
+					return false
+				}
+				return true
+			}
+		}
+		var ok bool
+		var outLevel int32
+		out, outNew, nNew, outLevel, ok = e.Scratch.instantiateLevels(a, st, inv, c.LeafSlice(), root, lockFn, false, nil, &newRefs)
+		if conflicted {
+			return 0, StatusConflict
+		}
+		if !ok {
+			return 0, StatusStale
+		}
+		if e.Cfg.PreserveDelay && outLevel > rn.Level() {
+			return 0, StatusNoGain
+		}
+		buildStruct = func(tryLock func(int32) bool) aig.Lit {
+			lit, _, _, ok := e.Scratch.instantiate(a, st, inv, c.LeafSlice(), root, nil, true, tryLock, nil)
+			if !ok {
+				panic("rewrite: planned structure failed to build")
+			}
+			return lit
+		}
+	default:
+		return 0, StatusStale
+	}
+
+	// 4. Simulate the full replacement (fanout redirection, cascaded
+	// simplifications, cone deletion) on a reference-count overlay,
+	// locking every node it would touch, so the commit below mutates only
+	// locked nodes and the gain is exact on the latest graph.
+	sim := newReplaceSim(a, lock)
+	for _, r := range newRefs {
+		sim.delta[r.Node()]++
+	}
+	deleted, okSim, conflictSim := sim.run(root, out, outNew)
+	switch {
+	case conflictSim:
+		return 0, StatusConflict
+	case !okSim:
+		return 0, StatusHazard
+	}
+
+	gain = deleted - nNew
+	minGain := 1
+	if e.Cfg.ZeroGain {
+		minGain = 0
+	}
+	if gain < minGain && !e.TrustStoredGain {
+		return gain, StatusNoGain
+	}
+
+	// 5. Commit: build the new gates, then redirect and delete. Every node
+	// touched from here on is locked.
+	var tryLock func(int32) bool
+	if lock != nil {
+		tryLock = func(id int32) bool { return lock(id) }
+	}
+	if buildStruct != nil {
+		out = buildStruct(tryLock)
+	}
+	if out.Node() == root {
+		return 0, StatusStale
+	}
+	a.Replace(root, out, aig.ReplaceOptions{CascadeMerge: lock == nil})
+	return gain, StatusCommitted
+}
+
+// refreshCuts re-enumerates root's cuts under the activity's locks.
+func refreshCuts(cm *cut.Manager, root int32, lock Locker) ([]cut.Cut, bool) {
+	visit := cut.Visitor(nil)
+	if lock != nil {
+		visit = cut.Visitor(lock)
+	}
+	return cm.Refresh(root, visit)
+}
+
+// coneTT recomputes the function of root over the cut's leaves by walking
+// the cone on the current graph, locking every inner node. ok is false
+// when the leaf set no longer covers the cone (a path escapes to a PI,
+// the constant, or past the traversal budget).
+func (e *Evaluator) coneTT(root int32, c *cut.Cut, lock Locker) (f tt.Func16, ok, conflict bool) {
+	a := e.A
+	leaves := c.LeafSlice()
+	memo := e.Scratch.delta // reuse the map as id -> tt storage
+	clear(memo)
+	count := 0
+	var rec func(id int32) (tt.Func16, bool, bool)
+	rec = func(id int32) (tt.Func16, bool, bool) {
+		for i, l := range leaves {
+			if l == id {
+				return tt.Var(i), true, false
+			}
+		}
+		if v, hit := memo[id]; hit {
+			return tt.Func16(v), true, false
+		}
+		if count++; count > 64 {
+			return 0, false, false
+		}
+		if lock != nil && !lock(id) {
+			return 0, false, true
+		}
+		n := a.N(id)
+		if !n.IsAnd() {
+			return 0, false, false
+		}
+		t0, ok0, cf0 := rec(n.Fanin0().Node())
+		if !ok0 {
+			return 0, false, cf0
+		}
+		t1, ok1, cf1 := rec(n.Fanin1().Node())
+		if !ok1 {
+			return 0, false, cf1
+		}
+		if n.Fanin0().Compl() {
+			t0 = t0.Not()
+		}
+		if n.Fanin1().Compl() {
+			t1 = t1.Not()
+		}
+		t := t0.And(t1)
+		memo[id] = int32(t)
+		return t, true, false
+	}
+	f, ok, conflict = rec(root)
+	clear(memo)
+	return f, ok, conflict
+}

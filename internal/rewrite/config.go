@@ -1,0 +1,129 @@
+// Package rewrite implements DAG-aware AIG rewriting (Mishchenko et al.,
+// DAC'06): the serial baseline engine corresponding to ABC's `rewrite`
+// command, plus the evaluation and replacement machinery shared by all
+// parallel engines in this repository (lockpar, staticpar, core).
+//
+// Rewriting visits nodes, enumerates their 4-input cuts, matches each
+// cut's function against the NPN structure library, estimates the gain of
+// swapping the cut's cone for a precomputed structure — counting logical
+// sharing on both sides — and commits the best strictly positive
+// replacement.
+package rewrite
+
+import (
+	"time"
+
+	"dacpara/internal/rewlib"
+)
+
+// Common134 is the number of NPN classes ABC's `rewrite` operator
+// evaluates; `drw` (modelled by the GPU baselines) uses all 222.
+const Common134 = 134
+
+// Config holds the knobs shared by every rewriting engine. The zero value
+// is the `rewrite`-like default configuration; the paper's Table 3
+// parameterizations are P1() and P2().
+type Config struct {
+	// MaxCuts bounds stored cuts per node (0: cut.DefaultMaxCuts).
+	MaxCuts int
+	// MaxStructs bounds the structures evaluated per NPN class
+	// (0: evaluate the whole forest).
+	MaxStructs int
+	// NumClasses restricts evaluation to the most populous NPN classes
+	// (0: Common134; use 222 for the full space).
+	NumClasses int
+	// ZeroGain also commits zero-gain replacements that change structure,
+	// like ABC's `rewrite -z`.
+	ZeroGain bool
+	// PreserveDelay rejects replacements whose new cone would be deeper
+	// than the one it replaces (ABC's update-level behaviour). Level
+	// estimates can be slightly stale mid-rewriting; this is a heuristic
+	// bound, not a hard delay constraint.
+	PreserveDelay bool
+	// Passes repeats the whole rewriting sweep (0: one pass).
+	Passes int
+	// Workers sets the parallelism of parallel engines
+	// (0: runtime.GOMAXPROCS).
+	Workers int
+}
+
+// P1 is the paper's Table 3 "DACPara-P1" configuration: 8 cuts per node,
+// 5 structures per class, 134 classes, two passes — matching the GPU
+// baselines' drw-style budget.
+func P1() Config {
+	return Config{MaxCuts: 8, MaxStructs: 5, NumClasses: Common134, Passes: 2}
+}
+
+// P2 is the paper's "DACPara-P2" configuration: the ICCAD'18 setup — 134
+// classes, one pass, no cut or structure limits.
+func P2() Config {
+	return Config{NumClasses: Common134, Passes: 1}
+}
+
+func (c Config) passes() int {
+	if c.Passes <= 0 {
+		return 1
+	}
+	return c.Passes
+}
+
+func (c Config) numClasses() int {
+	if c.NumClasses <= 0 {
+		return Common134
+	}
+	return c.NumClasses
+}
+
+// classMask materializes the class restriction against a library.
+func (c Config) classMask(lib *rewlib.Library) []bool {
+	return lib.PracticalClasses(c.numClasses())
+}
+
+func (c Config) maxStructs(n int) int {
+	if c.MaxStructs <= 0 || c.MaxStructs > n {
+		return n
+	}
+	return c.MaxStructs
+}
+
+// Result reports one engine run.
+type Result struct {
+	Engine  string
+	Threads int
+	Passes  int
+
+	InitialAnds, FinalAnds   int
+	InitialDelay, FinalDelay int32
+
+	// Replacements is the number of committed graph updates; Attempts the
+	// number of nodes with a positive-gain candidate; Stale the attempts
+	// whose stored information was outdated on the latest AIG (skipped or
+	// re-validated per the paper's Section 4.4).
+	Replacements, Attempts, Stale int
+
+	// Commits and Aborts are the speculative-execution counters of the
+	// Galois substrate (zero for serial engines).
+	Commits, Aborts int64
+
+	// CommittedWork and WastedWork are the total time spent inside
+	// committed and aborted activities: the paper's Fig. 2 signal. A
+	// fused operator (ICCAD'18) wastes its whole evaluation on conflict;
+	// DACPara's split operators waste almost nothing.
+	CommittedWork, WastedWork time.Duration
+
+	Duration time.Duration
+}
+
+// WastedFraction returns the share of speculative work that was thrown
+// away because of lock conflicts.
+func (r Result) WastedFraction() float64 {
+	total := r.CommittedWork + r.WastedWork
+	if total == 0 {
+		return 0
+	}
+	return float64(r.WastedWork) / float64(total)
+}
+
+// AreaReduction returns the number of AND gates removed, the paper's
+// quality metric ("Area Reduction" columns).
+func (r Result) AreaReduction() int { return r.InitialAnds - r.FinalAnds }

@@ -1,0 +1,51 @@
+package rewrite
+
+import (
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/cut"
+	"dacpara/internal/rewlib"
+)
+
+// Serial runs single-threaded DAG-aware rewriting in topological order —
+// the ABC `rewrite` baseline of the paper's Table 2. Each node is visited
+// once per pass: its 4-cuts are enumerated, every cut function is matched
+// against the structure library through its NPN class, the best
+// replacement is selected by gain (respecting logical sharing on both the
+// removed and added logic), and strictly positive gains are committed
+// immediately, so every node sees the latest graph.
+func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) Result {
+	start := time.Now()
+	res := Result{
+		Engine:       "abc-rewrite",
+		Threads:      1,
+		Passes:       cfg.passes(),
+		InitialAnds:  a.NumAnds(),
+		InitialDelay: a.Delay(),
+	}
+	for p := 0; p < cfg.passes(); p++ {
+		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
+		ev := NewEvaluator(a, lib, cfg)
+		for _, id := range a.TopoOrder(nil) {
+			if !a.N(id).IsAnd() {
+				continue
+			}
+			cuts, _ := cm.Ensure(id, nil)
+			cand := ev.Evaluate(id, cuts)
+			if !cand.Ok() {
+				continue
+			}
+			res.Attempts++
+			if _, st := ev.Execute(cm, &cand, nil); st == StatusCommitted {
+				res.Replacements++
+			} else if st == StatusStale {
+				res.Stale++
+			}
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	res.FinalDelay = a.Delay()
+	res.Duration = time.Since(start)
+	return res
+}

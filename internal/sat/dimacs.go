@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS loads a CNF in DIMACS format into a fresh solver. It
+// returns the solver, the declared variable count, and whether the
+// formula was detected unsatisfiable already while adding clauses.
+func ParseDIMACS(r io.Reader) (*Solver, int, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	declaredVars := 0
+	seenHeader := false
+	var clause []Lit
+	ensureVar := func(v int) error {
+		if v <= 0 {
+			return fmt.Errorf("dimacs: variable %d out of range", v)
+		}
+		for s.NumVars() < v {
+			s.NewVar()
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, 0, fmt.Errorf("dimacs: bad problem line %q", line)
+			}
+			var err error
+			if declaredVars, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, 0, fmt.Errorf("dimacs: bad variable count: %w", err)
+			}
+			if err := ensureVar(declaredVars); declaredVars > 0 && err != nil {
+				return nil, 0, err
+			}
+			seenHeader = true
+			continue
+		}
+		if !seenHeader {
+			return nil, 0, fmt.Errorf("dimacs: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dimacs: bad literal %q: %w", tok, err)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if err := ensureVar(v); err != nil {
+				return nil, 0, err
+			}
+			clause = append(clause, MkLit(v-1, n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, declaredVars, nil
+}
+
+// WriteDIMACSModel prints a model in the conventional "v" line format.
+func WriteDIMACSModel(w io.Writer, s *Solver, numVars int) {
+	fmt.Fprint(w, "v")
+	for v := 0; v < numVars && v < s.NumVars(); v++ {
+		if s.Value(v) {
+			fmt.Fprintf(w, " %d", v+1)
+		} else {
+			fmt.Fprintf(w, " -%d", v+1)
+		}
+	}
+	fmt.Fprintln(w, " 0")
+}

@@ -1,0 +1,83 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSat(t *testing.T) {
+	in := `c a simple satisfiable formula
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s, nv, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 3 {
+		t.Fatalf("vars %d", nv)
+	}
+	if !s.Solve() {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	// Verify the model against the clauses.
+	check := [][]int{{1, 2}, {-1, 3}, {-2, -3}}
+	for _, cls := range check {
+		ok := false
+		for _, l := range cls {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if s.Value(v-1) == (l > 0) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("model violates clause %v", cls)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDIMACSModel(&buf, s, nv)
+	if !strings.HasPrefix(buf.String(), "v ") || !strings.HasSuffix(strings.TrimSpace(buf.String()), " 0") {
+		t.Fatalf("model line %q", buf.String())
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() {
+		t.Fatal("unsat formula reported sat")
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 4 0\n"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Solve() {
+		t.Fatal("wide clause unsat")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 2 0\n",               // clause before header
+		"p cnf x 1\n1 0\n",      // bad header
+		"p dnf 2 1\n1 0\n",      // wrong format tag
+		"p cnf 2 1\n1 frog 0\n", // bad literal
+	} {
+		if _, _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

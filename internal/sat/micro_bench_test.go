@@ -1,0 +1,33 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRandom3SAT solves near-threshold random 3-SAT instances, the
+// standard CDCL stress profile.
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		const nv = 60
+		nc := int(4.2 * nv)
+		s := New()
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for c := 0; c < nc && ok; c++ {
+			ok = s.AddClause(
+				MkLit(rng.Intn(nv), rng.Intn(2) == 0),
+				MkLit(rng.Intn(nv), rng.Intn(2) == 0),
+				MkLit(rng.Intn(nv), rng.Intn(2) == 0),
+			)
+		}
+		b.StartTimer()
+		if ok {
+			s.Solve()
+		}
+	}
+}

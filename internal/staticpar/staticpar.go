@@ -1,0 +1,174 @@
+// Package staticpar models the GPU-accelerated rewriting methods the
+// paper compares against — NovelRewrite (DAC'22) and the recursion- and
+// lock-free framework of Li et al. (TCAD'23) — on the CPU.
+//
+// Their shared algorithmic essence, per the paper's Section 3: enumerate
+// and evaluate ALL nodes exactly once, in parallel, against the ORIGINAL
+// graph (static global information, no locks), then apply the chosen
+// replacements in a serial conditional pass, merging logically equivalent
+// nodes afterwards. Because every decision was made on the static snapshot
+// and ignores how earlier replacements changed the graph, some
+// replacements realize zero or even negative gain — the quality penalty
+// DACPara's dynamic re-evaluation avoids (Table 3).
+//
+// The GPU hardware itself is not modelled; the runtime of this engine is
+// reported as a CPU model runtime and is not comparable to the papers'
+// GPU numbers (see EXPERIMENTS.md).
+package staticpar
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/cut"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/rewrite"
+)
+
+// Variant selects which published GPU method's conditional-replacement
+// rule is modelled.
+type Variant int
+
+const (
+	// DAC22 (NovelRewrite) skips a stored replacement whenever any leaf of
+	// its cut has been deleted by an earlier replacement.
+	DAC22 Variant = iota
+	// TCAD23 additionally re-enumerates and retries the stored structure
+	// when the leaf set still exists structurally, accepting it if the NPN
+	// class still matches.
+	TCAD23
+)
+
+func (v Variant) String() string {
+	if v == DAC22 {
+		return "dac22-novelrewrite"
+	}
+	return "tcad23-gpu"
+}
+
+// Rewrite runs static-information rewriting: parallel enumeration and
+// evaluation on the unchanging input graph, then serial conditional
+// replacement.
+func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) rewrite.Result {
+	start := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := rewrite.Result{
+		Engine:       variant.String(),
+		Threads:      workers,
+		Passes:       passes(cfg),
+		InitialAnds:  a.NumAnds(),
+		InitialDelay: a.Delay(),
+	}
+	for p := 0; p < passes(cfg); p++ {
+		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
+		cm.Ensure(0, nil)
+		for _, pi := range a.PIs() {
+			cm.Ensure(pi, nil)
+		}
+
+		// Parallel enumeration level by level: the graph is static, and
+		// the barrier between levels means each node's fanin cut sets are
+		// complete and immutable when the node is processed — no locks, as
+		// on the GPU.
+		a.Levelize()
+		var levels [][]int32
+		a.ForEachAnd(func(id int32) {
+			lv := int(a.N(id).Level()) - 1
+			for len(levels) <= lv {
+				levels = append(levels, nil)
+			}
+			levels[lv] = append(levels[lv], id)
+		})
+		for _, wl := range levels {
+			parallelFor(workers, wl, func(_ int, id int32) {
+				cm.Ensure(id, nil)
+			})
+		}
+
+		// Parallel evaluation of every node against the static graph.
+		prep := make([]rewrite.Candidate, a.Capacity())
+		evs := make([]*rewrite.Evaluator, workers)
+		for w := range evs {
+			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
+			evs[w].TrustStoredGain = true
+		}
+		for _, wl := range levels {
+			parallelFor(workers, wl, func(w int, id int32) {
+				if cuts, ok := cm.Cuts(id); ok {
+					prep[id] = evs[w].Evaluate(id, cuts)
+				}
+			})
+		}
+
+		// Serial conditional replacement on the CPU, in topological order
+		// (as DAC'22 does). The stored gain is trusted — static global
+		// information — so realized gains may be zero or negative.
+		ev := evs[0]
+		for _, wl := range levels {
+			for _, id := range wl {
+				cand := prep[id]
+				if !cand.Ok() {
+					continue
+				}
+				res.Attempts++
+				if variant == DAC22 && !cand.Cut.Fresh(a) {
+					res.Stale++
+					continue
+				}
+				_, st := ev.Execute(cm, &cand, nil)
+				switch st {
+				case rewrite.StatusCommitted:
+					res.Replacements++
+				case rewrite.StatusStale:
+					res.Stale++
+				}
+			}
+		}
+	}
+	res.FinalAnds = a.NumAnds()
+	res.FinalDelay = a.Delay()
+	res.Duration = time.Since(start)
+	return res
+}
+
+// parallelFor distributes items over workers with a barrier at the end.
+func parallelFor(workers int, items []int32, fn func(worker int, id int32)) {
+	if len(items) == 0 {
+		return
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, id := range items[lo:hi] {
+				fn(w, id)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+func passes(cfg rewrite.Config) int {
+	if cfg.Passes <= 0 {
+		return 1
+	}
+	return cfg.Passes
+}

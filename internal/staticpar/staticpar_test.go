@@ -1,0 +1,87 @@
+package staticpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bench"
+	"dacpara/internal/core"
+	"dacpara/internal/npn"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/rewrite"
+)
+
+func lib(t testing.TB) *rewlib.Library {
+	t.Helper()
+	l, err := rewlib.Build(npn.Shared(), rewlib.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPreservesFunction(t *testing.T) {
+	l := lib(t)
+	for _, variant := range []Variant{DAC22, TCAD23} {
+		a := bench.MtM("m", 6000, 5)
+		golden := a.Clone()
+		res := Rewrite(a, l, rewrite.Config{Workers: 4}, variant)
+		if err := a.Check(aig.CheckOptions{}); err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		sa := aig.RandomSignature(golden, rand.New(rand.NewSource(1)), 4)
+		sb := aig.RandomSignature(a, rand.New(rand.NewSource(1)), 4)
+		if !aig.EqualSignatures(sa, sb) {
+			t.Fatalf("%v: function changed", variant)
+		}
+		if res.Engine == "" || res.FinalAnds == 0 {
+			t.Fatalf("%v: bad result %+v", variant, res)
+		}
+	}
+}
+
+// TestStaticInformationLosesQuality is the paper's Table 3 claim: static
+// global information (decide on the original graph, apply later) misses
+// the gains that dynamic re-evaluation captures, so DACPara ends smaller.
+func TestStaticInformationLosesQuality(t *testing.T) {
+	l := lib(t)
+	seedTotals := struct{ static, dynamic int }{}
+	for seed := int64(0); seed < 3; seed++ {
+		a1 := bench.MtM("m", 8000, 16+seed)
+		a2 := a1.Clone()
+		st := Rewrite(a1, l, rewrite.Config{Workers: 4}, DAC22)
+		dy := core.Rewrite(a2, l, rewrite.Config{Workers: 4})
+		seedTotals.static += st.AreaReduction()
+		seedTotals.dynamic += dy.AreaReduction()
+	}
+	if seedTotals.dynamic <= seedTotals.static {
+		t.Fatalf("dynamic (%d) not better than static (%d) in aggregate",
+			seedTotals.dynamic, seedTotals.static)
+	}
+	t.Logf("area reduction: static=%d dynamic=%d (+%.1f%%)",
+		seedTotals.static, seedTotals.dynamic,
+		100*float64(seedTotals.dynamic-seedTotals.static)/float64(seedTotals.static))
+}
+
+func TestStaleDecisionsAreCounted(t *testing.T) {
+	l := lib(t)
+	a := bench.MtM("m", 8000, 9)
+	res := Rewrite(a, l, rewrite.Config{Workers: 4}, DAC22)
+	if res.Attempts == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	if res.Stale == 0 {
+		t.Log("no stale decisions on this seed (acceptable but unusual)")
+	}
+	if res.Replacements+res.Stale > res.Attempts {
+		t.Fatalf("bookkeeping: repl=%d stale=%d attempts=%d",
+			res.Replacements, res.Stale, res.Attempts)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if DAC22.String() != "dac22-novelrewrite" || TCAD23.String() != "tcad23-gpu" {
+		t.Fatalf("variant names: %q %q", DAC22.String(), TCAD23.String())
+	}
+}

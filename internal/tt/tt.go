@@ -1,0 +1,256 @@
+// Package tt implements truth-table arithmetic for Boolean functions of up
+// to four variables, the function domain of 4-input cut rewriting.
+//
+// A function is stored as a Func16: bit i of the word holds f(x3,x2,x1,x0)
+// where i = x3<<3 | x2<<2 | x1<<1 | x0. The package provides the Boolean
+// connectives, cofactoring, support computation, decomposition probes
+// (Shannon, XOR, MUX) and an irredundant sum-of-products (ISOP) cover
+// generator in the style of Minato–Morreale, which the structure library
+// uses to factor canonical functions into AIG structures.
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Func16 is a complete truth table of a Boolean function over the four
+// variables x0..x3.
+type Func16 uint16
+
+// Truth tables of the four variables and constants.
+const (
+	Var0  Func16 = 0xAAAA // x0
+	Var1  Func16 = 0xCCCC // x1
+	Var2  Func16 = 0xF0F0 // x2
+	Var3  Func16 = 0xFF00 // x3
+	False Func16 = 0x0000
+	True  Func16 = 0xFFFF
+)
+
+// Vars lists the variable truth tables indexed by variable number.
+var Vars = [4]Func16{Var0, Var1, Var2, Var3}
+
+// Var returns the truth table of variable v (0..3). It panics if v is out
+// of range; callers index cuts whose width is already validated.
+func Var(v int) Func16 { return Vars[v] }
+
+// Not returns the complement of f.
+func (f Func16) Not() Func16 { return ^f }
+
+// And returns the conjunction of f and g.
+func (f Func16) And(g Func16) Func16 { return f & g }
+
+// Or returns the disjunction of f and g.
+func (f Func16) Or(g Func16) Func16 { return f | g }
+
+// Xor returns the exclusive-or of f and g.
+func (f Func16) Xor(g Func16) Func16 { return f ^ g }
+
+// Ones reports the number of satisfying assignments of f.
+func (f Func16) Ones() int { return bits.OnesCount16(uint16(f)) }
+
+// IsConst reports whether f is constant true or false.
+func (f Func16) IsConst() bool { return f == False || f == True }
+
+var cofMask = [4][2]Func16{
+	{0x5555, 0xAAAA},
+	{0x3333, 0xCCCC},
+	{0x0F0F, 0xF0F0},
+	{0x00FF, 0xFF00},
+}
+
+var cofShift = [4]uint{1, 2, 4, 8}
+
+// Cofactor0 returns the negative cofactor of f with respect to variable v,
+// expanded back over the full 16-row domain so that it no longer depends
+// on v.
+func (f Func16) Cofactor0(v int) Func16 {
+	low := f & cofMask[v][0]
+	return low | low<<cofShift[v]
+}
+
+// Cofactor1 returns the positive cofactor of f with respect to variable v.
+func (f Func16) Cofactor1(v int) Func16 {
+	high := f & cofMask[v][1]
+	return high | high>>cofShift[v]
+}
+
+// DependsOn reports whether f depends on variable v.
+func (f Func16) DependsOn(v int) bool { return f.Cofactor0(v) != f.Cofactor1(v) }
+
+// Support returns a bitmask of the variables f depends on.
+func (f Func16) Support() uint {
+	var s uint
+	for v := 0; v < 4; v++ {
+		if f.DependsOn(v) {
+			s |= 1 << uint(v)
+		}
+	}
+	return s
+}
+
+// SupportSize returns the number of variables f depends on.
+func (f Func16) SupportSize() int { return bits.OnesCount(f.Support()) }
+
+// PermuteVars returns f with its variables renamed according to perm:
+// variable v of the result behaves as variable perm[v] of f. perm must be
+// a permutation of {0,1,2,3}.
+func (f Func16) PermuteVars(perm [4]int) Func16 {
+	var out Func16
+	for row := 0; row < 16; row++ {
+		src := 0
+		for v := 0; v < 4; v++ {
+			if row>>uint(v)&1 == 1 {
+				src |= 1 << uint(perm[v])
+			}
+		}
+		if f>>uint(src)&1 == 1 {
+			out |= 1 << uint(row)
+		}
+	}
+	return out
+}
+
+// FlipVar returns f with variable v complemented.
+func (f Func16) FlipVar(v int) Func16 {
+	low := f & cofMask[v][0]
+	high := f & cofMask[v][1]
+	return low<<cofShift[v] | high>>cofShift[v]
+}
+
+// Eval evaluates f on the assignment encoded in the low four bits of in.
+func (f Func16) Eval(in uint) bool { return f>>(in&15)&1 == 1 }
+
+// String renders f as a 4-digit hexadecimal constant, the conventional
+// notation for 4-variable truth tables.
+func (f Func16) String() string { return fmt.Sprintf("0x%04X", uint16(f)) }
+
+// IsXorDecomposable reports whether f = x_v XOR g for some g independent
+// of v, returning g.
+func (f Func16) IsXorDecomposable(v int) (Func16, bool) {
+	c0 := f.Cofactor0(v)
+	c1 := f.Cofactor1(v)
+	if c0 == c1.Not() {
+		return c0, true
+	}
+	return 0, false
+}
+
+// Cube is a product term over x0..x3: Lits is a mask of participating
+// variables and Phase gives the polarity of each participating variable
+// (bit set means positive literal).
+type Cube struct {
+	Lits  uint8
+	Phase uint8
+}
+
+// Table returns the truth table of the cube.
+func (c Cube) Table() Func16 {
+	t := True
+	for v := 0; v < 4; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		if c.Phase>>uint(v)&1 == 1 {
+			t &= Vars[v]
+		} else {
+			t &= ^Vars[v]
+		}
+	}
+	return t
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int { return bits.OnesCount8(c.Lits) }
+
+// String renders the cube as a product of literals, e.g. "x0·!x2".
+func (c Cube) String() string {
+	if c.Lits == 0 {
+		return "1"
+	}
+	var parts []string
+	for v := 0; v < 4; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		if c.Phase>>uint(v)&1 == 1 {
+			parts = append(parts, fmt.Sprintf("x%d", v))
+		} else {
+			parts = append(parts, fmt.Sprintf("!x%d", v))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// ISOP computes an irredundant sum-of-products cover of any function g
+// with f.onset ⊆ g ⊆ f.onset∪dc using the Minato–Morreale interval
+// algorithm. It returns the cover and its exact truth table.
+func ISOP(on, dc Func16) ([]Cube, Func16) {
+	cubes, table := isop(on, on|dc, 4)
+	return cubes, table
+}
+
+// isop covers the Boolean interval [lower, upper] using variables < nv.
+func isop(lower, upper Func16, nv int) ([]Cube, Func16) {
+	if lower == False {
+		return nil, False
+	}
+	if upper == True {
+		return []Cube{{}}, True
+	}
+	// Pick the highest variable in the support of the interval bounds.
+	v := nv - 1
+	for v >= 0 && !lower.DependsOn(v) && !upper.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		// lower is a non-false constant with upper != True: impossible
+		// for a well-formed interval, but guard against it.
+		return []Cube{{}}, True
+	}
+	l0, l1 := lower.Cofactor0(v), lower.Cofactor1(v)
+	u0, u1 := upper.Cofactor0(v), upper.Cofactor1(v)
+
+	// Cover the parts that can only be covered with a literal of v.
+	cs0, t0 := isop(l0&^u1, u0, v)
+	cs1, t1 := isop(l1&^u0, u1, v)
+	// Cover the shared remainder without using v.
+	lnew := (l0 &^ t0) | (l1 &^ t1)
+	cs2, t2 := isop(lnew, u0&u1, v)
+
+	var out []Cube
+	table := t2
+	for _, c := range cs0 {
+		c.Lits |= 1 << uint(v)
+		out = append(out, c)
+		table |= c.Table()
+	}
+	for _, c := range cs1 {
+		c.Lits |= 1 << uint(v)
+		c.Phase |= 1 << uint(v)
+		out = append(out, c)
+		table |= c.Table()
+	}
+	out = append(out, cs2...)
+	return out, table
+}
+
+// CoverTable returns the truth table of a cube cover.
+func CoverTable(cover []Cube) Func16 {
+	t := False
+	for _, c := range cover {
+		t |= c.Table()
+	}
+	return t
+}
+
+// CoverLiterals returns the total number of literals in a cover.
+func CoverLiterals(cover []Cube) int {
+	n := 0
+	for _, c := range cover {
+		n += c.NumLits()
+	}
+	return n
+}

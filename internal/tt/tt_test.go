@@ -1,0 +1,213 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarTables(t *testing.T) {
+	for v := 0; v < 4; v++ {
+		for row := uint(0); row < 16; row++ {
+			want := row>>uint(v)&1 == 1
+			if got := Var(v).Eval(row); got != want {
+				t.Fatalf("Var(%d).Eval(%d) = %v, want %v", v, row, got, want)
+			}
+		}
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		f, g := Func16(a), Func16(b)
+		for row := uint(0); row < 16; row++ {
+			if f.And(g).Eval(row) != (f.Eval(row) && g.Eval(row)) {
+				return false
+			}
+			if f.Or(g).Eval(row) != (f.Eval(row) || g.Eval(row)) {
+				return false
+			}
+			if f.Xor(g).Eval(row) != (f.Eval(row) != g.Eval(row)) {
+				return false
+			}
+			if f.Not().Eval(row) == f.Eval(row) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCofactors(t *testing.T) {
+	err := quick.Check(func(a uint16, v0 uint8) bool {
+		f := Func16(a)
+		v := int(v0 % 4)
+		c0, c1 := f.Cofactor0(v), f.Cofactor1(v)
+		// Cofactors do not depend on v.
+		if c0.DependsOn(v) || c1.DependsOn(v) {
+			return false
+		}
+		// Shannon expansion reconstructs f.
+		shannon := Var(v).And(c1).Or(Var(v).Not().And(c0))
+		return shannon == f
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	if Var0.Support() != 1 || Var3.Support() != 8 {
+		t.Fatalf("variable supports wrong: %b %b", Var0.Support(), Var3.Support())
+	}
+	if False.Support() != 0 || True.SupportSize() != 0 {
+		t.Fatal("constants must have empty support")
+	}
+	f := Var0.Xor(Var2)
+	if f.Support() != 0b0101 {
+		t.Fatalf("x0^x2 support = %b", f.Support())
+	}
+	if f.SupportSize() != 2 {
+		t.Fatalf("x0^x2 support size = %d", f.SupportSize())
+	}
+}
+
+func TestPermuteVars(t *testing.T) {
+	// Swapping x0 and x1 maps Var0 to Var1.
+	perm := [4]int{1, 0, 2, 3}
+	if got := Var0.PermuteVars(perm); got != Var1 {
+		t.Fatalf("permuted Var0 = %v, want %v", got, Var1)
+	}
+	// Permutation is a bijection on functions: applying perm and its
+	// inverse round-trips.
+	err := quick.Check(func(a uint16) bool {
+		f := Func16(a)
+		p := [4]int{2, 3, 1, 0}
+		inv := [4]int{}
+		for i, x := range p {
+			inv[x] = i
+		}
+		return f.PermuteVars(p).PermuteVars(inv) == f
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipVar(t *testing.T) {
+	err := quick.Check(func(a uint16, v0 uint8) bool {
+		f := Func16(a)
+		v := int(v0 % 4)
+		g := f.FlipVar(v)
+		// Flipping twice is identity.
+		if g.FlipVar(v) != f {
+			return false
+		}
+		// g(x) = f(x with bit v flipped).
+		for row := uint(0); row < 16; row++ {
+			if g.Eval(row) != f.Eval(row^(1<<uint(v))) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorDecomposable(t *testing.T) {
+	f := Var1.Xor(Var2.And(Var3))
+	g, ok := f.IsXorDecomposable(1)
+	if !ok {
+		t.Fatal("x1 ^ (x2&x3) must be XOR-decomposable on x1")
+	}
+	if got := Var1.Xor(g); got != f {
+		t.Fatalf("decomposition does not reconstruct: %v", got)
+	}
+	if _, ok := Var1.And(Var2).IsXorDecomposable(1); ok {
+		t.Fatal("x1 & x2 is not XOR-decomposable on x1")
+	}
+}
+
+func TestCubeTable(t *testing.T) {
+	c := Cube{Lits: 0b0101, Phase: 0b0001} // x0 & !x2
+	want := Var0.And(Var2.Not())
+	if c.Table() != want {
+		t.Fatalf("cube table %v, want %v", c.Table(), want)
+	}
+	if c.NumLits() != 2 {
+		t.Fatalf("cube literal count %d", c.NumLits())
+	}
+	if (Cube{}).Table() != True {
+		t.Fatal("empty cube must be the tautology")
+	}
+}
+
+func TestISOPCoversExactly(t *testing.T) {
+	// With an empty don't-care set, the ISOP must equal the function.
+	err := quick.Check(func(a uint16) bool {
+		f := Func16(a)
+		cover, table := ISOP(f, False)
+		return table == f && CoverTable(cover) == f
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISOPWithDontCares(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		on := Func16(rng.Uint32())
+		dc := Func16(rng.Uint32()) &^ on
+		cover, table := ISOP(on, dc)
+		if table != CoverTable(cover) {
+			t.Fatal("reported table disagrees with cover")
+		}
+		// The cover must lie within the interval [on, on|dc].
+		if on&^table != 0 {
+			t.Fatalf("cover misses onset points: on=%v table=%v", on, table)
+		}
+		if table&^(on|dc) != 0 {
+			t.Fatalf("cover exceeds the interval: table=%v", table)
+		}
+	}
+}
+
+func TestISOPIsReasonablyCompact(t *testing.T) {
+	// For a function that is a single cube, ISOP must find one cube.
+	f := Var0.And(Var1.Not()).And(Var3)
+	cover, _ := ISOP(f, False)
+	if len(cover) != 1 {
+		t.Fatalf("single-cube function covered with %d cubes", len(cover))
+	}
+	if CoverLiterals(cover) != 3 {
+		t.Fatalf("cube has %d literals, want 3", CoverLiterals(cover))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Var0.String() != "0xAAAA" {
+		t.Fatalf("Var0 string %q", Var0.String())
+	}
+	c := Cube{Lits: 0b0011, Phase: 0b0010}
+	if c.String() != "!x0·x1" {
+		t.Fatalf("cube string %q", c.String())
+	}
+	if (Cube{}).String() != "1" {
+		t.Fatal("empty cube renders as 1")
+	}
+}
+
+func TestOnesAndConst(t *testing.T) {
+	if False.Ones() != 0 || True.Ones() != 16 || Var0.Ones() != 8 {
+		t.Fatal("popcounts wrong")
+	}
+	if !False.IsConst() || !True.IsConst() || Var0.IsConst() {
+		t.Fatal("IsConst wrong")
+	}
+}

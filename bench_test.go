@@ -44,6 +44,15 @@ func benchLib(b *testing.B) *Library {
 	return lib
 }
 
+// must unwraps an engine result; engine errors cannot occur here (no
+// fault plan, default retry budget) so any error is a harness bug.
+func must(res rewrite.Result, err error) rewrite.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 func reportResult(b *testing.B, res rewrite.Result) {
 	b.ReportMetric(float64(res.AreaReduction()), "area-red")
 	b.ReportMetric(float64(res.FinalDelay), "delay")
@@ -78,15 +87,15 @@ func BenchmarkTable2(b *testing.B) {
 	lib := benchLib(b)
 	engines := []struct {
 		name string
-		run  func(*aig.AIG) rewrite.Result
+		run  func(*aig.AIG) (rewrite.Result, error)
 	}{
-		{"abc", func(a *aig.AIG) rewrite.Result {
+		{"abc", func(a *aig.AIG) (rewrite.Result, error) {
 			return rewrite.Serial(a, libInternal(lib), rewrite.Config{})
 		}},
-		{"iccad18", func(a *aig.AIG) rewrite.Result {
+		{"iccad18", func(a *aig.AIG) (rewrite.Result, error) {
 			return lockpar.Rewrite(a, libInternal(lib), rewrite.Config{})
 		}},
-		{"dacpara", func(a *aig.AIG) rewrite.Result {
+		{"dacpara", func(a *aig.AIG) (rewrite.Result, error) {
 			return core.Rewrite(a, libInternal(lib), rewrite.Config{})
 		}},
 	}
@@ -99,7 +108,7 @@ func BenchmarkTable2(b *testing.B) {
 					b.StopTimer()
 					a := c.Instantiate(sc)
 					b.StartTimer()
-					res = e.run(a)
+					res = must(e.run(a))
 				}
 				reportResult(b, res)
 			})
@@ -116,21 +125,21 @@ func BenchmarkTable3(b *testing.B) {
 	drwCfg := rewrite.Config{MaxCuts: 8, MaxStructs: 5, NumClasses: 222, Passes: 2}
 	engines := []struct {
 		name string
-		run  func(*aig.AIG) rewrite.Result
+		run  func(*aig.AIG) (rewrite.Result, error)
 	}{
-		{"iccad18", func(a *aig.AIG) rewrite.Result {
+		{"iccad18", func(a *aig.AIG) (rewrite.Result, error) {
 			return lockpar.Rewrite(a, libInternal(lib), rewrite.Config{})
 		}},
-		{"dac22", func(a *aig.AIG) rewrite.Result {
+		{"dac22", func(a *aig.AIG) (rewrite.Result, error) {
 			return staticpar.Rewrite(a, libInternal(lib), drwCfg, staticpar.DAC22)
 		}},
-		{"tcad23", func(a *aig.AIG) rewrite.Result {
+		{"tcad23", func(a *aig.AIG) (rewrite.Result, error) {
 			return staticpar.Rewrite(a, libInternal(lib), drwCfg, staticpar.TCAD23)
 		}},
-		{"dacpara-p1", func(a *aig.AIG) rewrite.Result {
+		{"dacpara-p1", func(a *aig.AIG) (rewrite.Result, error) {
 			return core.Rewrite(a, libInternal(lib), rewrite.P1())
 		}},
-		{"dacpara-p2", func(a *aig.AIG) rewrite.Result {
+		{"dacpara-p2", func(a *aig.AIG) (rewrite.Result, error) {
 			return core.Rewrite(a, libInternal(lib), rewrite.P2())
 		}},
 	}
@@ -143,7 +152,7 @@ func BenchmarkTable3(b *testing.B) {
 					b.StopTimer()
 					a := c.Instantiate(sc)
 					b.StartTimer()
-					res = e.run(a)
+					res = must(e.run(a))
 				}
 				reportResult(b, res)
 			})
@@ -173,9 +182,9 @@ func BenchmarkFig2Conflicts(b *testing.B) {
 				a := c.Instantiate(sc)
 				b.StartTimer()
 				if e.fused {
-					res = lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+					res = must(lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8}))
 				} else {
-					res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+					res = must(core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8}))
 				}
 			}
 			reportResult(b, res)
@@ -201,7 +210,7 @@ func BenchmarkThreadScaling(b *testing.B) {
 				b.StopTimer()
 				a := c.Instantiate(sc)
 				b.StartTimer()
-				res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th})
+				res = must(core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th}))
 			}
 			reportResult(b, res)
 		})
@@ -211,7 +220,7 @@ func BenchmarkThreadScaling(b *testing.B) {
 				b.StopTimer()
 				a := c.Instantiate(sc)
 				b.StartTimer()
-				res = lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th})
+				res = must(lockpar.Rewrite(a, libInternal(lib), rewrite.Config{Workers: th}))
 			}
 			reportResult(b, res)
 		})
@@ -239,9 +248,9 @@ func BenchmarkAblationNoLevels(b *testing.B) {
 				a := c.Instantiate(sc)
 				b.StartTimer()
 				if e.flat {
-					res = core.RewriteFlat(a, libInternal(lib), rewrite.Config{Workers: 8})
+					res = must(core.RewriteFlat(a, libInternal(lib), rewrite.Config{Workers: 8}))
 				} else {
-					res = core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8})
+					res = must(core.Rewrite(a, libInternal(lib), rewrite.Config{Workers: 8}))
 				}
 			}
 			reportResult(b, res)
@@ -273,7 +282,7 @@ func BenchmarkAblationStrash(b *testing.B) {
 					a = a.CloneWith(aig.Options{GlobalStrash: true})
 				}
 				b.StartTimer()
-				res = rewrite.Serial(a, libInternal(lib), rewrite.Config{})
+				res = must(rewrite.Serial(a, libInternal(lib), rewrite.Config{}))
 			}
 			reportResult(b, res)
 		})
@@ -292,7 +301,7 @@ func BenchmarkEquivalenceCheck(b *testing.B) {
 	}
 	a := c.Instantiate(sc)
 	golden := a.Clone()
-	core.Rewrite(a, libInternal(lib), rewrite.Config{})
+	must(core.Rewrite(a, libInternal(lib), rewrite.Config{}))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eq, err := Equivalent(golden, a)

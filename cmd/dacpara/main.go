@@ -29,6 +29,8 @@ func main() {
 		p2      = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
 		zero    = flag.Bool("z", false, "also apply zero-gain rewrites")
 		level   = flag.Bool("l", false, "preserve levels: reject depth-increasing rewrites")
+		guard   = flag.Bool("guard", false, "guarded execution: verify each engine run on a scratch copy and degrade dacpara -> iccad18 -> abc on failure")
+		deadln  = flag.Duration("guard-deadline", 0, "with -guard: per-attempt wall-clock deadline (0 = none)")
 		verify  = flag.Bool("verify", false, "equivalence-check the result against the input")
 		simOnly = flag.Bool("sim-only", false, "verification by simulation only (for large circuits)")
 		lut     = flag.Int("lut", 0, "after optimizing, also map into k-input LUTs and report mapped area/depth")
@@ -81,7 +83,17 @@ func main() {
 		case "resyn2rs":
 			text = dacpara.Resyn2rs
 		}
-		results, final, err := dacpara.Flow(net, text, cfg)
+		var results []dacpara.Result
+		var final *dacpara.Network
+		if *guard {
+			var reports []*dacpara.GuardReport
+			results, reports, final, err = dacpara.FlowGuarded(net, text, cfg, dacpara.GuardOptions{Deadline: *deadln})
+			for _, rep := range reports {
+				printReport(rep)
+			}
+		} else {
+			results, final, err = dacpara.Flow(net, text, cfg)
+		}
 		fatal(err)
 		net = final
 		for _, r := range results {
@@ -93,7 +105,15 @@ func main() {
 		fmt.Printf("flow total: area %d -> %d, delay %d -> %d\n",
 			before.Ands, after.Ands, before.Delay, after.Delay)
 	} else {
-		res, err := dacpara.Rewrite(net, dacpara.Engine(*engine), cfg)
+		var res dacpara.Result
+		var err error
+		if *guard {
+			var rep *dacpara.GuardReport
+			res, rep, err = dacpara.RewriteGuarded(net, dacpara.Engine(*engine), cfg, dacpara.GuardOptions{Deadline: *deadln})
+			printReport(rep)
+		} else {
+			res, err = dacpara.Rewrite(net, dacpara.Engine(*engine), cfg)
+		}
 		fatal(err)
 		after := net.Stats()
 		fmt.Printf("engine=%s threads=%d time=%.3fs\n", res.Engine, res.Threads, res.Duration.Seconds())
@@ -139,6 +159,13 @@ func parseScale(s string) dacpara.Scale {
 	default:
 		return dacpara.ScaleSmall
 	}
+}
+
+func printReport(rep *dacpara.GuardReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Println(rep)
 }
 
 func fatal(err error) {

@@ -95,7 +95,7 @@ func table1(sc bench.Scale) {
 
 type engineRun struct {
 	name string
-	run  func(*aig.AIG) rewrite.Result
+	run  func(*aig.AIG) (rewrite.Result, error)
 }
 
 // measure averages an engine over runs, verifying each result.
@@ -108,7 +108,8 @@ func measure(c bench.Circuit, sc bench.Scale, e engineRun) rewrite.Result {
 		if *verify {
 			golden = a.Clone()
 		}
-		res := e.run(a)
+		res, err := e.run(a)
+		fatal(err)
 		if *verify {
 			opts := cec.Options{SimOnly: !*fullVerify, SimRounds: 32}
 			chk, err := cec.Check(golden, a, opts)
@@ -132,11 +133,11 @@ func table2(sc bench.Scale, lib *rewlib.Library) {
 		"ICCAD18 T(s)", "ICCAD18 ARed", "ICCAD18 D",
 		"DACPara T(s)", "DACPara ARed", "DACPara D")
 	engines := []engineRun{
-		{"abc", func(a *aig.AIG) rewrite.Result { return rewrite.Serial(a, lib, rewrite.Config{}) }},
-		{"iccad18", func(a *aig.AIG) rewrite.Result {
+		{"abc", func(a *aig.AIG) (rewrite.Result, error) { return rewrite.Serial(a, lib, rewrite.Config{}) }},
+		{"iccad18", func(a *aig.AIG) (rewrite.Result, error) {
 			return lockpar.Rewrite(a, lib, rewrite.Config{Workers: *threads})
 		}},
-		{"dacpara", func(a *aig.AIG) rewrite.Result {
+		{"dacpara", func(a *aig.AIG) (rewrite.Result, error) {
 			return core.Rewrite(a, lib, rewrite.Config{Workers: *threads})
 		}},
 	}
@@ -181,21 +182,21 @@ func table3(sc bench.Scale, lib *rewlib.Library) {
 	// the ICCAD'18 setup (see rewrite.P1/P2).
 	drwCfg := rewrite.Config{MaxCuts: 8, MaxStructs: 5, NumClasses: 222, Passes: 2, Workers: *threads}
 	engines := []engineRun{
-		{"iccad18", func(a *aig.AIG) rewrite.Result {
+		{"iccad18", func(a *aig.AIG) (rewrite.Result, error) {
 			return lockpar.Rewrite(a, lib, rewrite.Config{Workers: *threads})
 		}},
-		{"dac22", func(a *aig.AIG) rewrite.Result {
+		{"dac22", func(a *aig.AIG) (rewrite.Result, error) {
 			return staticpar.Rewrite(a, lib, drwCfg, staticpar.DAC22)
 		}},
-		{"tcad23", func(a *aig.AIG) rewrite.Result {
+		{"tcad23", func(a *aig.AIG) (rewrite.Result, error) {
 			return staticpar.Rewrite(a, lib, drwCfg, staticpar.TCAD23)
 		}},
-		{"p1", func(a *aig.AIG) rewrite.Result {
+		{"p1", func(a *aig.AIG) (rewrite.Result, error) {
 			cfg := rewrite.P1()
 			cfg.Workers = *threads
 			return core.Rewrite(a, lib, cfg)
 		}},
-		{"p2", func(a *aig.AIG) rewrite.Result {
+		{"p2", func(a *aig.AIG) (rewrite.Result, error) {
 			cfg := rewrite.P2()
 			cfg.Workers = *threads
 			return core.Rewrite(a, lib, cfg)
@@ -236,15 +237,16 @@ func fig2(sc bench.Scale, lib *rewlib.Library) {
 		"Benchmark", "Engine", "Activities", "Aborts", "Abort%", "Wasted work", "Wasted%")
 	for _, c := range bench.Suite(sc) {
 		for _, e := range []engineRun{
-			{"iccad18", func(a *aig.AIG) rewrite.Result {
+			{"iccad18", func(a *aig.AIG) (rewrite.Result, error) {
 				return lockpar.Rewrite(a, lib, rewrite.Config{Workers: *threads})
 			}},
-			{"dacpara", func(a *aig.AIG) rewrite.Result {
+			{"dacpara", func(a *aig.AIG) (rewrite.Result, error) {
 				return core.Rewrite(a, lib, rewrite.Config{Workers: *threads})
 			}},
 		} {
 			a := c.Instantiate(sc)
-			res := e.run(a)
+			res, err := e.run(a)
+			fatal(err)
 			total := res.Commits + res.Aborts
 			tbl.Row(c.Name, e.name, total, res.Aborts,
 				100*report.Ratio(float64(res.Aborts), float64(total)),
@@ -274,11 +276,13 @@ func scaling(sc bench.Scale, lib *rewlib.Library) {
 			for _, th := range ths {
 				a := c.Instantiate(sc)
 				var res rewrite.Result
+				var err error
 				if e == "iccad18" {
-					res = lockpar.Rewrite(a, lib, rewrite.Config{Workers: th})
+					res, err = lockpar.Rewrite(a, lib, rewrite.Config{Workers: th})
 				} else {
-					res = core.Rewrite(a, lib, rewrite.Config{Workers: th})
+					res, err = core.Rewrite(a, lib, rewrite.Config{Workers: th})
 				}
+				fatal(err)
 				tbl.Row(c.Name, e, th, res.Duration.Seconds(), res.AreaReduction(), res.Aborts)
 			}
 		}
@@ -299,24 +303,25 @@ func ablation(sc bench.Scale, lib *rewlib.Library) {
 		}
 		variants := []struct {
 			name string
-			run  func() rewrite.Result
+			run  func() (rewrite.Result, error)
 		}{
-			{"dacpara(level lists)", func() rewrite.Result {
+			{"dacpara(level lists)", func() (rewrite.Result, error) {
 				return core.Rewrite(c.Instantiate(sc), lib, rewrite.Config{Workers: *threads})
 			}},
-			{"dacpara(flat worklist)", func() rewrite.Result {
+			{"dacpara(flat worklist)", func() (rewrite.Result, error) {
 				return core.RewriteFlat(c.Instantiate(sc), lib, rewrite.Config{Workers: *threads})
 			}},
-			{"serial(decentralized strash)", func() rewrite.Result {
+			{"serial(decentralized strash)", func() (rewrite.Result, error) {
 				return rewrite.Serial(c.Instantiate(sc), lib, rewrite.Config{})
 			}},
-			{"serial(global strash)", func() rewrite.Result {
+			{"serial(global strash)", func() (rewrite.Result, error) {
 				a := c.Instantiate(sc).CloneWith(aig.Options{GlobalStrash: true})
 				return rewrite.Serial(a, lib, rewrite.Config{})
 			}},
 		}
 		for _, v := range variants {
-			res := v.run()
+			res, err := v.run()
+			fatal(err)
 			tbl.Row(c.Name, v.name, res.Duration.Seconds(), res.AreaReduction(), res.Stale, res.Aborts)
 		}
 	}
@@ -344,7 +349,8 @@ func flows(sc bench.Scale) {
 		}
 		row("initial", base, 0)
 		opt := base.Clone()
-		res := core.Rewrite(opt, mustLib(), rewrite.Config{Workers: *threads})
+		res, err := core.Rewrite(opt, mustLib(), rewrite.Config{Workers: *threads})
+		fatal(err)
 		row("dacpara", opt, res.Duration.Seconds())
 		full := base.Clone()
 		t0 := time.Now()

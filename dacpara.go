@@ -28,6 +28,7 @@ import (
 	"dacpara/internal/bench"
 	"dacpara/internal/cec"
 	"dacpara/internal/core"
+	"dacpara/internal/guard"
 	"dacpara/internal/lockpar"
 	"dacpara/internal/npn"
 	"dacpara/internal/rewlib"
@@ -114,17 +115,48 @@ func Rewrite(net *Network, engine Engine, cfg Config) (Result, error) {
 func RewriteWithLibrary(net *Network, engine Engine, cfg Config, lib *Library) (Result, error) {
 	switch engine {
 	case EngineSerial:
-		return rewrite.Serial(net, lib, cfg), nil
+		return rewrite.Serial(net, lib, cfg)
 	case EngineLockPar:
-		return lockpar.Rewrite(net, lib, cfg), nil
+		return lockpar.Rewrite(net, lib, cfg)
 	case EngineDACPara, "":
-		return core.Rewrite(net, lib, cfg), nil
+		return core.Rewrite(net, lib, cfg)
 	case EngineStaticDAC22:
-		return staticpar.Rewrite(net, lib, cfg, staticpar.DAC22), nil
+		return staticpar.Rewrite(net, lib, cfg, staticpar.DAC22)
 	case EngineStaticTCAD23:
-		return staticpar.Rewrite(net, lib, cfg, staticpar.TCAD23), nil
+		return staticpar.Rewrite(net, lib, cfg, staticpar.TCAD23)
 	}
 	return Result{}, fmt.Errorf("dacpara: unknown engine %q", engine)
+}
+
+// GuardOptions configures guarded execution (deadline, simulation
+// rounds, a custom degradation ladder); the zero value is the default
+// ladder with no deadline. See the guard package for details.
+type GuardOptions = guard.Options
+
+// GuardReport is the attempt-by-attempt history of one guarded rewrite.
+type GuardReport = guard.Report
+
+// ErrGuardExhausted reports that every rung of the degradation ladder
+// failed; the network is left unchanged.
+var ErrGuardExhausted = guard.ErrExhausted
+
+// RewriteGuarded is Rewrite inside a fault-containment boundary: the
+// engine runs on a scratch copy under panic recovery and an optional
+// deadline, the result is verified (structural invariants plus a
+// random-simulation equivalence screen) before being committed, and on
+// any failure the guard rolls back and degrades dacpara → iccad18 → abc
+// until a rung produces a verified result. The report records every
+// attempt; the error wraps ErrGuardExhausted only if all rungs fail, in
+// which case the network is untouched.
+func RewriteGuarded(net *Network, engine Engine, cfg Config, opts GuardOptions) (Result, *GuardReport, error) {
+	lib, err := DefaultLibrary()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if len(opts.Ladder) == 0 {
+		opts.Engine = guard.Engine(engine)
+	}
+	return guard.Rewrite(net, lib, cfg, opts)
 }
 
 // ReadAIGER loads a network from an AIGER file (ASCII or binary).

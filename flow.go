@@ -46,6 +46,63 @@ func Fraig(net *Network) int {
 	return cec.Fraig(net, cec.FraigOptions{}).Merged
 }
 
+// FlowStep is one validated command of a flow script.
+type FlowStep struct {
+	// Cmd is the command name as written in the script.
+	Cmd string
+	// ZeroGain reports the -z flag.
+	ZeroGain bool
+	// Engine is non-empty for rewriting commands (rewrite and the engine
+	// names), empty for the serial transforms.
+	Engine Engine
+}
+
+// ParseFlow parses and validates a whole flow script without touching
+// any network: unknown commands and flags are rejected up front, so a
+// script error can never leave a network half-transformed by the
+// commands that preceded the typo.
+func ParseFlow(script string) ([]FlowStep, error) {
+	var steps []FlowStep
+	for _, raw := range strings.Split(script, ";") {
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		st := FlowStep{Cmd: fields[0]}
+		for _, f := range fields[1:] {
+			switch f {
+			case "-z":
+				st.ZeroGain = true
+			default:
+				return nil, fmt.Errorf("dacpara: flow command %q: unknown flag %q", st.Cmd, f)
+			}
+		}
+		switch st.Cmd {
+		case "balance", "fraig":
+			if st.ZeroGain {
+				return nil, fmt.Errorf("dacpara: flow command %q does not accept -z", st.Cmd)
+			}
+		case "refactor", "resub":
+		case "rewrite":
+			st.Engine = EngineDACPara
+		default:
+			eng := Engine(st.Cmd)
+			known := false
+			for _, e := range Engines() {
+				if e == eng {
+					known = true
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("dacpara: flow: unknown command %q", st.Cmd)
+			}
+			st.Engine = eng
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
 // Flow runs an ABC-style synthesis script over the network: a
 // semicolon-separated command sequence, e.g.
 //
@@ -55,77 +112,98 @@ func Fraig(net *Network) int {
 // (abc, iccad18, dacpara, dac22, tcad23) and the aliases rewrite
 // (= dacpara), plus balance, refactor, resub and fraig;
 // rewrite/refactor/resub accept -z.
-// It returns the per-command results and the final network (balance
-// rebuilds the graph, so the returned pointer may differ from the
-// argument).
+//
+// The whole script is parsed and validated before the first command
+// runs. Flow returns the per-command results and the final network
+// (balance rebuilds the graph, so the returned pointer may differ from
+// the argument).
 func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
+	steps, err := ParseFlow(script)
+	if err != nil {
+		return nil, net, err
+	}
 	var results []Result
-	for _, raw := range strings.Split(script, ";") {
-		fields := strings.Fields(raw)
-		if len(fields) == 0 {
-			continue
+	for _, st := range steps {
+		res, next, err := runFlowStep(net, st, cfg, nil, nil)
+		if err != nil {
+			return nil, net, err
 		}
-		cmd := fields[0]
-		zero := false
-		for _, f := range fields[1:] {
-			switch f {
-			case "-z":
-				zero = true
-			default:
-				return nil, net, fmt.Errorf("dacpara: flow command %q: unknown flag %q", cmd, f)
-			}
-		}
-		switch cmd {
-		case "balance":
-			before := net.Stats()
-			net = Balance(net)
-			after := net.Stats()
-			results = append(results, Result{
-				Engine:       "balance",
-				Threads:      1,
-				Passes:       1,
-				InitialAnds:  before.Ands,
-				FinalAnds:    after.Ands,
-				InitialDelay: before.Delay,
-				FinalDelay:   after.Delay,
-			})
-		case "refactor":
-			results = append(results, Refactor(net, zero))
-		case "resub":
-			results = append(results, Resub(net, zero))
-		case "fraig":
-			before := net.Stats()
-			merged := Fraig(net)
-			after := net.Stats()
-			results = append(results, Result{
-				Engine:       "fraig",
-				Threads:      1,
-				Passes:       1,
-				Replacements: merged,
-				InitialAnds:  before.Ands,
-				FinalAnds:    after.Ands,
-				InitialDelay: before.Delay,
-				FinalDelay:   after.Delay,
-			})
-		case "rewrite":
-			c := cfg
-			c.ZeroGain = zero
-			res, err := Rewrite(net, EngineDACPara, c)
-			if err != nil {
-				return nil, net, err
-			}
-			results = append(results, res)
-		default:
-			c := cfg
-			c.ZeroGain = zero
-			res, err := Rewrite(net, Engine(cmd), c)
-			if err != nil {
-				return nil, net, err
-			}
-			results = append(results, res)
-		}
+		net = next
+		results = append(results, res)
 	}
 	return results, net, nil
+}
+
+// FlowGuarded is Flow with every rewriting command executed under the
+// guard (see RewriteGuarded): each engine run is verified and, on
+// failure, degraded down the engine ladder instead of aborting the flow.
+// The serial transforms (balance, refactor, resub, fraig) run directly.
+// Reports holds one entry per rewriting command, in script order.
+func FlowGuarded(net *Network, script string, cfg Config, opts GuardOptions) ([]Result, []*GuardReport, *Network, error) {
+	steps, err := ParseFlow(script)
+	if err != nil {
+		return nil, nil, net, err
+	}
+	var results []Result
+	var reports []*GuardReport
+	for _, st := range steps {
+		res, next, err := runFlowStep(net, st, cfg, &opts, &reports)
+		if err != nil {
+			return nil, reports, net, err
+		}
+		net = next
+		results = append(results, res)
+	}
+	return results, reports, net, nil
+}
+
+// runFlowStep executes one validated step. When guard is non-nil,
+// rewriting steps run guarded and append their report to *reports.
+func runFlowStep(net *Network, st FlowStep, cfg Config, guard *GuardOptions, reports *[]*GuardReport) (Result, *Network, error) {
+	switch st.Cmd {
+	case "balance":
+		before := net.Stats()
+		net = Balance(net)
+		after := net.Stats()
+		return Result{
+			Engine:       "balance",
+			Threads:      1,
+			Passes:       1,
+			InitialAnds:  before.Ands,
+			FinalAnds:    after.Ands,
+			InitialDelay: before.Delay,
+			FinalDelay:   after.Delay,
+		}, net, nil
+	case "refactor":
+		return Refactor(net, st.ZeroGain), net, nil
+	case "resub":
+		return Resub(net, st.ZeroGain), net, nil
+	case "fraig":
+		before := net.Stats()
+		merged := Fraig(net)
+		after := net.Stats()
+		return Result{
+			Engine:       "fraig",
+			Threads:      1,
+			Passes:       1,
+			Replacements: merged,
+			InitialAnds:  before.Ands,
+			FinalAnds:    after.Ands,
+			InitialDelay: before.Delay,
+			FinalDelay:   after.Delay,
+		}, net, nil
+	}
+	c := cfg
+	c.ZeroGain = st.ZeroGain
+	if guard == nil {
+		res, err := Rewrite(net, st.Engine, c)
+		return res, net, err
+	}
+	res, rep, err := RewriteGuarded(net, st.Engine, c, *guard)
+	if rep != nil {
+		*reports = append(*reports, rep)
+	}
+	return res, net, err
 }
 
 // Resyn2 is the classic ABC optimization script shape adapted to the

@@ -62,6 +62,88 @@ func TestFlowRejectsUnknownCommands(t *testing.T) {
 	}
 }
 
+func TestFlowValidatesWholeScriptUpFront(t *testing.T) {
+	// A typo in the LAST command must be rejected before the FIRST command
+	// touches the network.
+	net, err := Generate("voter", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.NumAnds()
+	if _, _, err := Flow(net, "rewrite; balance; frobnicate", Config{}); err == nil {
+		t.Fatal("unknown trailing command accepted")
+	}
+	if net.NumAnds() != before {
+		t.Fatalf("network mutated before script validation failed: %d -> %d ands", before, net.NumAnds())
+	}
+	if _, err := ParseFlow("balance -z"); err == nil {
+		t.Fatal("-z on balance accepted")
+	}
+	steps, err := ParseFlow("balance; rewrite -z; iccad18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 || steps[1].Engine != EngineDACPara || !steps[1].ZeroGain || steps[2].Engine != EngineLockPar {
+		t.Fatalf("parsed steps %+v", steps)
+	}
+}
+
+func TestRewriteGuardedFacade(t *testing.T) {
+	net, err := Generate("mult", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	res, rep, err := RewriteGuarded(net, EngineDACPara, Config{Workers: 2}, GuardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Attempts) == 0 || rep.Committed == "" {
+		t.Fatalf("empty guard report: %+v", rep)
+	}
+	if res.FinalAnds >= res.InitialAnds {
+		t.Fatalf("no area reduction: %d -> %d", res.InitialAnds, res.FinalAnds)
+	}
+	eq, err := Equivalent(golden, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("guarded rewrite broke equivalence")
+	}
+}
+
+func TestFlowGuarded(t *testing.T) {
+	net, err := Generate("voter", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	results, reports, final, err := FlowGuarded(net, "balance; rewrite; iccad18", Config{Workers: 2}, GuardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	// One report per rewriting command (balance runs unguarded).
+	if len(reports) != 2 {
+		t.Fatalf("%d guard reports, want 2", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Committed == "" || rep.Degraded {
+			t.Fatalf("clean flow should commit without degradation: %+v", rep)
+		}
+	}
+	eq, err := Equivalent(golden, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("guarded flow broke equivalence")
+	}
+}
+
 func TestFlowEngineCommands(t *testing.T) {
 	net, err := Generate("voter", ScaleTiny)
 	if err != nil {

@@ -106,11 +106,20 @@ func ReadBench(r io.Reader) (*AIG, error) {
 		}
 		switch {
 		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
-			name := strings.TrimSuffix(strings.TrimPrefix(line, "INPUT("), ")")
-			signals[strings.TrimSpace(name)] = a.AddPI()
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "INPUT("), ")"))
+			if name == "" {
+				return nil, fmt.Errorf("bench: empty input name in %q", line)
+			}
+			if _, dup := signals[name]; dup {
+				return nil, fmt.Errorf("bench: input %q declared twice", name)
+			}
+			signals[name] = a.AddPI()
 		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
-			name := strings.TrimSuffix(strings.TrimPrefix(line, "OUTPUT("), ")")
-			outputs = append(outputs, strings.TrimSpace(name))
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "OUTPUT("), ")"))
+			if name == "" {
+				return nil, fmt.Errorf("bench: empty output name in %q", line)
+			}
+			outputs = append(outputs, name)
 		default:
 			eq := strings.Index(line, "=")
 			open := strings.Index(line, "(")
@@ -118,6 +127,9 @@ func ReadBench(r io.Reader) (*AIG, error) {
 				return nil, fmt.Errorf("bench: cannot parse %q", line)
 			}
 			out := strings.TrimSpace(line[:eq])
+			if out == "" {
+				return nil, fmt.Errorf("bench: empty signal name in %q", line)
+			}
 			fn := strings.ToUpper(strings.TrimSpace(line[eq+1 : open]))
 			var ins []string
 			for _, in := range strings.Split(line[open+1:len(line)-1], ",") {
@@ -130,38 +142,62 @@ func ReadBench(r io.Reader) (*AIG, error) {
 		return nil, err
 	}
 
-	// Resolve gates iteratively (BENCH files need not be topologically
-	// sorted).
-	remaining := gates
-	for len(remaining) > 0 {
-		progress := false
-		var next []gate
-		for _, g := range remaining {
-			lits := make([]Lit, 0, len(g.ins))
-			ok := true
-			for _, in := range g.ins {
-				l, defined := signals[in]
-				if !defined {
-					ok = false
-					break
-				}
-				lits = append(lits, l)
-			}
-			if !ok {
-				next = append(next, g)
+	// Resolve gates with a dependency-counting worklist (BENCH files need
+	// not be topologically sorted): each gate tracks how many of its
+	// inputs are still undefined, and defining a signal releases its
+	// waiters. Linear in the netlist size, unlike repeated re-scanning.
+	outIdx := make(map[string]int, len(gates))
+	for gi, g := range gates {
+		if _, isPI := signals[g.out]; isPI {
+			return nil, fmt.Errorf("bench: gate %q redefines an input", g.out)
+		}
+		if _, dup := outIdx[g.out]; dup {
+			return nil, fmt.Errorf("bench: signal %q defined twice", g.out)
+		}
+		outIdx[g.out] = gi
+	}
+	missing := make([]int, len(gates))
+	waiters := map[string][]int{}
+	var ready []int
+	for gi, g := range gates {
+		for _, in := range g.ins {
+			if _, ok := signals[in]; ok {
 				continue
 			}
-			out, err := buildBenchGate(a, g.fn, lits)
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s: %w", g.out, err)
+			if _, ok := outIdx[in]; !ok {
+				return nil, fmt.Errorf("bench: gate %q reads undefined signal %q", g.out, in)
 			}
-			signals[g.out] = out
-			progress = true
+			missing[gi]++
+			waiters[in] = append(waiters[in], gi)
 		}
-		if !progress {
-			return nil, fmt.Errorf("bench: unresolved signals (cycle or missing definition), %d gates left", len(next))
+		if missing[gi] == 0 {
+			ready = append(ready, gi)
 		}
-		remaining = next
+	}
+	resolved := 0
+	for len(ready) > 0 {
+		gi := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		g := gates[gi]
+		lits := make([]Lit, len(g.ins))
+		for k, in := range g.ins {
+			lits[k] = signals[in]
+		}
+		out, err := buildBenchGate(a, g.fn, lits)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", g.out, err)
+		}
+		signals[g.out] = out
+		resolved++
+		for _, w := range waiters[g.out] {
+			missing[w]--
+			if missing[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if resolved != len(gates) {
+		return nil, fmt.Errorf("bench: combinational cycle among %d gates", len(gates)-resolved)
 	}
 	for _, name := range outputs {
 		l, ok := signals[name]

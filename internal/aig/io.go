@@ -157,8 +157,21 @@ func writeLEB(w *bufio.Writer, x uint) {
 	w.WriteByte(byte(x))
 }
 
+// maxHeaderCount bounds each AIGER header field. It is a sanity limit
+// against malformed or adversarial headers whose counts would otherwise
+// drive huge allocations or integer overflow; real circuits (even the
+// paper's largest doubled benchmarks) stay far below it.
+const maxHeaderCount = 1 << 32
+
 // Read parses an AIGER file in either ASCII or binary format. Latches are
 // not supported: rewriting is a combinational optimization.
+//
+// Read is hardened against malformed input: header counts are bounded,
+// the variable table grows with the definitions actually present (so an
+// oversized header cannot force a huge allocation), and every literal is
+// validated — in range, defined before use, defined exactly once, never
+// redefining the constant — so a corrupt file yields an error, never a
+// panic or a structurally invalid network.
 func Read(r io.Reader) (*AIG, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
@@ -175,27 +188,48 @@ func Read(r io.Reader) (*AIG, error) {
 		if _, err := fmt.Sscanf(fields[k+1], "%d", dst); err != nil {
 			return nil, fmt.Errorf("aiger: bad header field %q: %w", fields[k+1], err)
 		}
+		if *dst > maxHeaderCount {
+			return nil, fmt.Errorf("aiger: header count %d exceeds limit %d", *dst, uint(maxHeaderCount))
+		}
 	}
 	if l != 0 {
 		return nil, fmt.Errorf("aiger: %d latches present; only combinational networks are supported", l)
 	}
-	a := New(Options{CapacityHint: int(m) + 1})
-	const undef = ^Lit(0)
-	lits := make([]Lit, m+1)
-	for k := range lits {
-		lits[k] = undef
+	if i+n > m {
+		return nil, fmt.Errorf("aiger: header claims %d inputs + %d ands > %d variables", i, n, m)
 	}
+	hint := m
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	a := New(Options{CapacityHint: int(hint) + 1})
+	const undef = ^Lit(0)
+	// The variable table grows as definitions arrive, so a header with a
+	// huge M but a tiny body costs only what the body defines.
+	lits := make([]Lit, 1, hint+1)
 	lits[0] = LitFalse
 	get := func(u uint) (Lit, error) {
 		v := u / 2
 		if v > m {
 			return 0, fmt.Errorf("aiger: literal %d out of range", u)
 		}
-		l := lits[v]
-		if l == undef {
+		if v >= uint(len(lits)) || lits[v] == undef {
 			return 0, fmt.Errorf("aiger: variable %d used before definition", v)
 		}
-		return l.XorCompl(u&1 == 1), nil
+		return lits[v].XorCompl(u&1 == 1), nil
+	}
+	define := func(v uint, l Lit) error {
+		if v == 0 || v > m {
+			return fmt.Errorf("aiger: defined variable %d out of range", v)
+		}
+		for uint(len(lits)) <= v {
+			lits = append(lits, undef)
+		}
+		if lits[v] != undef {
+			return fmt.Errorf("aiger: variable %d defined twice", v)
+		}
+		lits[v] = l
+		return nil
 	}
 
 	switch format {
@@ -205,25 +239,33 @@ func Read(r io.Reader) (*AIG, error) {
 			_, err := fmt.Fscan(br, &u)
 			return u, err
 		}
-		inputVars := make([]uint, i)
-		for k := range inputVars {
+		for k := uint(0); k < i; k++ {
 			u, err := readUint()
 			if err != nil {
 				return nil, fmt.Errorf("aiger: reading input %d: %w", k, err)
 			}
-			inputVars[k] = u / 2
-			lits[u/2] = a.AddPI()
+			if u < 2 || u&1 == 1 {
+				return nil, fmt.Errorf("aiger: invalid input literal %d", u)
+			}
+			if err := define(u/2, a.AddPI()); err != nil {
+				return nil, err
+			}
 		}
-		outLits := make([]uint, o)
-		for k := range outLits {
-			if outLits[k], err = readUint(); err != nil {
+		outLits := make([]uint, 0, capHint(o))
+		for k := uint(0); k < o; k++ {
+			u, err := readUint()
+			if err != nil {
 				return nil, fmt.Errorf("aiger: reading output %d: %w", k, err)
 			}
+			outLits = append(outLits, u)
 		}
 		for k := uint(0); k < n; k++ {
 			var lhs, r0, r1 uint
 			if _, err := fmt.Fscan(br, &lhs, &r0, &r1); err != nil {
 				return nil, fmt.Errorf("aiger: reading AND %d: %w", k, err)
+			}
+			if lhs < 2 || lhs&1 == 1 {
+				return nil, fmt.Errorf("aiger: invalid AND literal %d", lhs)
 			}
 			l0, err := get(r0)
 			if err != nil {
@@ -233,7 +275,9 @@ func Read(r io.Reader) (*AIG, error) {
 			if err != nil {
 				return nil, err
 			}
-			lits[lhs/2] = a.And(l0, l1)
+			if err := define(lhs/2, a.And(l0, l1)); err != nil {
+				return nil, err
+			}
 		}
 		for _, u := range outLits {
 			l, err := get(u)
@@ -243,18 +287,27 @@ func Read(r io.Reader) (*AIG, error) {
 			a.AddPO(l)
 		}
 	case "aig":
-		for k := uint(0); k < i; k++ {
-			lits[k+1] = a.AddPI()
+		// The binary format implies variable numbering, which only works
+		// when the header is exact: M = I + L + A.
+		if m != i+n {
+			return nil, fmt.Errorf("aiger: binary header M=%d but I+L+A=%d", m, i+n)
 		}
-		outLits := make([]uint, o)
-		for k := range outLits {
+		for k := uint(0); k < i; k++ {
+			if err := define(k+1, a.AddPI()); err != nil {
+				return nil, err
+			}
+		}
+		outLits := make([]uint, 0, capHint(o))
+		for k := uint(0); k < o; k++ {
 			line, err := br.ReadString('\n')
 			if err != nil {
 				return nil, fmt.Errorf("aiger: reading output %d: %w", k, err)
 			}
-			if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d", &outLits[k]); err != nil {
+			var u uint
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d", &u); err != nil {
 				return nil, fmt.Errorf("aiger: bad output literal %q: %w", strings.TrimSpace(line), err)
 			}
+			outLits = append(outLits, u)
 		}
 		for k := uint(0); k < n; k++ {
 			lhs := 2 * (i + 1 + k)
@@ -266,6 +319,9 @@ func Read(r io.Reader) (*AIG, error) {
 			if err != nil {
 				return nil, fmt.Errorf("aiger: reading AND %d: %w", k, err)
 			}
+			if d0 > lhs || d1 > lhs-d0 {
+				return nil, fmt.Errorf("aiger: AND %d: delta exceeds literal %d", k, lhs)
+			}
 			r0 := lhs - d0
 			r1 := r0 - d1
 			l0, err := get(r0)
@@ -276,7 +332,9 @@ func Read(r io.Reader) (*AIG, error) {
 			if err != nil {
 				return nil, err
 			}
-			lits[lhs/2] = a.And(l0, l1)
+			if err := define(lhs/2, a.And(l0, l1)); err != nil {
+				return nil, err
+			}
 		}
 		for _, u := range outLits {
 			l, err := get(u)
@@ -290,6 +348,16 @@ func Read(r io.Reader) (*AIG, error) {
 	}
 	a.Name = readName(br)
 	return a, nil
+}
+
+// capHint bounds a header-derived pre-allocation: the slice grows on
+// demand beyond it, so a lying header cannot force a large up-front
+// allocation.
+func capHint(n uint) uint {
+	if n > 4096 {
+		return 4096
+	}
+	return n
 }
 
 // readName scans the optional symbol table and comment section for the
@@ -318,6 +386,9 @@ func readLEB(br *bufio.Reader) (uint, error) {
 		b, err := br.ReadByte()
 		if err != nil {
 			return 0, err
+		}
+		if shift > 63 {
+			return 0, fmt.Errorf("LEB128 value overflows 64 bits")
 		}
 		x |= uint(b&0x7F) << shift
 		if b&0x80 == 0 {

@@ -18,7 +18,7 @@ func TestPassesConverge(t *testing.T) {
 	prev := a.NumAnds()
 	fixpoint := false
 	for pass := 0; pass < 6; pass++ {
-		res := core.Rewrite(a, l, rewrite.Config{Workers: 4})
+		res := must(t)(core.Rewrite(a, l, rewrite.Config{Workers: 4}))
 		if a.NumAnds() > prev {
 			t.Fatalf("pass %d increased area %d -> %d", pass, prev, a.NumAnds())
 		}
@@ -52,7 +52,7 @@ func TestP1P2OnMtM(t *testing.T) {
 		golden := a.Clone()
 		c := cfg.c
 		c.Workers = 4
-		res := core.Rewrite(a, l, c)
+		res := must(t)(core.Rewrite(a, l, c))
 		if res.AreaReduction() <= 0 {
 			t.Fatalf("%s: no area reduction", cfg.name)
 		}
@@ -73,8 +73,8 @@ func TestFlatAblationIsWorse(t *testing.T) {
 	base := bench.Sin(14)
 	leveled := base.Clone()
 	flat := base.Clone()
-	rl := core.Rewrite(leveled, l, rewrite.Config{Workers: 8})
-	rf := core.RewriteFlat(flat, l, rewrite.Config{Workers: 8})
+	rl := must(t)(core.Rewrite(leveled, l, rewrite.Config{Workers: 8}))
+	rf := must(t)(core.RewriteFlat(flat, l, rewrite.Config{Workers: 8}))
 	t.Logf("level-lists: ared=%d stale=%d; flat: ared=%d stale=%d",
 		rl.AreaReduction(), rl.Stale, rf.AreaReduction(), rf.Stale)
 	if rf.Stale < rl.Stale {
@@ -97,7 +97,7 @@ func TestWorkerSweep(t *testing.T) {
 	ref := aig.RandomSignature(base, rand.New(rand.NewSource(8)), 4)
 	for _, th := range []int{1, 2, 3, 8, 16} {
 		a := base.Clone()
-		res := core.Rewrite(a, l, rewrite.Config{Workers: th})
+		res := must(t)(core.Rewrite(a, l, rewrite.Config{Workers: th}))
 		if res.Threads != th {
 			t.Fatalf("threads recorded %d, want %d", res.Threads, th)
 		}

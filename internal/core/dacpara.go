@@ -22,6 +22,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -50,7 +51,11 @@ func NodeDividing(a *aig.AIG) [][]int32 {
 }
 
 // Rewrite runs DACPara over the network and reports the run statistics.
-func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result {
+// A non-nil error (a retry-budget exhaustion, possibly fault-injected)
+// leaves the network structurally consistent but only partially
+// rewritten; the returned Result covers the work done and is marked
+// Incomplete.
+func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
 	return rewriteWith(a, lib, cfg, "dacpara", NodeDividing)
 }
 
@@ -59,7 +64,7 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result
 // instead of per-level lists. Evaluation then races far ahead of
 // replacement validity — stored results go stale much more often — which
 // is exactly what the paper's nodeDividing step prevents.
-func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result {
+func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
 	return rewriteWith(a, lib, cfg, "dacpara-flat", func(a *aig.AIG) [][]int32 {
 		var all []int32
 		for _, id := range a.TopoOrder(nil) {
@@ -72,7 +77,7 @@ func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Re
 }
 
 func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name string,
-	partition func(*aig.AIG) [][]int32) rewrite.Result {
+	partition func(*aig.AIG) [][]int32) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -86,9 +91,12 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 		InitialDelay: a.Delay(),
 	}
 	var attempts, replacements, stale atomic.Int64
+	var runErr error
 	for p := 0; p < passes(cfg); p++ {
 		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
 		ex := galois.NewExecutor(a.Capacity()+1, workers)
+		ex.Fault = cfg.Fault
+		ex.RetryBudget = cfg.RetryBudget
 		evs := make([]*rewrite.Evaluator, workers+1)
 		for w := range evs {
 			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
@@ -156,10 +164,12 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 				continue
 			}
 			if err := ex.Run(wl, enumOp); err != nil {
-				panic(err)
+				runErr = fmt.Errorf("%s: enumeration stage: %w", name, err)
+				break
 			}
 			if err := ex.Run(wl, evalOp); err != nil {
-				panic(err)
+				runErr = fmt.Errorf("%s: evaluation stage: %w", name, err)
+				break
 			}
 			for _, id := range wl {
 				if prep[id].Ok() {
@@ -167,13 +177,18 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 				}
 			}
 			if err := ex.Run(wl, repOp); err != nil {
-				panic(err)
+				runErr = fmt.Errorf("%s: replacement stage: %w", name, err)
+				break
 			}
 		}
 		res.Commits += ex.Stats.Commits.Load()
 		res.Aborts += ex.Stats.Aborts.Load()
+		res.InjectedAborts += ex.Stats.InjectedAborts.Load()
 		res.CommittedWork += time.Duration(ex.Stats.CommittedNs.Load())
 		res.WastedWork += time.Duration(ex.Stats.WastedNs.Load())
+		if runErr != nil {
+			break
+		}
 	}
 	res.Attempts = int(attempts.Load())
 	res.Replacements = int(replacements.Load())
@@ -181,7 +196,8 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	res.Incomplete = runErr != nil
+	return res, runErr
 }
 
 func passes(cfg rewrite.Config) int {

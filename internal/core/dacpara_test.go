@@ -55,18 +55,29 @@ func lib(t testing.TB) *rewlib.Library {
 
 type engine struct {
 	name string
-	run  func(*aig.AIG, *rewlib.Library, rewrite.Config) rewrite.Result
+	run  func(*aig.AIG, *rewlib.Library, rewrite.Config) (rewrite.Result, error)
 }
 
 var engines = []engine{
 	{"dacpara", core.Rewrite},
 	{"lockpar", lockpar.Rewrite},
-	{"staticpar-dac22", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) rewrite.Result {
+	{"staticpar-dac22", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) (rewrite.Result, error) {
 		return staticpar.Rewrite(a, l, c, staticpar.DAC22)
 	}},
-	{"staticpar-tcad23", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) rewrite.Result {
+	{"staticpar-tcad23", func(a *aig.AIG, l *rewlib.Library, c rewrite.Config) (rewrite.Result, error) {
 		return staticpar.Rewrite(a, l, c, staticpar.TCAD23)
 	}},
+}
+
+// must unwraps an engine result, failing the test on an engine error.
+func must(t testing.TB) func(rewrite.Result, error) rewrite.Result {
+	return func(res rewrite.Result, err error) rewrite.Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
 }
 
 func TestParallelEnginesPreserveFunction(t *testing.T) {
@@ -79,7 +90,7 @@ func TestParallelEnginesPreserveFunction(t *testing.T) {
 				a := randomAIG(t, rng, 10, 1500, 16)
 				before := aig.RandomSignature(a, rand.New(rand.NewSource(7)), 4)
 				initial := a.NumAnds()
-				res := eng.run(a, l, rewrite.Config{Workers: 8})
+				res := must(t)(eng.run(a, l, rewrite.Config{Workers: 8}))
 				if err := a.Check(aig.CheckOptions{AllowDuplicates: true}); err != nil {
 					t.Fatalf("seed %d: invariants: %v", seed, err)
 				}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/core"
+	"dacpara/internal/galois"
+	"dacpara/internal/lockpar"
+	"dacpara/internal/rewrite"
+)
+
+// TestStressFaultInjectionAcrossWorkerCounts drives the speculative
+// engines across worker-count permutations with shuffled worklists and a
+// nonzero forced-abort rate, asserting after every run that the graph
+// still satisfies its structural invariants and computes the same
+// functions. Run with -race to make it a race test as well.
+func TestStressFaultInjectionAcrossWorkerCounts(t *testing.T) {
+	l := lib(t)
+	workerCounts := []int{1, 2, 4, 8}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		workerCounts = []int{2, 4}
+		seeds = seeds[:1]
+	}
+	stressEngines := []engine{
+		{"dacpara", core.Rewrite},
+		{"lockpar", lockpar.Rewrite},
+	}
+	rng := rand.New(rand.NewSource(0xDAC))
+	base := randomAIG(t, rng, 24, 500, 8)
+	refSig := aig.RandomSignature(base, rand.New(rand.NewSource(1)), 16)
+
+	for _, eng := range stressEngines {
+		for _, workers := range workerCounts {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/w%d/seed%d", eng.name, workers, seed)
+				t.Run(name, func(t *testing.T) {
+					net := base.Clone()
+					cfg := rewrite.Config{
+						Workers: workers,
+						Fault: &galois.FaultPlan{
+							Seed:            seed,
+							AbortRate:       0.25,
+							ShuffleWorklist: true,
+						},
+					}
+					res := must(t)(eng.run(net, l, cfg))
+					if workers > 1 && res.InjectedAborts == 0 {
+						t.Errorf("no injected aborts at rate 0.25")
+					}
+					if err := net.Check(aig.CheckOptions{AllowDuplicates: true}); err != nil {
+						t.Fatalf("invariants violated: %v", err)
+					}
+					sig := aig.RandomSignature(net, rand.New(rand.NewSource(1)), 16)
+					if !aig.EqualSignatures(refSig, sig) {
+						t.Fatal("rewriting under fault injection broke equivalence")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStressBudgetErrorLeavesConsistentGraph exhausts the retry budget
+// mid-run and verifies the partial result is still a valid, equivalent
+// network — the contract that makes guarded rollback optional for
+// budget errors and mandatory only for corruption.
+func TestStressBudgetErrorLeavesConsistentGraph(t *testing.T) {
+	l := lib(t)
+	rng := rand.New(rand.NewSource(7))
+	base := randomAIG(t, rng, 20, 400, 6)
+	refSig := aig.RandomSignature(base, rand.New(rand.NewSource(2)), 16)
+	net := base.Clone()
+	cfg := rewrite.Config{
+		Workers:     4,
+		RetryBudget: 30,
+		Fault:       &galois.FaultPlan{Seed: 11, AbortRate: 1.0},
+	}
+	res, err := core.Rewrite(net, l, cfg)
+	if err == nil {
+		t.Fatal("expected a retry-budget error at abort rate 1.0")
+	}
+	if !res.Incomplete {
+		t.Fatal("partial run not marked Incomplete")
+	}
+	if cerr := net.Check(aig.CheckOptions{AllowDuplicates: true}); cerr != nil {
+		t.Fatalf("partial run left invalid graph: %v", cerr)
+	}
+	sig := aig.RandomSignature(net, rand.New(rand.NewSource(2)), 16)
+	if !aig.EqualSignatures(refSig, sig) {
+		t.Fatal("partial run broke equivalence")
+	}
+}

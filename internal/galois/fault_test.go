@@ -1,0 +1,211 @@
+package galois
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func sequentialItems(n int) []int32 {
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i + 1)
+	}
+	return items
+}
+
+func TestFaultPlanForcesAbortsButCompletes(t *testing.T) {
+	const n = 2000
+	ex := NewExecutor(n+1, 8)
+	ex.Fault = &FaultPlan{Seed: 99, AbortRate: 0.3}
+	var counts [n + 1]atomic.Int32
+	err := ex.Run(sequentialItems(n), func(ctx *Ctx, item int32) error {
+		if !ctx.Acquire(item) {
+			return ErrConflict
+		}
+		counts[item].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if counts[i].Load() != 1 {
+			t.Fatalf("item %d committed %d times", i, counts[i].Load())
+		}
+	}
+	inj := ex.Stats.InjectedAborts.Load()
+	if inj == 0 {
+		t.Fatal("no aborts injected at rate 0.3")
+	}
+	// The injected aborts are a subset of all aborts.
+	if inj > ex.Stats.Aborts.Load() {
+		t.Fatalf("injected %d > total aborts %d", inj, ex.Stats.Aborts.Load())
+	}
+	t.Logf("injected %d aborts over %d commits", inj, ex.Stats.Commits.Load())
+}
+
+func TestFaultInjectionIsSeedDeterministic(t *testing.T) {
+	run := func() int64 {
+		ex := NewExecutor(101, 1) // single worker: fully deterministic
+		ex.Fault = &FaultPlan{Seed: 7, AbortRate: 0.5}
+		err := ex.Run(sequentialItems(100), func(ctx *Ctx, item int32) error {
+			if !ctx.Acquire(item) {
+				return ErrConflict
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Stats.InjectedAborts.Load()
+	}
+	first := run()
+	if first == 0 {
+		t.Fatal("no aborts injected at rate 0.5")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d injected %d aborts, first run %d", i, again, first)
+		}
+	}
+}
+
+func TestLockFreeOperatorImmuneToForcedAborts(t *testing.T) {
+	// Operators that take no locks (the evaluation stage) cannot be
+	// aborted by the fault plan, mirroring the fact that they cannot
+	// conflict.
+	ex := NewExecutor(101, 4)
+	ex.Fault = &FaultPlan{Seed: 3, AbortRate: 0.9}
+	var ran atomic.Int32
+	err := ex.Run(sequentialItems(100), func(ctx *Ctx, item int32) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 || ex.Stats.InjectedAborts.Load() != 0 {
+		t.Fatalf("ran=%d injected=%d", ran.Load(), ex.Stats.InjectedAborts.Load())
+	}
+}
+
+func TestRetryBudgetReturnsTypedError(t *testing.T) {
+	ex := NewExecutor(500, 2)
+	ex.Fault = &FaultPlan{Seed: 1, AbortRate: 1.0}
+	ex.RetryBudget = 25
+	// Four acquisitions per activity: the doomed acquire (one of the
+	// first four) always fires, so at rate 1.0 no activity can ever
+	// commit and the budget must trip.
+	err := ex.Run(sequentialItems(10), func(ctx *Ctx, item int32) error {
+		if !ctx.AcquireAll(item, item+100, item+200, item+300) {
+			return ErrConflict
+		}
+		return nil
+	})
+	var rbe *RetryBudgetError
+	if !errors.As(err, &rbe) {
+		t.Fatalf("err = %v, want *RetryBudgetError", err)
+	}
+	if rbe.Retries < 25 {
+		t.Fatalf("budget error after only %d retries", rbe.Retries)
+	}
+}
+
+func TestShuffledWorklistIsSeededPermutation(t *testing.T) {
+	items := sequentialItems(64)
+	p1 := (&FaultPlan{Seed: 5, ShuffleWorklist: true}).shuffled(items)
+	p2 := (&FaultPlan{Seed: 5, ShuffleWorklist: true}).shuffled(items)
+	p3 := (&FaultPlan{Seed: 6, ShuffleWorklist: true}).shuffled(items)
+	if &p1[0] == &items[0] {
+		t.Fatal("shuffle mutated the caller's slice")
+	}
+	same := true
+	seen := make(map[int32]bool, len(items))
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+		if p1[i] != p3[i] {
+			same = false
+		}
+		seen[p1[i]] = true
+	}
+	if same {
+		t.Fatal("different seeds produced the same permutation")
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("permutation dropped items: %d of %d", len(seen), len(items))
+	}
+	// A nil plan passes the slice through untouched.
+	if got := (*FaultPlan)(nil).shuffled(items); &got[0] != &items[0] {
+		t.Fatal("nil plan copied the worklist")
+	}
+}
+
+func TestStallAndLockHoldInjection(t *testing.T) {
+	ex := NewExecutor(33, 2)
+	ex.Fault = &FaultPlan{
+		Seed:          2,
+		StallRate:     1.0,
+		StallFor:      time.Microsecond,
+		LockHoldDelay: time.Microsecond,
+	}
+	start := time.Now()
+	err := ex.Run(sequentialItems(32), func(ctx *Ctx, item int32) error {
+		if !ctx.Acquire(item) {
+			return ErrConflict
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 stalls + 32 lock-hold delays across 2 workers: at least ~16µs of
+	// injected latency must be observable.
+	if elapsed := time.Since(start); elapsed < 16*time.Microsecond {
+		t.Fatalf("injection added no measurable latency (%v)", elapsed)
+	}
+}
+
+func TestOperatorPanicBecomesError(t *testing.T) {
+	ex := NewExecutor(11, 4)
+	err := ex.Run(sequentialItems(10), func(ctx *Ctx, item int32) error {
+		if !ctx.Acquire(item) {
+			return ErrConflict
+		}
+		if item == 5 {
+			panic("operator bug")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "operator bug" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not captured: %+v", pe)
+	}
+	// The panicking worker must have released its locks: every lock is
+	// re-acquirable afterwards.
+	for id := int32(1); id <= 10; id++ {
+		if ok, _ := ex.Table.tryAcquire(99, id); !ok {
+			t.Fatalf("lock %d still held after panic", id)
+		}
+		ex.Table.release(99, id)
+	}
+}
+
+func TestNilFaultPlanIsInert(t *testing.T) {
+	var p *FaultPlan
+	if p.active() {
+		t.Fatal("nil plan active")
+	}
+	if p.injectorFor(1) != nil {
+		t.Fatal("nil plan produced an injector")
+	}
+	if (&FaultPlan{}).active() {
+		t.Fatal("zero plan active")
+	}
+}

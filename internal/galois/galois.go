@@ -12,7 +12,9 @@
 package galois
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +28,22 @@ func (conflictError) Error() string { return "galois: lock conflict" }
 
 // ErrConflict signals that an activity must abort and retry.
 var ErrConflict error = conflictError{}
+
+// PanicError wraps a panic recovered inside an executor worker. The
+// worker's locks are released and the run stops with this error instead
+// of crashing the process; the graph may be left half-mutated by the
+// panicking activity, so callers must treat the network as suspect
+// (guarded execution verifies and rolls back).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("galois: operator panic: %v", e.Value)
+}
 
 const (
 	lockPageBits = 13
@@ -104,6 +122,9 @@ type Stats struct {
 	Commits atomic.Int64
 	// Aborts counts activities discarded because of a lock conflict.
 	Aborts atomic.Int64
+	// InjectedAborts counts the aborts forced by a FaultPlan (a subset of
+	// Aborts, as each spurious acquire failure aborts its activity).
+	InjectedAborts atomic.Int64
 	// LocksTaken counts successful lock acquisitions.
 	LocksTaken atomic.Int64
 	// CommittedNs and WastedNs accumulate the time spent inside
@@ -127,6 +148,7 @@ type Ctx struct {
 	owner int32
 	table *LockTable
 	stats *Stats
+	inj   *injector
 	held  []int32
 }
 
@@ -137,6 +159,10 @@ func (c *Ctx) Worker() int { return int(c.owner) }
 // Acquire takes the exclusive lock of node id, returning false on
 // conflict. On false the operator must immediately return ErrConflict.
 func (c *Ctx) Acquire(id int32) bool {
+	if c.inj != nil && c.inj.spuriousFail() {
+		c.stats.InjectedAborts.Add(1)
+		return false
+	}
 	ok, newly := c.table.tryAcquire(c.owner, id)
 	if !ok {
 		return false
@@ -177,6 +203,20 @@ type Executor struct {
 	Table   *LockTable
 	Workers int
 	Stats   Stats
+
+	// Fault, when non-nil, injects seeded faults into every Run (see
+	// FaultPlan). Nil is the zero-cost production default.
+	Fault *FaultPlan
+	// RetryBudget bounds consecutive aborts per item before Run returns a
+	// *RetryBudgetError (0 means DefaultRetryBudget).
+	RetryBudget int
+}
+
+func (e *Executor) retryBudget() int {
+	if e.RetryBudget <= 0 {
+		return DefaultRetryBudget
+	}
+	return e.RetryBudget
 }
 
 // NewExecutor creates an executor with the given parallelism (0 means
@@ -189,12 +229,16 @@ func NewExecutor(capacity int32, workers int) *Executor {
 }
 
 // Run processes every item of the worklist with op, in parallel, retrying
-// conflicted items until all commit. It returns the first non-conflict
-// error.
+// conflicted items until all commit or an item exhausts the retry budget.
+// It returns the first non-conflict error; a *RetryBudgetError means a
+// pathological conflict storm (or an adversarial FaultPlan) kept one item
+// from ever committing.
 func (e *Executor) Run(items []int32, op Operator) error {
 	if len(items) == 0 {
 		return nil
 	}
+	items = e.Fault.shuffled(items)
+	budget := e.retryBudget()
 	workers := e.Workers
 	if workers > len(items) {
 		workers = len(items)
@@ -207,11 +251,29 @@ func (e *Executor) Run(items []int32, op Operator) error {
 		wg.Add(1)
 		go func(tag int32) {
 			defer wg.Done()
-			ctx := &Ctx{owner: tag, table: e.Table, stats: &e.Stats}
+			inj := e.Fault.injectorFor(tag)
+			ctx := &Ctx{owner: tag, table: e.Table, stats: &e.Stats, inj: inj}
+			// A panicking operator must not take the process down: release
+			// the activity's locks so other workers are not stranded, and
+			// surface the panic as the run's error.
+			defer func() {
+				if p := recover(); p != nil {
+					ctx.releaseAll()
+					var err error = &PanicError{Value: p, Stack: debug.Stack()}
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}()
 			var retry []int32
 			process := func(item int32) {
+				if inj != nil {
+					inj.preItem()
+					inj.beginActivity()
+				}
 				t0 := time.Now()
 				err := op(ctx, item)
+				if inj != nil {
+					inj.preRelease(len(ctx.held) > 0)
+				}
 				ctx.releaseAll()
 				elapsed := time.Since(t0).Nanoseconds()
 				switch err {
@@ -240,15 +302,22 @@ func (e *Executor) Run(items []int32, op Operator) error {
 					process(item)
 				}
 			}
-			// Drain this worker's conflicted items: spin with yields until
-			// each commits (the holders always release their locks).
+			// Drain this worker's conflicted items: retry with yields and
+			// bounded exponential backoff until each commits (the holders
+			// always release their locks) or the budget runs out.
 			for _, item := range retry {
 				if firstErr.Load() != nil {
 					return
 				}
-				for {
+				for r := 1; ; r++ {
+					if inj != nil {
+						inj.beginActivity()
+					}
 					t0 := time.Now()
 					err := op(ctx, item)
+					if inj != nil {
+						inj.preRelease(len(ctx.held) > 0)
+					}
 					ctx.releaseAll()
 					elapsed := time.Since(t0).Nanoseconds()
 					if err == nil {
@@ -263,7 +332,13 @@ func (e *Executor) Run(items []int32, op Operator) error {
 					}
 					e.Stats.Aborts.Add(1)
 					e.Stats.WastedNs.Add(elapsed)
+					if r >= budget {
+						var p error = &RetryBudgetError{Item: item, Retries: r}
+						firstErr.CompareAndSwap(nil, &p)
+						break
+					}
 					runtime.Gosched()
+					backoff(r)
 				}
 			}
 		}(int32(w + 1))

@@ -13,6 +13,7 @@
 package lockpar
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -24,8 +25,11 @@ import (
 	"dacpara/internal/rewrite"
 )
 
-// Rewrite runs fused-operator parallel rewriting over the network.
-func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result {
+// Rewrite runs fused-operator parallel rewriting over the network. A
+// non-nil error (retry-budget exhaustion, possibly fault-injected) leaves
+// the network structurally consistent but partially rewritten; the Result
+// covers the work done and is marked Incomplete.
+func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -43,9 +47,12 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result
 		InitialDelay: a.Delay(),
 	}
 	var attempts, replacements, stale atomic.Int64
+	var runErr error
 	for p := 0; p < passes; p++ {
 		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
 		ex := galois.NewExecutor(a.Capacity()+1, workers)
+		ex.Fault = cfg.Fault
+		ex.RetryBudget = cfg.RetryBudget
 		evs := make([]*rewrite.Evaluator, workers+1)
 		for w := range evs {
 			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
@@ -100,12 +107,16 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result
 			return nil
 		}
 		if err := ex.Run(order, op); err != nil {
-			panic(err) // operators only return conflicts
+			runErr = fmt.Errorf("iccad18: fused operator: %w", err)
 		}
 		res.Commits += ex.Stats.Commits.Load()
 		res.Aborts += ex.Stats.Aborts.Load()
+		res.InjectedAborts += ex.Stats.InjectedAborts.Load()
 		res.CommittedWork += time.Duration(ex.Stats.CommittedNs.Load())
 		res.WastedWork += time.Duration(ex.Stats.WastedNs.Load())
+		if runErr != nil {
+			break
+		}
 	}
 	res.Attempts = int(attempts.Load())
 	res.Replacements = int(replacements.Load())
@@ -113,5 +124,6 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) rewrite.Result
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	res.Incomplete = runErr != nil
+	return res, runErr
 }

@@ -13,6 +13,7 @@ package rewrite
 import (
 	"time"
 
+	"dacpara/internal/galois"
 	"dacpara/internal/rewlib"
 )
 
@@ -45,6 +46,15 @@ type Config struct {
 	// Workers sets the parallelism of parallel engines
 	// (0: runtime.GOMAXPROCS).
 	Workers int
+	// Fault injects seeded faults into the speculative executor of the
+	// parallel engines — forced aborts, lock-hold delays, worker stalls,
+	// worklist shuffles (see galois.FaultPlan). Nil, the default, costs
+	// nothing. Serial engines take no locks and are unaffected.
+	Fault *galois.FaultPlan
+	// RetryBudget bounds consecutive aborts per work item before a
+	// parallel engine gives up with a *galois.RetryBudgetError instead of
+	// livelocking (0: galois.DefaultRetryBudget).
+	RetryBudget int
 }
 
 // P1 is the paper's Table 3 "DACPara-P1" configuration: 8 cuts per node,
@@ -102,8 +112,15 @@ type Result struct {
 	Replacements, Attempts, Stale int
 
 	// Commits and Aborts are the speculative-execution counters of the
-	// Galois substrate (zero for serial engines).
-	Commits, Aborts int64
+	// Galois substrate (zero for serial engines). InjectedAborts counts
+	// the subset forced by a FaultPlan.
+	Commits, Aborts, InjectedAborts int64
+
+	// Incomplete marks a run that stopped early because the executor
+	// returned an error (retry budget exhausted, fault injection). The
+	// counters cover only the work done up to that point, and the network
+	// holds a partially rewritten — but structurally consistent — state.
+	Incomplete bool
 
 	// CommittedWork and WastedWork are the total time spent inside
 	// committed and aborted activities: the paper's Fig. 2 signal. A

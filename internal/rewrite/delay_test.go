@@ -12,7 +12,10 @@ func TestPreserveDelayNeverDeepens(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		a := randomAIG(t, rng, 8, 500, 8)
-		res := Serial(a, lib, Config{PreserveDelay: true})
+		res, err := Serial(a, lib, Config{PreserveDelay: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.FinalDelay > res.InitialDelay {
 			t.Fatalf("seed %d: delay %d -> %d under PreserveDelay",
 				seed, res.InitialDelay, res.FinalDelay)

@@ -115,8 +115,14 @@ func TestZeroGainConfig(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	a1 := randomAIG(t, rng, 8, 500, 8)
 	a2 := a1.Clone()
-	strict := Serial(a1, lib, Config{})
-	zero := Serial(a2, lib, Config{ZeroGain: true})
+	strict, err := Serial(a1, lib, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Serial(a2, lib, Config{ZeroGain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Zero-gain rewriting restructures at equal cost; it must never end
 	// larger than the strict run started, and both remain equivalent.
 	if zero.FinalAnds > zero.InitialAnds {
@@ -189,7 +195,10 @@ func TestInstantiateMatchesFunction(t *testing.T) {
 	for iter := 0; iter < 20; iter++ {
 		a := randomAIG(t, rng, 6, 150, 5)
 		before := aig.RandomSignature(a, rand.New(rand.NewSource(7)), 4)
-		res := Serial(a, lib, Config{})
+		res, err := Serial(a, lib, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		after := aig.RandomSignature(a, rand.New(rand.NewSource(7)), 4)
 		if !aig.EqualSignatures(before, after) {
 			t.Fatalf("iter %d: %d replacements broke the function", iter, res.Replacements)

@@ -15,7 +15,11 @@ import (
 // replacement is selected by gain (respecting logical sharing on both the
 // removed and added logic), and strictly positive gains are committed
 // immediately, so every node sees the latest graph.
-func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) Result {
+//
+// The error is always nil today — the serial engine has no speculative
+// machinery that can fail — but the signature matches the parallel
+// engines so callers handle every engine uniformly.
+func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 	start := time.Now()
 	res := Result{
 		Engine:       "abc-rewrite",
@@ -47,5 +51,5 @@ func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) Result {
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }

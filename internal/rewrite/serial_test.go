@@ -63,7 +63,10 @@ func TestSerialPreservesFunction(t *testing.T) {
 		a := randomAIG(t, rng, 8, 400, 8)
 		before := aig.RandomSignature(a, rand.New(rand.NewSource(99)), 4)
 		initial := a.NumAnds()
-		res := Serial(a, lib, Config{})
+		res, err := Serial(a, lib, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := a.Check(aig.CheckOptions{}); err != nil {
 			t.Fatalf("seed %d: post-rewrite invariants: %v", seed, err)
 		}

@@ -51,7 +51,12 @@ func (v Variant) String() string {
 // Rewrite runs static-information rewriting: parallel enumeration and
 // evaluation on the unchanging input graph, then serial conditional
 // replacement.
-func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) rewrite.Result {
+//
+// The error is always nil today — the static engines synchronize with
+// barriers instead of speculative locks, so there is no retry machinery
+// to exhaust — but the signature matches the other engines so callers
+// handle every engine uniformly.
+func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -133,7 +138,7 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }
 
 // parallelFor distributes items over workers with a barrier at the end.

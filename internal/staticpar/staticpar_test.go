@@ -12,6 +12,17 @@ import (
 	"dacpara/internal/rewrite"
 )
 
+// must unwraps an engine result, failing the test on an engine error.
+func must(t testing.TB) func(rewrite.Result, error) rewrite.Result {
+	return func(res rewrite.Result, err error) rewrite.Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+}
+
 func lib(t testing.TB) *rewlib.Library {
 	t.Helper()
 	l, err := rewlib.Build(npn.Shared(), rewlib.Params{})
@@ -26,7 +37,7 @@ func TestPreservesFunction(t *testing.T) {
 	for _, variant := range []Variant{DAC22, TCAD23} {
 		a := bench.MtM("m", 6000, 5)
 		golden := a.Clone()
-		res := Rewrite(a, l, rewrite.Config{Workers: 4}, variant)
+		res := must(t)(Rewrite(a, l, rewrite.Config{Workers: 4}, variant))
 		if err := a.Check(aig.CheckOptions{}); err != nil {
 			t.Fatalf("%v: %v", variant, err)
 		}
@@ -50,8 +61,8 @@ func TestStaticInformationLosesQuality(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		a1 := bench.MtM("m", 8000, 16+seed)
 		a2 := a1.Clone()
-		st := Rewrite(a1, l, rewrite.Config{Workers: 4}, DAC22)
-		dy := core.Rewrite(a2, l, rewrite.Config{Workers: 4})
+		st := must(t)(Rewrite(a1, l, rewrite.Config{Workers: 4}, DAC22))
+		dy := must(t)(core.Rewrite(a2, l, rewrite.Config{Workers: 4}))
 		seedTotals.static += st.AreaReduction()
 		seedTotals.dynamic += dy.AreaReduction()
 	}
@@ -67,7 +78,7 @@ func TestStaticInformationLosesQuality(t *testing.T) {
 func TestStaleDecisionsAreCounted(t *testing.T) {
 	l := lib(t)
 	a := bench.MtM("m", 8000, 9)
-	res := Rewrite(a, l, rewrite.Config{Workers: 4}, DAC22)
+	res := must(t)(Rewrite(a, l, rewrite.Config{Workers: 4}, DAC22))
 	if res.Attempts == 0 {
 		t.Fatal("no attempts recorded")
 	}

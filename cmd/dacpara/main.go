@@ -9,33 +9,39 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"dacpara"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input AIGER file (ASCII or binary)")
-		gen     = flag.String("gen", "", "generate a named benchmark instead of reading a file (see -list)")
-		scale   = flag.String("scale", "small", "generated benchmark scale: tiny, small, full")
-		out     = flag.String("out", "", "output AIGER file (optional)")
-		engine  = flag.String("engine", "dacpara", "engine: abc, iccad18, dacpara, dac22, tcad23")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		passes  = flag.Int("passes", 1, "rewriting passes")
-		p1      = flag.Bool("p1", false, "use the paper's P1 configuration (8 cuts, 5 structures, 2 passes)")
-		p2      = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
-		zero    = flag.Bool("z", false, "also apply zero-gain rewrites")
-		level   = flag.Bool("l", false, "preserve levels: reject depth-increasing rewrites")
-		guard   = flag.Bool("guard", false, "guarded execution: verify each engine run on a scratch copy and degrade dacpara -> iccad18 -> abc on failure")
-		deadln  = flag.Duration("guard-deadline", 0, "with -guard: per-attempt wall-clock deadline (0 = none)")
-		verify  = flag.Bool("verify", false, "equivalence-check the result against the input")
-		simOnly = flag.Bool("sim-only", false, "verification by simulation only (for large circuits)")
-		lut     = flag.Int("lut", 0, "after optimizing, also map into k-input LUTs and report mapped area/depth")
-		script  = flag.String("script", "", "run an ABC-style flow instead of one engine, e.g. \"balance; rewrite; refactor\" (use 'resyn2' for the classic script)")
-		list    = flag.Bool("list", false, "list generatable benchmarks and exit")
+		in        = flag.String("in", "", "input AIGER file (ASCII or binary)")
+		gen       = flag.String("gen", "", "generate a named benchmark instead of reading a file (see -list)")
+		scale     = flag.String("scale", "small", "generated benchmark scale: tiny, small, full")
+		out       = flag.String("out", "", "output AIGER file (optional)")
+		engine    = flag.String("engine", "dacpara", "engine: abc, iccad18, dacpara, dac22, tcad23")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		passes    = flag.Int("passes", 1, "rewriting passes")
+		p1        = flag.Bool("p1", false, "use the paper's P1 configuration (8 cuts, 5 structures, 2 passes)")
+		p2        = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
+		zero      = flag.Bool("z", false, "also apply zero-gain rewrites")
+		level     = flag.Bool("l", false, "preserve levels: reject depth-increasing rewrites")
+		guard     = flag.Bool("guard", false, "guarded execution: verify each engine run on a scratch copy and degrade dacpara -> iccad18 -> abc on failure")
+		deadln    = flag.Duration("guard-deadline", 0, "with -guard: per-attempt wall-clock deadline (0 = none)")
+		verify    = flag.Bool("verify", false, "equivalence-check the result against the input")
+		simOnly   = flag.Bool("sim-only", false, "verification by simulation only (for large circuits)")
+		lut       = flag.Int("lut", 0, "after optimizing, also map into k-input LUTs and report mapped area/depth")
+		script    = flag.String("script", "", "run an ABC-style flow instead of one engine, e.g. \"balance; rewrite; refactor\" (use 'resyn2' for the classic script)")
+		list      = flag.Bool("list", false, "list generatable benchmarks and exit")
+		stats     = flag.Bool("stats", false, "collect engine metrics and print a per-phase summary")
+		statsJSON = flag.String("stats-json", "", "collect engine metrics and write the snapshot(s) as JSON to this file ('-' for stdout)")
+		traceConf = flag.Int("trace-conflicts", 0, "with -stats/-stats-json: sample up to N aborted activities per worker into the snapshot")
+		pprofPfx  = flag.String("pprof", "", "write CPU and heap profiles around the run to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	flag.Parse()
 
@@ -68,6 +74,24 @@ func main() {
 		cfg = dacpara.P2()
 		cfg.Workers = *threads
 	}
+	if *stats || *statsJSON != "" {
+		cfg.Metrics = dacpara.NewMetrics()
+		cfg.Metrics.TraceConflicts(*traceConf)
+	}
+
+	if *pprofPfx != "" {
+		f, err := os.Create(*pprofPfx + ".cpu.pprof")
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			h, err := os.Create(*pprofPfx + ".heap.pprof")
+			fatal(err)
+			defer h.Close()
+			fatal(pprof.WriteHeapProfile(h))
+		}()
+	}
 
 	var golden *dacpara.Network
 	if *verify {
@@ -75,6 +99,7 @@ func main() {
 	}
 
 	before := net.Stats()
+	var snapshots []*dacpara.MetricsSnapshot
 	if *script != "" {
 		text := *script
 		switch text {
@@ -100,6 +125,9 @@ func main() {
 			fmt.Printf("%-16s area %7d -> %7d  delay %5d -> %5d  %8.3fs\n",
 				r.Engine, r.InitialAnds, r.FinalAnds, r.InitialDelay, r.FinalDelay,
 				r.Duration.Seconds())
+			if r.Metrics != nil {
+				snapshots = append(snapshots, r.Metrics)
+			}
 		}
 		after := net.Stats()
 		fmt.Printf("flow total: area %d -> %d, delay %d -> %d\n",
@@ -122,6 +150,18 @@ func main() {
 		fmt.Printf("delay %d -> %d\n", before.Delay, after.Delay)
 		fmt.Printf("replacements=%d attempts=%d stale=%d commits=%d aborts=%d\n",
 			res.Replacements, res.Attempts, res.Stale, res.Commits, res.Aborts)
+		if res.Metrics != nil {
+			snapshots = append(snapshots, res.Metrics)
+		}
+	}
+
+	if *stats {
+		for _, s := range snapshots {
+			s.Format(os.Stdout)
+		}
+	}
+	if *statsJSON != "" {
+		fatal(writeSnapshots(*statsJSON, snapshots))
 	}
 
 	if *lut > 0 {
@@ -159,6 +199,27 @@ func parseScale(s string) dacpara.Scale {
 	default:
 		return dacpara.ScaleSmall
 	}
+}
+
+// writeSnapshots emits the collected snapshots as JSON: one object for a
+// single-engine run, an array for a multi-step flow.
+func writeSnapshots(path string, snapshots []*dacpara.MetricsSnapshot) error {
+	var payload any
+	if len(snapshots) == 1 {
+		payload = snapshots[0]
+	} else {
+		payload = snapshots
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func printReport(rep *dacpara.GuardReport) {

@@ -1,0 +1,149 @@
+// Command perfbench establishes the repository's perf trajectory: it
+// sweeps the generated benchmark suite across rewriting engines and
+// worker counts with full instrumentation and writes one schema-stable
+// BENCH_<date>.json (dacpara-bench/v1) per invocation. Comparing two
+// such files — same host, different commits — is how a rewrite of a hot
+// path proves itself, and how a regression is caught.
+//
+// Usage:
+//
+//	perfbench -scale tiny -workers 1,4                 # full sweep
+//	perfbench -circuits sin,mult -engines dacpara,abc  # focused sweep
+//	perfbench -validate BENCH_2026-08-06.json          # schema check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dacpara"
+	"dacpara/internal/metrics"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "tiny", "suite scale: tiny, small, full")
+		engines  = flag.String("engines", "abc,iccad18,dacpara,dac22,tcad23", "comma-separated engines to sweep")
+		workers  = flag.String("workers", "1,4", "comma-separated worker counts")
+		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		passes   = flag.Int("passes", 1, "rewriting passes per run")
+		out      = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		validate = flag.String("validate", "", "validate an existing BENCH json against the schema and exit")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		fatal(err)
+		f, err := metrics.ParseBench(data)
+		fatal(err)
+		fmt.Printf("%s: valid %s, %d runs\n", *validate, f.Schema, len(f.Runs))
+		return
+	}
+
+	sc := parseScale(*scale)
+	names := dacpara.BenchmarkNames(sc)
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	workerCounts, err := parseInts(*workers)
+	fatal(err)
+	if len(workerCounts) == 0 {
+		fatal(fmt.Errorf("no worker counts"))
+	}
+
+	file := &metrics.BenchFile{
+		Schema:  metrics.SchemaBench,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Host: metrics.BenchHost{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Scale:  sc.String(),
+		Passes: *passes,
+	}
+
+	coll := dacpara.NewMetrics()
+	for _, name := range names {
+		for _, eng := range strings.Split(*engines, ",") {
+			for _, w := range workerCounts {
+				net, err := dacpara.Generate(name, sc)
+				fatal(err)
+				cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
+				res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
+				run := metrics.BenchRun{
+					Circuit: name,
+					Engine:  eng,
+					Workers: w,
+					Metrics: res.Metrics,
+				}
+				if runErr != nil {
+					run.Error = runErr.Error()
+				}
+				file.Runs = append(file.Runs, run)
+				if !*quiet {
+					fmt.Printf("%-14s %-8s w=%-2d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
+						name, eng, w, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
+						res.Aborts, 100*res.WastedFraction())
+				}
+			}
+		}
+	}
+
+	// Self-check before writing: an invalid trajectory point is worse
+	// than no point.
+	fatal(file.Validate())
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := file.JSON()
+	fatal(err)
+	fatal(os.WriteFile(path, data, 0o644))
+	fmt.Printf("wrote %s (%d runs)\n", path, len(file.Runs))
+}
+
+func parseScale(s string) dacpara.Scale {
+	switch s {
+	case "tiny":
+		return dacpara.ScaleTiny
+	case "small":
+		return dacpara.ScaleSmall
+	case "full":
+		return dacpara.ScaleFull
+	}
+	fatal(fmt.Errorf("unknown scale %q", s))
+	panic("unreachable")
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+}

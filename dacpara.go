@@ -30,6 +30,7 @@ import (
 	"dacpara/internal/core"
 	"dacpara/internal/guard"
 	"dacpara/internal/lockpar"
+	"dacpara/internal/metrics"
 	"dacpara/internal/npn"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
@@ -49,6 +50,21 @@ type Result = rewrite.Result
 
 // Library is the NPN structure forest shared by all engines.
 type Library = rewlib.Library
+
+// MetricsCollector gathers per-phase timings, per-level parallelism,
+// speculative-work accounting and QoR deltas for one engine run. Create
+// one with NewMetrics, set it on Config.Metrics, and read the snapshot
+// from Result.Metrics after the run. A nil collector (the default) costs
+// nothing.
+type MetricsCollector = metrics.Collector
+
+// MetricsSnapshot is the machine-readable record of one instrumented
+// run; its JSON form is the dacpara-metrics/v1 schema that -stats-json
+// and cmd/perfbench emit.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an enabled metrics collector.
+func NewMetrics() *MetricsCollector { return metrics.New() }
 
 // Scale selects generated benchmark sizes.
 type Scale = bench.Scale

@@ -117,6 +117,11 @@ func ParseFlow(script string) ([]FlowStep, error) {
 // runs. Flow returns the per-command results and the final network
 // (balance rebuilds the graph, so the returned pointer may differ from
 // the argument).
+//
+// When cfg.Metrics is set, every rewriting step resets the collector on
+// entry and attaches its own snapshot to that step's Result.Metrics, so
+// a flow yields one per-step snapshot sequence; the serial transforms
+// (balance, refactor, resub, fraig) are not instrumented.
 func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {

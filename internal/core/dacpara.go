@@ -30,6 +30,7 @@ import (
 	"dacpara/internal/aig"
 	"dacpara/internal/cut"
 	"dacpara/internal/galois"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 )
@@ -90,6 +91,9 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 		InitialAnds:  a.NumAnds(),
 		InitialDelay: a.Delay(),
 	}
+	m := cfg.Metrics
+	m.StartRun(name, workers, passes(cfg))
+	shards := m.Shards(workers + 1) // nil when metrics are off
 	var attempts, replacements, stale atomic.Int64
 	var runErr error
 	for p := 0; p < passes(cfg); p++ {
@@ -97,6 +101,17 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 		ex := galois.NewExecutor(a.Capacity()+1, workers)
 		ex.Fault = cfg.Fault
 		ex.RetryBudget = cfg.RetryBudget
+		// runPhase brackets one executor run with the phase clock and
+		// attributes the executor counter movement to that phase.
+		specBase := metrics.SpecOf(&ex.Stats)
+		runPhase := func(ph metrics.Phase, wl []int32, op galois.Operator) error {
+			m.PhaseStart(ph)
+			err := ex.Run(wl, op)
+			cur := metrics.SpecOf(&ex.Stats)
+			m.PhaseEnd(ph, cur.Sub(specBase))
+			specBase = cur
+			return err
+		}
 		evs := make([]*rewrite.Evaluator, workers+1)
 		for w := range evs {
 			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
@@ -114,12 +129,18 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 
 		enumOp := func(ctx *galois.Ctx, id int32) error {
 			if !ctx.Acquire(id) {
+				if shards != nil {
+					shards[ctx.Worker()].Conflict(metrics.PhaseEnumerate, id)
+				}
 				return galois.ErrConflict
 			}
 			if !a.N(id).IsAnd() {
 				return nil
 			}
 			if _, ok := cm.Ensure(id, ctx.Acquire); !ok {
+				if shards != nil {
+					shards[ctx.Worker()].Conflict(metrics.PhaseEnumerate, id)
+				}
 				return galois.ErrConflict
 			}
 			return nil
@@ -136,6 +157,9 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 				return nil
 			}
 			prep[id] = evs[ctx.Worker()].Evaluate(id, cuts)
+			if shards != nil {
+				shards[ctx.Worker()].Evals++
+			}
 			return nil
 		}
 		repOp := func(ctx *galois.Ctx, id int32) error {
@@ -144,17 +168,29 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 				return nil
 			}
 			if !ctx.Acquire(id) {
+				if shards != nil {
+					shards[ctx.Worker()].Conflict(metrics.PhaseReplace, id)
+				}
 				return galois.ErrConflict
 			}
 			ev := evs[ctx.Worker()]
 			_, st := ev.Execute(cm, &cand, ctx.Acquire)
 			switch st {
 			case rewrite.StatusConflict:
+				if shards != nil {
+					shards[ctx.Worker()].Conflict(metrics.PhaseReplace, id)
+				}
 				return galois.ErrConflict
 			case rewrite.StatusCommitted:
 				replacements.Add(1)
 			case rewrite.StatusStale:
+				// The stored evaluation was outdated on the latest graph:
+				// that evaluation is the (cheap) work a split-operator
+				// conflict throws away.
 				stale.Add(1)
+				if shards != nil {
+					shards[ctx.Worker()].WastedEvals++
+				}
 			}
 			return nil
 		}
@@ -163,11 +199,12 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 			if len(wl) == 0 {
 				continue
 			}
-			if err := ex.Run(wl, enumOp); err != nil {
+			m.ObserveLevel(len(wl))
+			if err := runPhase(metrics.PhaseEnumerate, wl, enumOp); err != nil {
 				runErr = fmt.Errorf("%s: enumeration stage: %w", name, err)
 				break
 			}
-			if err := ex.Run(wl, evalOp); err != nil {
+			if err := runPhase(metrics.PhaseEvaluate, wl, evalOp); err != nil {
 				runErr = fmt.Errorf("%s: evaluation stage: %w", name, err)
 				break
 			}
@@ -176,11 +213,15 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 					attempts.Add(1)
 				}
 			}
-			if err := ex.Run(wl, repOp); err != nil {
+			if err := runPhase(metrics.PhaseReplace, wl, repOp); err != nil {
 				runErr = fmt.Errorf("%s: replacement stage: %w", name, err)
 				break
 			}
+			// The executor's join above ordered every shard write; fold
+			// the per-worker counters in while the workers are quiescent.
+			m.MergeShards(shards)
 		}
+		m.MergeShards(shards)
 		res.Commits += ex.Stats.Commits.Load()
 		res.Aborts += ex.Stats.Aborts.Load()
 		res.InjectedAborts += ex.Stats.InjectedAborts.Load()
@@ -197,6 +238,7 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
 	res.Incomplete = runErr != nil
+	rewrite.FinishMetrics(m, &res)
 	return res, runErr
 }
 

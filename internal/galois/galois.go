@@ -125,8 +125,13 @@ type Stats struct {
 	// InjectedAborts counts the aborts forced by a FaultPlan (a subset of
 	// Aborts, as each spurious acquire failure aborts its activity).
 	InjectedAborts atomic.Int64
-	// LocksTaken counts successful lock acquisitions.
-	LocksTaken atomic.Int64
+	// LocksTaken counts successful lock acquisitions; LockFailures the
+	// acquisitions that found the lock held by another activity (each
+	// failure aborts its activity, so failures trace where conflicts
+	// actually arise — the paper's Section 4 claim that enumeration and
+	// replacement conflicts are rare is readable from this counter).
+	LocksTaken   atomic.Int64
+	LockFailures atomic.Int64
 	// CommittedNs and WastedNs accumulate the time spent inside
 	// committed and aborted activities respectively. On machines without
 	// enough cores to observe wall-clock speedups, the wasted fraction is
@@ -161,10 +166,12 @@ func (c *Ctx) Worker() int { return int(c.owner) }
 func (c *Ctx) Acquire(id int32) bool {
 	if c.inj != nil && c.inj.spuriousFail() {
 		c.stats.InjectedAborts.Add(1)
+		c.stats.LockFailures.Add(1)
 		return false
 	}
 	ok, newly := c.table.tryAcquire(c.owner, id)
 	if !ok {
+		c.stats.LockFailures.Add(1)
 		return false
 	}
 	if newly {

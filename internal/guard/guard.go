@@ -22,6 +22,7 @@ import (
 	"dacpara/internal/aig"
 	"dacpara/internal/core"
 	"dacpara/internal/lockpar"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 	"dacpara/internal/staticpar"
@@ -115,6 +116,12 @@ type Attempt struct {
 	Violation string
 	// Committed reports that this rung's result was adopted.
 	Committed bool
+	// Metrics is the rung's instrumentation snapshot, present when the
+	// caller set Config.Metrics and the engine returned (nil after a
+	// timeout or panic). Each rung runs with its own collector: a
+	// timed-out engine keeps running on its abandoned scratch copy, so
+	// sharing one collector across rungs would race.
+	Metrics *metrics.Snapshot
 }
 
 func (a Attempt) failure() string {
@@ -247,10 +254,15 @@ func Rewrite(net *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, opts Options
 	for i, eng := range ladder {
 		att := Attempt{Engine: eng}
 		scratch := net.Clone()
+		acfg := cfg
+		if cfg.Metrics != nil {
+			acfg.Metrics = metrics.New()
+		}
 		start := time.Now()
-		o, timedOut := attempt(eng, scratch, lib, cfg, opts.Deadline)
+		o, timedOut := attempt(eng, scratch, lib, acfg, opts.Deadline)
 		att.Duration = time.Since(start)
 		att.Result = o.res
+		att.Metrics = o.res.Metrics
 		switch {
 		case timedOut:
 			att.TimedOut = true

@@ -21,6 +21,7 @@ import (
 	"dacpara/internal/aig"
 	"dacpara/internal/cut"
 	"dacpara/internal/galois"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 )
@@ -46,6 +47,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 		InitialAnds:  a.NumAnds(),
 		InitialDelay: a.Delay(),
 	}
+	m := cfg.Metrics
+	m.StartRun("iccad18-lockpar", workers, passes)
+	shards := m.Shards(workers + 1) // nil when metrics are off
 	var attempts, replacements, stale atomic.Int64
 	var runErr error
 	for p := 0; p < passes; p++ {
@@ -64,7 +68,18 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 			}
 		}
 		op := func(ctx *galois.Ctx, id int32) error {
+			// One fused activity: enumeration, evaluation and replacement
+			// back to back under one lock set. The shard timings attribute
+			// in-operator time to the three logical stages so the fused
+			// engine's snapshot is comparable with the split engines'.
+			var sh *metrics.Shard
+			var t0 time.Time
+			if shards != nil {
+				sh = &shards[ctx.Worker()]
+				t0 = time.Now()
+			}
 			if !ctx.Acquire(id) {
+				sh.Conflict(metrics.PhaseFused, id)
 				return galois.ErrConflict
 			}
 			if !a.N(id).IsAnd() {
@@ -75,6 +90,7 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 			// operator reads or writes.
 			cuts, ok := cm.Ensure(id, ctx.Acquire)
 			if !ok {
+				sh.Conflict(metrics.PhaseFused, id)
 				return galois.ErrConflict
 			}
 			// The fused operator holds the locks of all cut leaves for its
@@ -83,12 +99,30 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 			for i := range cuts {
 				for _, leaf := range cuts[i].LeafSlice() {
 					if !ctx.Acquire(leaf) {
+						sh.Conflict(metrics.PhaseFused, id)
 						return galois.ErrConflict
 					}
 				}
 			}
+			var t1 time.Time
+			if sh != nil {
+				t1 = time.Now()
+				sh.EnumNs += t1.Sub(t0).Nanoseconds()
+			}
 			cand, conflict := ev.EvaluateLocked(id, cuts, ctx.Acquire)
+			if sh != nil {
+				t2 := time.Now()
+				sh.EvalNs += t2.Sub(t1).Nanoseconds()
+				sh.Evals++
+				t1 = t2
+			}
 			if conflict {
+				// The expensive evaluation is discarded with the activity —
+				// the fused-operator waste of the paper's Fig. 2.
+				if sh != nil {
+					sh.WastedEvals++
+					sh.Conflict(metrics.PhaseFused, id)
+				}
 				return galois.ErrConflict
 			}
 			if !cand.Ok() {
@@ -96,8 +130,15 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 			}
 			attempts.Add(1)
 			_, st := ev.Execute(cm, &cand, ctx.Acquire)
+			if sh != nil {
+				sh.ReplaceNs += time.Since(t1).Nanoseconds()
+			}
 			switch st {
 			case rewrite.StatusConflict:
+				if sh != nil {
+					sh.WastedEvals++
+					sh.Conflict(metrics.PhaseFused, id)
+				}
 				return galois.ErrConflict
 			case rewrite.StatusCommitted:
 				replacements.Add(1)
@@ -106,7 +147,12 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 			}
 			return nil
 		}
-		if err := ex.Run(order, op); err != nil {
+		specBase := metrics.SpecOf(&ex.Stats)
+		m.PhaseStart(metrics.PhaseFused)
+		err := ex.Run(order, op)
+		m.PhaseEnd(metrics.PhaseFused, metrics.SpecOf(&ex.Stats).Sub(specBase))
+		m.MergeShards(shards)
+		if err != nil {
 			runErr = fmt.Errorf("iccad18: fused operator: %w", err)
 		}
 		res.Commits += ex.Stats.Commits.Load()
@@ -125,5 +171,6 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
 	res.Incomplete = runErr != nil
+	rewrite.FinishMetrics(m, &res)
 	return res, runErr
 }

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SchemaBench identifies the BENCH_*.json perf-trajectory schema emitted
+// by cmd/perfbench. Files with this schema string are comparable
+// run-to-run; bump the suffix on any incompatible change.
+const SchemaBench = "dacpara-bench/v1"
+
+// BenchFile is one point of the perf trajectory: a sweep of the
+// generated suite across engines and worker counts on one host.
+type BenchFile struct {
+	Schema  string     `json:"schema"`
+	Created string     `json:"created"` // RFC 3339
+	Host    BenchHost  `json:"host"`
+	Scale   string     `json:"scale"`
+	Passes  int        `json:"passes"`
+	Runs    []BenchRun `json:"runs"`
+}
+
+// BenchHost identifies the machine and toolchain the sweep ran on.
+type BenchHost struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// BenchRun is one (circuit, engine, workers) cell of the sweep.
+type BenchRun struct {
+	Circuit string `json:"circuit"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	// Error is the engine's error string for runs that ended incomplete
+	// (the metrics still cover the work done up to that point).
+	Error   string    `json:"error,omitempty"`
+	Metrics *Snapshot `json:"metrics"`
+}
+
+// Validate checks the structural invariants of the schema: a wrong or
+// missing field here means a BENCH file other tooling cannot compare.
+func (f *BenchFile) Validate() error {
+	if f.Schema != SchemaBench {
+		return fmt.Errorf("bench: schema %q, want %q", f.Schema, SchemaBench)
+	}
+	if _, err := time.Parse(time.RFC3339, f.Created); err != nil {
+		return fmt.Errorf("bench: created %q is not RFC 3339: %w", f.Created, err)
+	}
+	if f.Host.GoVersion == "" || f.Host.GOOS == "" || f.Host.GOARCH == "" || f.Host.NumCPU <= 0 {
+		return fmt.Errorf("bench: incomplete host record %+v", f.Host)
+	}
+	if f.Scale == "" {
+		return fmt.Errorf("bench: missing scale")
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("bench: no runs")
+	}
+	for i := range f.Runs {
+		r := &f.Runs[i]
+		where := fmt.Sprintf("bench: run %d (%s/%s/w%d)", i, r.Circuit, r.Engine, r.Workers)
+		if r.Circuit == "" || r.Engine == "" {
+			return fmt.Errorf("%s: missing circuit or engine", where)
+		}
+		if r.Workers < 1 {
+			return fmt.Errorf("%s: workers %d < 1", where, r.Workers)
+		}
+		m := r.Metrics
+		if m == nil {
+			return fmt.Errorf("%s: missing metrics snapshot", where)
+		}
+		if m.Schema != SchemaMetrics {
+			return fmt.Errorf("%s: metrics schema %q, want %q", where, m.Schema, SchemaMetrics)
+		}
+		if m.Engine == "" {
+			return fmt.Errorf("%s: metrics missing engine name", where)
+		}
+		if m.WallNs < 0 {
+			return fmt.Errorf("%s: negative wall time", where)
+		}
+		if len(m.Phases) == 0 {
+			return fmt.Errorf("%s: no phase timings", where)
+		}
+		for _, p := range m.Phases {
+			if p.Name == "" || p.WallNs < 0 || p.WorkNs < 0 {
+				return fmt.Errorf("%s: malformed phase %+v", where, p)
+			}
+			if p.Speculation.Aborts < 0 || p.Speculation.WastedNs < 0 {
+				return fmt.Errorf("%s: negative speculation counters in phase %s", where, p.Name)
+			}
+		}
+		// Static-information engines can realize negative gain (the
+		// Table 3 penalty), so FinalAnds may exceed InitialAnds; only
+		// outright nonsense is rejected.
+		if m.QoR.InitialAnds < 0 || m.QoR.FinalAnds < 0 {
+			return fmt.Errorf("%s: negative AND counts (%d -> %d)",
+				where, m.QoR.InitialAnds, m.QoR.FinalAnds)
+		}
+	}
+	return nil
+}
+
+// JSON renders the file as indented JSON with a trailing newline.
+func (f *BenchFile) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseBench strictly decodes and validates a BENCH_*.json payload.
+func ParseBench(data []byte) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

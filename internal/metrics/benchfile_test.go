@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"os"
+	"testing"
+)
+
+func loadGolden(t *testing.T) (*BenchFile, []byte) {
+	t.Helper()
+	data, err := os.ReadFile("testdata/bench_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseBench(data)
+	if err != nil {
+		t.Fatalf("golden file rejected: %v", err)
+	}
+	return f, data
+}
+
+// TestBenchGoldenValidates pins the BENCH_*.json schema: the checked-in
+// golden file must keep parsing and validating, and survive a
+// serialize/reparse round trip unchanged in its key fields. If this test
+// breaks, either fix the regression or bump SchemaBench and regenerate
+// the golden file.
+func TestBenchGoldenValidates(t *testing.T) {
+	f, _ := loadGolden(t)
+	if f.Schema != SchemaBench || f.Scale != "tiny" || len(f.Runs) != 2 {
+		t.Fatalf("golden shape changed: schema=%q scale=%q runs=%d", f.Schema, f.Scale, len(f.Runs))
+	}
+
+	out, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseBench(out)
+	if err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	if len(g.Runs) != len(f.Runs) || g.Created != f.Created || g.Host != f.Host {
+		t.Fatalf("round trip changed the file: %+v vs %+v", g, f)
+	}
+	for i := range f.Runs {
+		a, b := &f.Runs[i], &g.Runs[i]
+		if a.Circuit != b.Circuit || a.Engine != b.Engine || a.Workers != b.Workers {
+			t.Fatalf("run %d identity changed", i)
+		}
+		if a.Metrics.Speculation != b.Metrics.Speculation || len(a.Metrics.Phases) != len(b.Metrics.Phases) {
+			t.Fatalf("run %d metrics changed", i)
+		}
+	}
+
+	// The golden data carries the paper's Fig. 2 contrast: the fused
+	// engine wastes a visibly larger share of its speculative work.
+	split, fused := f.Runs[0].Metrics.Speculation, f.Runs[1].Metrics.Speculation
+	if split.WastedFraction() >= fused.WastedFraction() {
+		t.Fatalf("golden lost the wasted-work contrast: split %v >= fused %v",
+			split.WastedFraction(), fused.WastedFraction())
+	}
+}
+
+func TestBenchValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+	}{
+		{"wrong schema", func(f *BenchFile) { f.Schema = "dacpara-bench/v0" }},
+		{"bad created", func(f *BenchFile) { f.Created = "yesterday" }},
+		{"missing host", func(f *BenchFile) { f.Host.GoVersion = "" }},
+		{"zero cpus", func(f *BenchFile) { f.Host.NumCPU = 0 }},
+		{"missing scale", func(f *BenchFile) { f.Scale = "" }},
+		{"no runs", func(f *BenchFile) { f.Runs = nil }},
+		{"missing circuit", func(f *BenchFile) { f.Runs[0].Circuit = "" }},
+		{"missing engine", func(f *BenchFile) { f.Runs[1].Engine = "" }},
+		{"workers zero", func(f *BenchFile) { f.Runs[0].Workers = 0 }},
+		{"missing metrics", func(f *BenchFile) { f.Runs[0].Metrics = nil }},
+		{"wrong metrics schema", func(f *BenchFile) { f.Runs[0].Metrics.Schema = "dacpara-metrics/v9" }},
+		{"metrics without engine", func(f *BenchFile) { f.Runs[0].Metrics.Engine = "" }},
+		{"negative wall", func(f *BenchFile) { f.Runs[0].Metrics.WallNs = -1 }},
+		{"no phases", func(f *BenchFile) { f.Runs[0].Metrics.Phases = nil }},
+		{"unnamed phase", func(f *BenchFile) { f.Runs[0].Metrics.Phases[0].Name = "" }},
+		{"negative phase work", func(f *BenchFile) { f.Runs[0].Metrics.Phases[1].WorkNs = -5 }},
+		{"negative aborts", func(f *BenchFile) { f.Runs[0].Metrics.Phases[0].Speculation.Aborts = -1 }},
+		{"negative ands", func(f *BenchFile) { f.Runs[0].Metrics.QoR.FinalAnds = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, _ := loadGolden(t)
+			tc.mutate(f)
+			if err := f.Validate(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestBenchValidateAllowsNegativeGain: static-information engines can
+// end with more ANDs than they started with (the paper's Table 3
+// penalty on some circuits); the schema must not reject such runs.
+func TestBenchValidateAllowsNegativeGain(t *testing.T) {
+	f, _ := loadGolden(t)
+	f.Runs[0].Metrics.QoR.FinalAnds = f.Runs[0].Metrics.QoR.InitialAnds + 40
+	if err := f.Validate(); err != nil {
+		t.Fatalf("negative gain rejected: %v", err)
+	}
+	// Runs that errored out keep their partial metrics and an error
+	// string; that is valid too.
+	f.Runs[1].Error = "deadline exceeded"
+	if err := f.Validate(); err != nil {
+		t.Fatalf("errored run rejected: %v", err)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	if _, err := ParseBench([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ParseBench([]byte(`{"schema":"dacpara-bench/v1"}`)); err == nil {
+		t.Fatal("empty bench accepted")
+	}
+}

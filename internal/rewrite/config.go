@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dacpara/internal/galois"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 )
 
@@ -55,6 +56,13 @@ type Config struct {
 	// parallel engine gives up with a *galois.RetryBudgetError instead of
 	// livelocking (0: galois.DefaultRetryBudget).
 	RetryBudget int
+	// Metrics, when non-nil, collects per-phase timings, per-level
+	// parallelism, speculative-work accounting and QoR deltas for the run
+	// (see internal/metrics). The engine resets the collector on entry
+	// and attaches the final snapshot to Result.Metrics, so one collector
+	// reused across flow steps yields one snapshot per step. Nil, the
+	// default, costs nothing on the hot paths.
+	Metrics *metrics.Collector
 }
 
 // P1 is the paper's Table 3 "DACPara-P1" configuration: 8 cuts per node,
@@ -129,6 +137,30 @@ type Result struct {
 	CommittedWork, WastedWork time.Duration
 
 	Duration time.Duration
+
+	// Metrics is the instrumentation snapshot of the run, present only
+	// when Config.Metrics was set.
+	Metrics *metrics.Snapshot
+}
+
+// FinishMetrics records the result's QoR into the collector, closes the
+// run and attaches the snapshot to the result. Engines call it last,
+// after their final shard merge; a nil collector is a no-op.
+func FinishMetrics(m *metrics.Collector, res *Result) {
+	if m == nil {
+		return
+	}
+	m.FinishRun(metrics.QoR{
+		InitialAnds:  res.InitialAnds,
+		FinalAnds:    res.FinalAnds,
+		InitialDelay: int(res.InitialDelay),
+		FinalDelay:   int(res.FinalDelay),
+		Replacements: res.Replacements,
+		Attempts:     res.Attempts,
+		Stale:        res.Stale,
+		Incomplete:   res.Incomplete,
+	})
+	res.Metrics = m.Snapshot()
 }
 
 // WastedFraction returns the share of speculative work that was thrown

@@ -21,6 +21,11 @@ import (
 // engines so callers handle every engine uniformly.
 func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 	start := time.Now()
+	m := cfg.Metrics
+	m.StartRun("abc-rewrite", 1, cfg.passes())
+	// One shard: the serial engine has no barriers, so its per-phase
+	// breakdown is the in-loop stage time accumulated here.
+	shards := m.Shards(1)
 	res := Result{
 		Engine:       "abc-rewrite",
 		Threads:      1,
@@ -35,21 +40,49 @@ func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 			if !a.N(id).IsAnd() {
 				continue
 			}
+			if shards == nil {
+				cuts, _ := cm.Ensure(id, nil)
+				cand := ev.Evaluate(id, cuts)
+				if !cand.Ok() {
+					continue
+				}
+				res.Attempts++
+				if _, st := ev.Execute(cm, &cand, nil); st == StatusCommitted {
+					res.Replacements++
+				} else if st == StatusStale {
+					res.Stale++
+				}
+				continue
+			}
+			sh := &shards[0]
+			t0 := time.Now()
 			cuts, _ := cm.Ensure(id, nil)
+			t1 := time.Now()
 			cand := ev.Evaluate(id, cuts)
+			t2 := time.Now()
+			sh.EnumNs += t1.Sub(t0).Nanoseconds()
+			sh.EvalNs += t2.Sub(t1).Nanoseconds()
+			sh.Evals++
 			if !cand.Ok() {
 				continue
 			}
 			res.Attempts++
-			if _, st := ev.Execute(cm, &cand, nil); st == StatusCommitted {
+			t3 := time.Now()
+			_, st := ev.Execute(cm, &cand, nil)
+			sh.ReplaceNs += time.Since(t3).Nanoseconds()
+			switch st {
+			case StatusCommitted:
 				res.Replacements++
-			} else if st == StatusStale {
+			case StatusStale:
 				res.Stale++
+				sh.WastedEvals++
 			}
 		}
 	}
+	m.MergeShards(shards)
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
+	FinishMetrics(m, &res)
 	return res, nil
 }

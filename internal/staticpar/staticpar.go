@@ -23,6 +23,7 @@ import (
 
 	"dacpara/internal/aig"
 	"dacpara/internal/cut"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 )
@@ -69,6 +70,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 		InitialAnds:  a.NumAnds(),
 		InitialDelay: a.Delay(),
 	}
+	m := cfg.Metrics
+	m.StartRun(variant.String(), workers, passes(cfg))
+	shards := m.Shards(workers) // nil when metrics are off
 	for p := 0; p < passes(cfg); p++ {
 		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
 		cm.Ensure(0, nil)
@@ -89,11 +93,14 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 			}
 			levels[lv] = append(levels[lv], id)
 		})
+		m.PhaseStart(metrics.PhaseEnumerate)
 		for _, wl := range levels {
+			m.ObserveLevel(len(wl))
 			parallelFor(workers, wl, func(_ int, id int32) {
 				cm.Ensure(id, nil)
 			})
 		}
+		m.PhaseEnd(metrics.PhaseEnumerate, metrics.Spec{})
 
 		// Parallel evaluation of every node against the static graph.
 		prep := make([]rewrite.Candidate, a.Capacity())
@@ -102,18 +109,24 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
 			evs[w].TrustStoredGain = true
 		}
+		m.PhaseStart(metrics.PhaseEvaluate)
 		for _, wl := range levels {
 			parallelFor(workers, wl, func(w int, id int32) {
 				if cuts, ok := cm.Cuts(id); ok {
 					prep[id] = evs[w].Evaluate(id, cuts)
+					if shards != nil {
+						shards[w].Evals++
+					}
 				}
 			})
 		}
+		m.PhaseEnd(metrics.PhaseEvaluate, metrics.Spec{})
 
 		// Serial conditional replacement on the CPU, in topological order
 		// (as DAC'22 does). The stored gain is trusted — static global
 		// information — so realized gains may be zero or negative.
 		ev := evs[0]
+		m.PhaseStart(metrics.PhaseReplace)
 		for _, wl := range levels {
 			for _, id := range wl {
 				cand := prep[id]
@@ -123,6 +136,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 				res.Attempts++
 				if variant == DAC22 && !cand.Cut.Fresh(a) {
 					res.Stale++
+					if shards != nil {
+						shards[0].WastedEvals++
+					}
 					continue
 				}
 				_, st := ev.Execute(cm, &cand, nil)
@@ -131,13 +147,21 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 					res.Replacements++
 				case rewrite.StatusStale:
 					res.Stale++
+					if shards != nil {
+						shards[0].WastedEvals++
+					}
 				}
 			}
 		}
+		m.PhaseEnd(metrics.PhaseReplace, metrics.Spec{})
+		// parallelFor's join ordered the shard writes of the barriers
+		// above.
+		m.MergeShards(shards)
 	}
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
+	rewrite.FinishMetrics(m, &res)
 	return res, nil
 }
 

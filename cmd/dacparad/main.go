@@ -1,0 +1,85 @@
+// Command dacparad is the DACPara optimization daemon: a long-running
+// HTTP service that accepts AIGER/BENCH circuit uploads, schedules
+// rewriting jobs over a bounded queue with admission control, serves
+// repeated submissions from a structural-hash-keyed result cache, and
+// drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	dacparad -addr :8080 -max-jobs 8 -queue 64
+//
+//	curl -X POST --data-binary @circuit.aig 'localhost:8080/jobs?engine=dacpara&workers=4'
+//	curl localhost:8080/jobs/j00000001
+//	curl localhost:8080/jobs/j00000001/metrics
+//	curl -o optimized.aig localhost:8080/jobs/j00000001/result
+//	curl -X POST localhost:8080/jobs/j00000001/cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dacpara/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		queue     = flag.Int("queue", 64, "job queue limit (submissions beyond it get 429)")
+		maxJobs   = flag.Int("max-jobs", 8, "engine jobs running concurrently")
+		jobWork   = flag.Int("job-workers", 0, "per-job worker budget (0 = NumCPU/max-jobs, min 1)")
+		cacheN    = flag.Int("cache-entries", 256, "result cache entry bound")
+		cacheMB   = flag.Int64("cache-mb", 256, "result cache size bound in MiB")
+		uploadMB  = flag.Int64("max-upload-mb", 256, "submission body size bound in MiB")
+		drainGrac = flag.Duration("drain-grace", 30*time.Second, "on SIGTERM: how long running jobs may finish before being cancelled")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Options{
+		QueueLimit:    *queue,
+		MaxConcurrent: *maxJobs,
+		WorkersPerJob: *jobWork,
+		CacheEntries:  *cacheN,
+		CacheBytes:    *cacheMB << 20,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.HandlerMaxUpload(*uploadMB << 20),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	opts := svc.Options()
+	fmt.Printf("dacparad: listening on %s (max-jobs=%d workers-per-job=%d queue=%d)\n",
+		*addr, opts.MaxConcurrent, opts.WorkersPerJob, opts.QueueLimit)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dacparad:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, stop admitting jobs,
+	// let running jobs finish within the grace period, cancel stragglers
+	// at their next cancellation point, then exit.
+	fmt.Println("dacparad: draining (no new jobs; running jobs get", *drainGrac, "to finish)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrac+10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dacparad: shutdown:", err)
+	}
+	svc.Drain(*drainGrac)
+	fmt.Println("dacparad: drained, bye")
+}

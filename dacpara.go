@@ -21,6 +21,7 @@
 package dacpara
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -120,26 +121,43 @@ func DefaultLibrary() (*Library, error) { return defaultLibrary() }
 // Rewrite optimizes the network in place with the chosen engine and
 // returns the run statistics.
 func Rewrite(net *Network, engine Engine, cfg Config) (Result, error) {
+	return RewriteContext(context.Background(), net, engine, cfg)
+}
+
+// RewriteContext is Rewrite under a context: cancelling ctx interrupts
+// the engine at its next cancellation point — the serial engine polls
+// between node visits, DACPara and the static engines stop at level
+// boundaries and phase barriers, the fused engine at activity boundaries
+// — and returns the wrapped ctx error. The network is left structurally
+// consistent but partially rewritten, and the Result (marked Incomplete)
+// covers the work done; no goroutines outlive the call.
+func RewriteContext(ctx context.Context, net *Network, engine Engine, cfg Config) (Result, error) {
 	lib, err := DefaultLibrary()
 	if err != nil {
 		return Result{}, err
 	}
-	return RewriteWithLibrary(net, engine, cfg, lib)
+	return RewriteWithLibraryContext(ctx, net, engine, cfg, lib)
 }
 
 // RewriteWithLibrary is Rewrite against a custom structure library.
 func RewriteWithLibrary(net *Network, engine Engine, cfg Config, lib *Library) (Result, error) {
+	return RewriteWithLibraryContext(context.Background(), net, engine, cfg, lib)
+}
+
+// RewriteWithLibraryContext is RewriteContext against a custom structure
+// library.
+func RewriteWithLibraryContext(ctx context.Context, net *Network, engine Engine, cfg Config, lib *Library) (Result, error) {
 	switch engine {
 	case EngineSerial:
-		return rewrite.Serial(net, lib, cfg)
+		return rewrite.SerialCtx(ctx, net, lib, cfg)
 	case EngineLockPar:
-		return lockpar.Rewrite(net, lib, cfg)
+		return lockpar.RewriteCtx(ctx, net, lib, cfg)
 	case EngineDACPara, "":
-		return core.Rewrite(net, lib, cfg)
+		return core.RewriteCtx(ctx, net, lib, cfg)
 	case EngineStaticDAC22:
-		return staticpar.Rewrite(net, lib, cfg, staticpar.DAC22)
+		return staticpar.RewriteCtx(ctx, net, lib, cfg, staticpar.DAC22)
 	case EngineStaticTCAD23:
-		return staticpar.Rewrite(net, lib, cfg, staticpar.TCAD23)
+		return staticpar.RewriteCtx(ctx, net, lib, cfg, staticpar.TCAD23)
 	}
 	return Result{}, fmt.Errorf("dacpara: unknown engine %q", engine)
 }
@@ -165,6 +183,15 @@ var ErrGuardExhausted = guard.ErrExhausted
 // attempt; the error wraps ErrGuardExhausted only if all rungs fail, in
 // which case the network is untouched.
 func RewriteGuarded(net *Network, engine Engine, cfg Config, opts GuardOptions) (Result, *GuardReport, error) {
+	return RewriteGuardedContext(context.Background(), net, engine, cfg, opts)
+}
+
+// RewriteGuardedContext is RewriteGuarded under a context. Cancellation
+// stops the degradation ladder — an interrupted rung is recorded in the
+// report, the network stays untouched, and the wrapped ctx error is
+// returned — while a rung that completes and verifies before the cancel
+// is observed still commits.
+func RewriteGuardedContext(ctx context.Context, net *Network, engine Engine, cfg Config, opts GuardOptions) (Result, *GuardReport, error) {
 	lib, err := DefaultLibrary()
 	if err != nil {
 		return Result{}, nil, err
@@ -172,7 +199,7 @@ func RewriteGuarded(net *Network, engine Engine, cfg Config, opts GuardOptions) 
 	if len(opts.Ladder) == 0 {
 		opts.Engine = guard.Engine(engine)
 	}
-	return guard.Rewrite(net, lib, cfg, opts)
+	return guard.RewriteCtx(ctx, net, lib, cfg, opts)
 }
 
 // ReadAIGER loads a network from an AIGER file (ASCII or binary).
@@ -234,4 +261,21 @@ func EquivalentFast(a, b *Network) (bool, error) {
 		return false, err
 	}
 	return r.Equivalent, nil
+}
+
+// EquivalentBudget is Equivalent with a bounded proof effort: at most
+// conflictBudget SAT conflicts are spent per output (0 means the default
+// budget of 200000). When the budget runs out on some output the check
+// degrades honestly instead of hanging: eq reflects the simulation
+// screen's verdict and proved is false. Inequivalence (a counterexample
+// from simulation or SAT) is always definitive. This is the bound a
+// service should use when verifying untrusted submissions — a
+// SAT-adversarial circuit then costs a bounded slice of solver work, not
+// an unbounded job.
+func EquivalentBudget(a, b *Network, conflictBudget int64) (eq, proved bool, err error) {
+	r, err := cec.Check(a, b, cec.Options{OutputBudget: conflictBudget})
+	if err != nil {
+		return false, false, err
+	}
+	return r.Equivalent, r.Proved, nil
 }

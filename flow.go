@@ -1,6 +1,7 @@
 package dacpara
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -123,15 +124,26 @@ func ParseFlow(script string) ([]FlowStep, error) {
 // a flow yields one per-step snapshot sequence; the serial transforms
 // (balance, refactor, resub, fraig) are not instrumented.
 func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
+	return FlowContext(context.Background(), net, script, cfg)
+}
+
+// FlowContext is Flow under a context: cancellation is observed between
+// steps and inside every rewriting engine (see RewriteContext). On
+// cancellation the per-step results completed so far are returned along
+// with the latest network and the wrapped ctx error.
+func FlowContext(ctx context.Context, net *Network, script string, cfg Config) ([]Result, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {
 		return nil, net, err
 	}
 	var results []Result
 	for _, st := range steps {
-		res, next, err := runFlowStep(net, st, cfg, nil, nil)
+		if err := ctx.Err(); err != nil {
+			return results, net, fmt.Errorf("dacpara: flow: %w", err)
+		}
+		res, next, err := runFlowStep(ctx, net, st, cfg, nil, nil)
 		if err != nil {
-			return nil, net, err
+			return results, net, err
 		}
 		net = next
 		results = append(results, res)
@@ -145,6 +157,13 @@ func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
 // The serial transforms (balance, refactor, resub, fraig) run directly.
 // Reports holds one entry per rewriting command, in script order.
 func FlowGuarded(net *Network, script string, cfg Config, opts GuardOptions) ([]Result, []*GuardReport, *Network, error) {
+	return FlowGuardedContext(context.Background(), net, script, cfg, opts)
+}
+
+// FlowGuardedContext is FlowGuarded under a context; cancellation stops
+// the flow between steps and interrupts the rewriting engines inside a
+// guarded step (see RewriteGuardedContext).
+func FlowGuardedContext(ctx context.Context, net *Network, script string, cfg Config, opts GuardOptions) ([]Result, []*GuardReport, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {
 		return nil, nil, net, err
@@ -152,9 +171,12 @@ func FlowGuarded(net *Network, script string, cfg Config, opts GuardOptions) ([]
 	var results []Result
 	var reports []*GuardReport
 	for _, st := range steps {
-		res, next, err := runFlowStep(net, st, cfg, &opts, &reports)
+		if err := ctx.Err(); err != nil {
+			return results, reports, net, fmt.Errorf("dacpara: flow: %w", err)
+		}
+		res, next, err := runFlowStep(ctx, net, st, cfg, &opts, &reports)
 		if err != nil {
-			return nil, reports, net, err
+			return results, reports, net, err
 		}
 		net = next
 		results = append(results, res)
@@ -164,7 +186,7 @@ func FlowGuarded(net *Network, script string, cfg Config, opts GuardOptions) ([]
 
 // runFlowStep executes one validated step. When guard is non-nil,
 // rewriting steps run guarded and append their report to *reports.
-func runFlowStep(net *Network, st FlowStep, cfg Config, guard *GuardOptions, reports *[]*GuardReport) (Result, *Network, error) {
+func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, guard *GuardOptions, reports *[]*GuardReport) (Result, *Network, error) {
 	switch st.Cmd {
 	case "balance":
 		before := net.Stats()
@@ -201,10 +223,10 @@ func runFlowStep(net *Network, st FlowStep, cfg Config, guard *GuardOptions, rep
 	c := cfg
 	c.ZeroGain = st.ZeroGain
 	if guard == nil {
-		res, err := Rewrite(net, st.Engine, c)
+		res, err := RewriteContext(ctx, net, st.Engine, c)
 		return res, net, err
 	}
-	res, rep, err := RewriteGuarded(net, st.Engine, c, *guard)
+	res, rep, err := RewriteGuardedContext(ctx, net, st.Engine, c, *guard)
 	if rep != nil {
 		*reports = append(*reports, rep)
 	}

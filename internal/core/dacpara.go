@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -57,7 +58,16 @@ func NodeDividing(a *aig.AIG) [][]int32 {
 // rewritten; the returned Result covers the work done and is marked
 // Incomplete.
 func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	return rewriteWith(a, lib, cfg, "dacpara", NodeDividing)
+	return rewriteWith(context.Background(), a, lib, cfg, "dacpara", NodeDividing)
+}
+
+// RewriteCtx is Rewrite under a context. Cancellation is observed at
+// every level boundary and, inside a phase, at the executor's activity
+// boundaries, so a cancel lands promptly without ever interrupting an
+// in-flight replacement: the network stays structurally consistent and
+// the Result (marked Incomplete) covers the work done.
+func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
+	return rewriteWith(ctx, a, lib, cfg, "dacpara", NodeDividing)
 }
 
 // RewriteFlat is the level-partitioning ablation: the same three split
@@ -66,7 +76,7 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 // replacement validity — stored results go stale much more often — which
 // is exactly what the paper's nodeDividing step prevents.
 func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	return rewriteWith(a, lib, cfg, "dacpara-flat", func(a *aig.AIG) [][]int32 {
+	return rewriteWith(context.Background(), a, lib, cfg, "dacpara-flat", func(a *aig.AIG) [][]int32 {
 		var all []int32
 		for _, id := range a.TopoOrder(nil) {
 			if a.N(id).IsAnd() {
@@ -77,7 +87,7 @@ func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.R
 	})
 }
 
-func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name string,
+func rewriteWith(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name string,
 	partition func(*aig.AIG) [][]int32) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
@@ -106,7 +116,7 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 		specBase := metrics.SpecOf(&ex.Stats)
 		runPhase := func(ph metrics.Phase, wl []int32, op galois.Operator) error {
 			m.PhaseStart(ph)
-			err := ex.Run(wl, op)
+			err := ex.RunCtx(ctx, wl, op)
 			cur := metrics.SpecOf(&ex.Stats)
 			m.PhaseEnd(ph, cur.Sub(specBase))
 			specBase = cur
@@ -198,6 +208,13 @@ func rewriteWith(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name strin
 		for _, wl := range worklists {
 			if len(wl) == 0 {
 				continue
+			}
+			// The level boundary is the cancellation point of Algorithm 1:
+			// between levels no activity is in flight, so stopping here
+			// abandons no speculative work.
+			if err := ctx.Err(); err != nil {
+				runErr = fmt.Errorf("%s: %w", name, err)
+				break
 			}
 			m.ObserveLevel(len(wl))
 			if err := runPhase(metrics.PhaseEnumerate, wl, enumOp); err != nil {

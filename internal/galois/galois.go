@@ -12,6 +12,7 @@
 package galois
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -241,8 +242,19 @@ func NewExecutor(capacity int32, workers int) *Executor {
 // pathological conflict storm (or an adversarial FaultPlan) kept one item
 // from ever committing.
 func (e *Executor) Run(items []int32, op Operator) error {
+	return e.RunCtx(context.Background(), items, op)
+}
+
+// RunCtx is Run under a context: workers observe cancellation between
+// activities (at chunk boundaries of the main loop and between retries of
+// the drain loop), never mid-operator, so an in-flight activity always
+// finishes and releases its locks before the worker exits. A cancelled
+// run returns ctx.Err(); items not yet processed are simply left undone,
+// which for the rewriting engines means a structurally consistent but
+// partially rewritten network.
+func (e *Executor) RunCtx(ctx context.Context, items []int32, op Operator) error {
 	if len(items) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	items = e.Fault.shuffled(items)
 	budget := e.retryBudget()
@@ -254,6 +266,23 @@ func (e *Executor) Run(items []int32, op Operator) error {
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	const chunk = 32
+	// cancelled polls the context without blocking; on cancellation it
+	// records ctx.Err() as the run error so every worker stops at its next
+	// activity boundary.
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			err := ctx.Err()
+			firstErr.CompareAndSwap(nil, &err)
+			return true
+		default:
+			return false
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(tag int32) {
@@ -296,7 +325,7 @@ func (e *Executor) Run(items []int32, op Operator) error {
 					firstErr.CompareAndSwap(nil, &p)
 				}
 			}
-			for firstErr.Load() == nil {
+			for firstErr.Load() == nil && !cancelled() {
 				start := next.Add(chunk) - chunk
 				if start >= int64(len(items)) {
 					break
@@ -313,7 +342,7 @@ func (e *Executor) Run(items []int32, op Operator) error {
 			// bounded exponential backoff until each commits (the holders
 			// always release their locks) or the budget runs out.
 			for _, item := range retry {
-				if firstErr.Load() != nil {
+				if firstErr.Load() != nil || cancelled() {
 					return
 				}
 				for r := 1; ; r++ {
@@ -343,6 +372,9 @@ func (e *Executor) Run(items []int32, op Operator) error {
 						var p error = &RetryBudgetError{Item: item, Retries: r}
 						firstErr.CompareAndSwap(nil, &p)
 						break
+					}
+					if cancelled() {
+						return
 					}
 					runtime.Gosched()
 					backoff(r)

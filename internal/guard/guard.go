@@ -12,6 +12,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -185,19 +186,20 @@ func known(eng Engine) bool {
 	return false
 }
 
-// runEngine dispatches to the engine implementations.
-func runEngine(eng Engine, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
+// runEngine dispatches to the engine implementations, threading the
+// caller's context into every engine's cancellation points.
+func runEngine(ctx context.Context, eng Engine, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
 	switch eng {
 	case EngineSerial:
-		return rewrite.Serial(a, lib, cfg)
+		return rewrite.SerialCtx(ctx, a, lib, cfg)
 	case EngineLockPar:
-		return lockpar.Rewrite(a, lib, cfg)
+		return lockpar.RewriteCtx(ctx, a, lib, cfg)
 	case EngineDACPara, "":
-		return core.Rewrite(a, lib, cfg)
+		return core.RewriteCtx(ctx, a, lib, cfg)
 	case EngineStaticDAC22:
-		return staticpar.Rewrite(a, lib, cfg, staticpar.DAC22)
+		return staticpar.RewriteCtx(ctx, a, lib, cfg, staticpar.DAC22)
 	case EngineStaticTCAD23:
-		return staticpar.Rewrite(a, lib, cfg, staticpar.TCAD23)
+		return staticpar.RewriteCtx(ctx, a, lib, cfg, staticpar.TCAD23)
 	}
 	return rewrite.Result{}, fmt.Errorf("guard: unknown engine %q", eng)
 }
@@ -206,7 +208,7 @@ func runEngine(eng Engine, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) 
 // and the deadline. On timeout the goroutine is abandoned: it only
 // touches the scratch copy, which the caller discards, and the engine's
 // bounded retries guarantee it terminates eventually.
-func attempt(eng Engine, scratch *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, deadline time.Duration) (outcome, bool) {
+func attempt(ctx context.Context, eng Engine, scratch *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, deadline time.Duration) (outcome, bool) {
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -214,7 +216,7 @@ func attempt(eng Engine, scratch *aig.AIG, lib *rewlib.Library, cfg rewrite.Conf
 				ch <- outcome{panicked: fmt.Sprintf("%v\n%s", p, debug.Stack())}
 			}
 		}()
-		res, err := runEngine(eng, scratch, lib, cfg)
+		res, err := runEngine(ctx, eng, scratch, lib, cfg)
 		ch <- outcome{res: res, err: err}
 	}()
 	if deadline <= 0 {
@@ -236,6 +238,16 @@ func attempt(eng Engine, scratch *aig.AIG, lib *rewlib.Library, cfg rewrite.Conf
 // surfaces as Rewrite's error — it is recorded in the report and the
 // guard degrades.
 func Rewrite(net *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, opts Options) (rewrite.Result, *Report, error) {
+	return RewriteCtx(context.Background(), net, lib, cfg, opts)
+}
+
+// RewriteCtx is Rewrite under a context. The context is threaded into
+// every engine attempt; when it is cancelled the guard stops the ladder
+// — a cancellation is a caller decision, not an engine fault to degrade
+// around — records the interrupted attempt in the report and returns the
+// ctx error with the caller's network untouched. A rung that completes
+// and verifies before the cancel is observed still commits.
+func RewriteCtx(ctx context.Context, net *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, opts Options) (rewrite.Result, *Report, error) {
 	rounds := opts.simRounds()
 	refSig := aig.RandomSignature(net, rand.New(rand.NewSource(opts.Seed)), rounds)
 
@@ -259,7 +271,7 @@ func Rewrite(net *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, opts Options
 			acfg.Metrics = metrics.New()
 		}
 		start := time.Now()
-		o, timedOut := attempt(eng, scratch, lib, acfg, opts.Deadline)
+		o, timedOut := attempt(ctx, eng, scratch, lib, acfg, opts.Deadline)
 		att.Duration = time.Since(start)
 		att.Result = o.res
 		att.Metrics = o.res.Metrics
@@ -282,6 +294,11 @@ func Rewrite(net *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, opts Options
 		}
 		if f := att.failure(); f != "" {
 			rep.Attempts = append(rep.Attempts, att)
+			// A cancelled context is the caller aborting the whole guarded
+			// run, not a rung fault: stop degrading and surface it.
+			if cerr := ctx.Err(); cerr != nil {
+				return rewrite.Result{}, rep, fmt.Errorf("guard: %w", cerr)
+			}
 			continue
 		}
 		att.Committed = true

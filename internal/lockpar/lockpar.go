@@ -13,6 +13,7 @@
 package lockpar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -31,6 +32,15 @@ import (
 // the network structurally consistent but partially rewritten; the Result
 // covers the work done and is marked Incomplete.
 func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
+	return RewriteCtx(context.Background(), a, lib, cfg)
+}
+
+// RewriteCtx is Rewrite under a context. The fused engine has no level
+// barriers, so cancellation is observed at the executor's activity
+// boundaries (and between passes): a cancel never interrupts a fused
+// operator mid-replacement, leaving the network structurally consistent
+// and the Result marked Incomplete.
+func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -149,7 +159,7 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 		}
 		specBase := metrics.SpecOf(&ex.Stats)
 		m.PhaseStart(metrics.PhaseFused)
-		err := ex.Run(order, op)
+		err := ex.RunCtx(ctx, order, op)
 		m.PhaseEnd(metrics.PhaseFused, metrics.SpecOf(&ex.Stats).Sub(specBase))
 		m.MergeShards(shards)
 		if err != nil {

@@ -1,12 +1,19 @@
 package rewrite
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/cut"
 	"dacpara/internal/rewlib"
 )
+
+// cancelCheckStride is how many nodes the serial engine processes between
+// context polls: coarse enough to keep the hot loop cheap, fine enough
+// that cancellation lands within a few hundred node visits.
+const cancelCheckStride = 256
 
 // Serial runs single-threaded DAG-aware rewriting in topological order —
 // the ABC `rewrite` baseline of the paper's Table 2. Each node is visited
@@ -16,10 +23,19 @@ import (
 // removed and added logic), and strictly positive gains are committed
 // immediately, so every node sees the latest graph.
 //
-// The error is always nil today — the serial engine has no speculative
-// machinery that can fail — but the signature matches the parallel
-// engines so callers handle every engine uniformly.
+// The only error today is a context cancellation (see SerialCtx) — the
+// serial engine has no speculative machinery that can fail — but the
+// signature matches the parallel engines so callers handle every engine
+// uniformly.
 func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
+	return SerialCtx(context.Background(), a, lib, cfg)
+}
+
+// SerialCtx is Serial under a context. Cancellation is observed every
+// cancelCheckStride nodes and between passes; a cancelled run returns the
+// wrapped ctx error with a structurally consistent, partially rewritten
+// network and the Result marked Incomplete.
+func SerialCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 	start := time.Now()
 	m := cfg.Metrics
 	m.StartRun("abc-rewrite", 1, cfg.passes())
@@ -33,10 +49,15 @@ func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 		InitialAnds:  a.NumAnds(),
 		InitialDelay: a.Delay(),
 	}
-	for p := 0; p < cfg.passes(); p++ {
+	var runErr error
+	for p := 0; p < cfg.passes() && runErr == nil; p++ {
 		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
 		ev := NewEvaluator(a, lib, cfg)
-		for _, id := range a.TopoOrder(nil) {
+		for i, id := range a.TopoOrder(nil) {
+			if i%cancelCheckStride == 0 && ctx.Err() != nil {
+				runErr = fmt.Errorf("abc-rewrite: %w", ctx.Err())
+				break
+			}
 			if !a.N(id).IsAnd() {
 				continue
 			}
@@ -83,6 +104,7 @@ func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
+	res.Incomplete = runErr != nil
 	FinishMetrics(m, &res)
-	return res, nil
+	return res, runErr
 }

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dacpara"
+	"dacpara/internal/aig"
+)
+
+// DefaultMaxUploadBytes bounds a submission body when the caller does
+// not override it: large enough for the paper's biggest benchmarks,
+// small enough that an adversarial upload cannot exhaust memory.
+const DefaultMaxUploadBytes = 256 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs             submit a circuit (body: AIGER or BENCH; see query params)
+//	GET    /jobs             list job statuses
+//	GET    /jobs/{id}        one job's status
+//	POST   /jobs/{id}/cancel cancel (also DELETE /jobs/{id})
+//	GET    /jobs/{id}/result download the optimized circuit (AIGER binary, ?format=bench for BENCH)
+//	GET    /jobs/{id}/metrics the run's dacpara-metrics/v1 snapshot
+//	GET    /healthz          liveness
+//	GET    /metrics          process-level dacparad-process/v1 counters
+//
+// Submission query parameters: engine (abc|iccad18|dacpara|dac22|tcad23),
+// workers, passes, zero_gain, preserve_delay, max_cuts, max_structs,
+// classes, preset (p1|p2), seed, format (aiger|bench), verify,
+// verify_budget.
+func (s *Service) Handler() http.Handler {
+	return s.handler(DefaultMaxUploadBytes)
+}
+
+// HandlerMaxUpload is Handler with a custom upload size bound.
+func (s *Service) HandlerMaxUpload(maxBytes int64) http.Handler {
+	return s.handler(maxBytes)
+}
+
+func (s *Service) handler(maxUpload int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, maxUpload)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		statuses := make([]JobStatus, 0, len(jobs))
+		for _, j := range jobs {
+			statuses = append(statuses, j.Status())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_job", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_job", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_job", err.Error())
+			return
+		}
+		res := j.Result()
+		if res == nil {
+			writeError(w, http.StatusConflict, "not_done",
+				fmt.Sprintf("job %s is %s; the result exists only in state %s", j.ID, j.State(), StateDone))
+			return
+		}
+		if r.URL.Query().Get("format") == "bench" {
+			net, derr := decodeAIGER(res.AIGER)
+			if derr != nil {
+				writeError(w, http.StatusInternalServerError, "encode", derr.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain")
+			net.WriteBench(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(res.AIGER)))
+		w.Write(res.AIGER)
+	})
+	mux.HandleFunc("GET /jobs/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_job", err.Error())
+			return
+		}
+		m := j.Metrics()
+		if m == nil {
+			writeError(w, http.StatusConflict, "no_metrics",
+				fmt.Sprintf("job %s is %s; metrics appear when the run finishes", j.ID, j.State()))
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload int64) {
+	req, err := parseSubmission(r, maxUpload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	job, err := s.Submit(req)
+	var full *QueueFullError
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":       "queue_full",
+			"message":     err.Error(),
+			"queue_limit": full.Limit,
+		})
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// parseSubmission validates the query parameters and streams the body
+// through the circuit parser.
+func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
+	q := r.URL.Query()
+	var req JobRequest
+	req.Engine = dacpara.Engine(q.Get("engine"))
+	if req.Engine == "" {
+		req.Engine = dacpara.EngineDACPara
+	}
+
+	switch q.Get("preset") {
+	case "":
+	case "p1":
+		req.Config = dacpara.P1()
+	case "p2":
+		req.Config = dacpara.P2()
+	default:
+		return req, fmt.Errorf("unknown preset %q (want p1 or p2)", q.Get("preset"))
+	}
+	intParam := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad %s %q", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	boolParam := func(name string, dst *bool) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("bad %s %q", name, v)
+		}
+		*dst = b
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"workers", &req.Config.Workers},
+		{"passes", &req.Config.Passes},
+		{"max_cuts", &req.Config.MaxCuts},
+		{"max_structs", &req.Config.MaxStructs},
+		{"classes", &req.Config.NumClasses},
+	} {
+		if err := intParam(p.name, p.dst); err != nil {
+			return req, err
+		}
+	}
+	if err := boolParam("zero_gain", &req.Config.ZeroGain); err != nil {
+		return req, err
+	}
+	if err := boolParam("preserve_delay", &req.Config.PreserveDelay); err != nil {
+		return req, err
+	}
+	if err := boolParam("verify", &req.Verify); err != nil {
+		return req, err
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad seed %q", v)
+		}
+		req.Seed = n
+	}
+	if v := q.Get("verify_budget"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return req, fmt.Errorf("bad verify_budget %q", v)
+		}
+		req.VerifyBudget = n
+	}
+
+	body := http.MaxBytesReader(nil, r.Body, maxUpload)
+	defer body.Close()
+	var net *dacpara.Network
+	var err error
+	switch q.Get("format") {
+	case "", "aiger": // aig.Read sniffs ASCII vs binary itself
+		net, err = aig.Read(body)
+	case "bench":
+		net, err = aig.ReadBench(body)
+	default:
+		return req, fmt.Errorf("unknown format %q (want aiger or bench)", q.Get("format"))
+	}
+	if err != nil {
+		return req, fmt.Errorf("parsing circuit: %w", err)
+	}
+	req.Network = net
+	return req, nil
+}
+
+// decodeAIGER re-parses a cached binary AIGER blob (for alternate
+// download formats).
+func decodeAIGER(data []byte) (*dacpara.Network, error) {
+	return aig.Read(bytes.NewReader(data))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, map[string]string{"error": kind, "message": msg})
+}

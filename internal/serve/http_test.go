@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dacpara"
+	"dacpara/internal/aig"
+	"dacpara/internal/metrics"
+)
+
+func startDaemon(t *testing.T, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Drain(0)
+	})
+	return s, srv
+}
+
+func circuitBytes(t *testing.T, name string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mustGenerate(t, name).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func submit(t *testing.T, base, query string, body []byte) (JobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp
+}
+
+func pollStatus(t *testing.T, base, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 2, QueueLimit: 8, WorkersPerJob: 2})
+	base := srv.URL
+
+	// Health first.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Submit the voter circuit and poll it to completion.
+	input := circuitBytes(t, "voter")
+	st, resp := submit(t, base, "engine=dacpara&workers=2&seed=1", input)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state %s", st.State)
+	}
+	final := pollStatus(t, base, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("final state %s (err %q)", final.State, final.Error)
+	}
+	if final.Output == nil || final.Output.Ands >= final.Input.Ands {
+		t.Fatalf("no optimization: %+v -> %+v", final.Input, final.Output)
+	}
+
+	// Download the result and check it is a valid, equivalent AIG.
+	resp, err = http.Get(base + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := aig.Read(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("result not parseable AIGER: %v", err)
+	}
+	golden, err := aig.Read(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, err := dacpara.Equivalent(golden, optimized); err != nil || !eq {
+		t.Fatalf("result not equivalent to input: eq=%v err=%v", eq, err)
+	}
+
+	// The job metrics endpoint serves a dacpara-metrics/v1 snapshot that
+	// round-trips through the metrics package's own type.
+	resp, err = http.Get(base + "/jobs/" + st.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != metrics.SchemaMetrics {
+		t.Fatalf("metrics schema %q", snap.Schema)
+	}
+	if len(snap.Phases) == 0 || snap.QoR.FinalAnds != final.Output.Ands {
+		t.Fatalf("snapshot inconsistent with status: %+v vs %+v", snap.QoR, final.Output)
+	}
+
+	// BENCH download format.
+	resp, err = http.Get(base + "/jobs/" + st.ID + "/result?format=bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(bench), "AND(") {
+		t.Fatalf("bench download:\n%.200s", bench)
+	}
+
+	// Process metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm ProcessMetrics
+	err = json.NewDecoder(resp.Body).Decode(&pm)
+	resp.Body.Close()
+	if err != nil || pm.Schema != SchemaProcess {
+		t.Fatalf("process metrics: %+v err=%v", pm, err)
+	}
+	if pm.Jobs.Submitted < 1 || pm.Jobs.Done < 1 {
+		t.Fatalf("process counters: %+v", pm.Jobs)
+	}
+}
+
+func TestHTTPCacheHitOnResubmission(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 2, QueueLimit: 8, WorkersPerJob: 2})
+	input := circuitBytes(t, "mult")
+	st, _ := submit(t, srv.URL, "seed=3", input)
+	first := pollStatus(t, srv.URL, st.ID, 60*time.Second)
+	if first.State != StateDone || first.CacheHit {
+		t.Fatalf("first: %+v", first)
+	}
+	st2, _ := submit(t, srv.URL, "seed=3", input)
+	second := pollStatus(t, srv.URL, st2.ID, 60*time.Second)
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("resubmission not a cache hit: state=%s cache_hit=%v", second.State, second.CacheHit)
+	}
+	if second.Output == nil || *second.Output != *first.Output {
+		t.Fatalf("cache served different stats: %+v vs %+v", second.Output, first.Output)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	s, srv := startDaemon(t, Options{MaxConcurrent: 1, QueueLimit: 1, WorkersPerJob: 2})
+	slow := circuitBytes(t, "voter")
+	st, _ := submit(t, srv.URL, "passes=60&zero_gain=1", slow)
+	// Wait until it occupies the slot, then fill the queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Metrics().Jobs.Running == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, resp := submit(t, srv.URL, "passes=60&zero_gain=1", slow); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submission: %d", resp.StatusCode)
+	}
+	_, resp := submit(t, srv.URL, "passes=60&zero_gain=1", slow)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Cancel the blocker so cleanup drains fast.
+	http.Post(srv.URL+"/jobs/"+st.ID+"/cancel", "", nil)
+}
+
+func TestHTTPCancelMidRun(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 1, QueueLimit: 2, WorkersPerJob: 2})
+	st, _ := submit(t, srv.URL, "passes=500&zero_gain=1", circuitBytes(t, "voter"))
+
+	// Wait for it to start, then cancel over HTTP.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if cur.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", cur.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let it get into the level loops
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	final := pollStatus(t, srv.URL, st.ID, 10*time.Second)
+	if final.State != StateCancelled {
+		t.Fatalf("state after cancel = %s (err %q)", final.State, final.Error)
+	}
+	// A cancelled job has no result to download.
+	resp, err = http.Get(srv.URL + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of cancelled job: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 1, QueueLimit: 2})
+	for _, tc := range []struct {
+		query string
+		body  string
+	}{
+		{"engine=frobnicate", "aag 0 0 0 0 0\n"},
+		{"workers=minusone", "aag 0 0 0 0 0\n"},
+		{"preset=p9", "aag 0 0 0 0 0\n"},
+		{"format=vhdl", "aag 0 0 0 0 0\n"},
+		{"", "this is not an AIGER file"},
+	} {
+		_, resp := submit(t, srv.URL, tc.query, []byte(tc.body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q body %.20q: status %d, want 400", tc.query, tc.body, resp.StatusCode)
+		}
+	}
+	// Unknown job IDs are 404 everywhere.
+	for _, path := range []string{"/jobs/nope", "/jobs/nope/result", "/jobs/nope/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPListJobs(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 2, QueueLimit: 8})
+	input := circuitBytes(t, "voter")
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, _ := submit(t, srv.URL, fmt.Sprintf("seed=%d", i), input)
+		ids = append(ids, st.ID)
+	}
+	resp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list.Jobs))
+	}
+	for i, j := range list.Jobs {
+		if j.ID != ids[i] {
+			t.Fatalf("listing order: got %s at %d, want %s", j.ID, i, ids[i])
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dacpara"
+	"dacpara/internal/aig"
+)
+
+// State is a job's lifecycle position. Transitions: queued → running →
+// done|failed|cancelled, or queued → cancelled directly.
+type State string
+
+// The job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// NetStats is the network-statistics payload shared between the job
+// status JSON and `aigstat -json`: one schema for scripts and the
+// daemon.
+type NetStats struct {
+	PIs   int   `json:"pi"`
+	POs   int   `json:"po"`
+	Ands  int   `json:"and"`
+	Delay int32 `json:"delay"`
+}
+
+// NetStatsOf converts aig-level statistics into the shared payload.
+func NetStatsOf(a *aig.AIG) NetStats {
+	st := a.Stats()
+	return NetStats{PIs: st.PIs, POs: st.POs, Ands: st.Ands, Delay: st.Delay}
+}
+
+// VerifyStatus reports the optional post-run equivalence check of a job.
+type VerifyStatus struct {
+	// Equivalent is the check's verdict (input vs optimized output).
+	Equivalent bool `json:"equivalent"`
+	// Proved is true when SAT finished every output within the conflict
+	// budget; false means simulation-only confidence.
+	Proved bool `json:"proved"`
+}
+
+// JobRequest is a validated submission.
+type JobRequest struct {
+	// Engine is the rewriting engine (default EngineDACPara).
+	Engine dacpara.Engine
+	// Config carries the engine knobs. Workers is a request, capped by
+	// the service's per-job worker budget.
+	Config dacpara.Config
+	// Seed salts the cache key (and is reserved for seeded engine
+	// behaviour); identical circuit + engine + config + seed is the unit
+	// of result reuse.
+	Seed int64
+	// Verify runs a budget-bounded equivalence check of the result
+	// against the input before the job completes.
+	Verify bool
+	// VerifyBudget bounds the SAT conflicts per output of that check
+	// (0: the service default).
+	VerifyBudget int64
+	// Network is the parsed input circuit. The job owns it.
+	Network *dacpara.Network
+}
+
+// Job is one submission's persistent-for-the-process record.
+type Job struct {
+	// ID is the service-assigned job identifier.
+	ID string
+
+	req    JobRequest
+	digest string
+	input  NetStats
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      State
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	errMsg     string
+	cacheHit   bool
+	result     *CachedResult
+	verify     *VerifyStatus
+	cancelOnce sync.Once
+}
+
+// Cancel requests cooperative cancellation: a queued job is cancelled
+// immediately (the scheduler will skip it), a running job's context is
+// cancelled and the engine stops at its next cancellation point. Cancel
+// of a terminal job is a no-op. It returns true if the request changed
+// anything. Service accounting flows through Service.Cancel — prefer it
+// over calling this directly.
+func (j *Job) Cancel() bool {
+	changed, _ := j.cancelRequest()
+	return changed
+}
+
+// cancelRequest performs the cancellation state transition; immediate
+// reports the queued→cancelled fast path (the job never ran, so the
+// scheduler's terminal accounting will not see it).
+func (j *Job) cancelRequest() (changed, immediate bool) {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		changed, immediate = true, true
+	case StateRunning:
+		changed = true
+	}
+	j.mu.Unlock()
+	if changed {
+		j.cancelOnce.Do(j.cancel)
+		if immediate {
+			j.closeDone()
+		}
+	}
+	return changed, immediate
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the completed job's cached result, nil until StateDone.
+func (j *Job) Result() *CachedResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.result
+}
+
+// Metrics returns the run's metrics snapshot, nil until the job is done.
+func (j *Job) Metrics() *dacpara.MetricsSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return nil
+	}
+	return j.result.Metrics
+}
+
+func (j *Job) closeDone() {
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// markRunning transitions queued → running; false means the job was
+// cancelled (or otherwise left the queue) and must not run.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+func (j *Job) finish(state State, res *CachedResult, verify *VerifyStatus, cacheHit bool, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.verify = verify
+	j.cacheHit = cacheHit
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.closeDone()
+}
+
+// JobStatus is the job-status payload of GET /jobs/<id> — the schema
+// `aigstat -json` shares its network-statistics field names with.
+type JobStatus struct {
+	ID      string         `json:"id"`
+	State   State          `json:"state"`
+	Engine  dacpara.Engine `json:"engine"`
+	Workers int            `json:"workers"`
+	Passes  int            `json:"passes"`
+	Seed    int64          `json:"seed"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Digest is the input's structural digest (the cache key's input
+	// half).
+	Digest string `json:"digest"`
+
+	Input  NetStats  `json:"input"`
+	Output *NetStats `json:"output,omitempty"`
+
+	// CacheHit reports that the result was served from the result cache
+	// without running the engine.
+	CacheHit bool `json:"cache_hit"`
+
+	// Replacements and AreaReduction summarize a done job's run.
+	Replacements  int `json:"replacements,omitempty"`
+	AreaReduction int `json:"area_reduction,omitempty"`
+
+	Verify *VerifyStatus `json:"verify,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// Status renders the job's current status payload.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Engine:      j.req.Engine,
+		Workers:     j.req.Config.Workers,
+		Passes:      j.req.Config.Passes,
+		Seed:        j.req.Seed,
+		SubmittedAt: j.submitted,
+		Digest:      j.digest,
+		Input:       j.input,
+		CacheHit:    j.cacheHit,
+		Verify:      j.verify,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.state == StateDone && j.result != nil {
+		out := j.result.Output
+		st.Output = &out
+		st.Replacements = j.result.Result.Replacements
+		st.AreaReduction = j.result.Result.AreaReduction()
+	}
+	return st
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dacpara"
+)
+
+// slowRequest returns a submission that runs long enough (hundreds of
+// milliseconds) to still be running while a test submits more work or
+// cancels it: many passes over the tiny voter circuit.
+func slowRequest(t *testing.T, passes int) JobRequest {
+	return JobRequest{
+		Engine:  dacpara.EngineDACPara,
+		Config:  dacpara.Config{Workers: 2, Passes: passes, ZeroGain: true},
+		Network: mustGenerate(t, "voter"),
+	}
+}
+
+func fastRequest(t *testing.T, name string) JobRequest {
+	return JobRequest{
+		Engine:  dacpara.EngineDACPara,
+		Config:  dacpara.Config{Workers: 2},
+		Network: mustGenerate(t, name),
+	}
+}
+
+func waitState(t *testing.T, j *Job, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if j.State() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %s, want %s (err %q)", j.ID, j.State(), want, j.Status().Error)
+}
+
+func waitDone(t *testing.T, j *Job, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(timeout):
+		t.Fatalf("job %s not terminal after %v (state %s)", j.ID, timeout, j.State())
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, QueueLimit: 4})
+	defer s.Drain(time.Second)
+	j, err := s.Submit(fastRequest(t, "voter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 30*time.Second)
+	st := j.Status()
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %q)", st.State, st.Error)
+	}
+	if st.Output == nil || st.Output.Ands >= st.Input.Ands {
+		t.Fatalf("no area reduction: %+v -> %+v", st.Input, st.Output)
+	}
+	if st.CacheHit {
+		t.Fatal("first run flagged as cache hit")
+	}
+	if j.Metrics() == nil || j.Metrics().Schema != "dacpara-metrics/v1" {
+		t.Fatalf("job metrics missing or mis-schemed: %+v", j.Metrics())
+	}
+}
+
+func TestQueueFullTypedRejection(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 2, WorkersPerJob: 2})
+	defer s.Drain(0)
+	// One slow job occupies the single slot; two more fill the queue.
+	running, err := s.Submit(slowRequest(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning, 30*time.Second)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(slowRequest(t, 40)); err != nil {
+			t.Fatalf("queued submission %d rejected: %v", i, err)
+		}
+	}
+	_, err = s.Submit(slowRequest(t, 40))
+	var full *QueueFullError
+	if !errors.As(err, &full) {
+		t.Fatalf("overflow submission: got %v, want *QueueFullError", err)
+	}
+	if full.Limit != 2 {
+		t.Fatalf("rejection limit = %d, want 2", full.Limit)
+	}
+	if got := s.Metrics().Jobs.Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+func TestResultCacheHit(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 8})
+	defer s.Drain(time.Second)
+	first, err := s.Submit(JobRequest{Config: dacpara.Config{Workers: 1}, Seed: 7, Network: mustGenerate(t, "mult")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first, 30*time.Second)
+	if first.Status().State != StateDone {
+		t.Fatalf("first job: %+v", first.Status())
+	}
+
+	again, err := s.Submit(JobRequest{Config: dacpara.Config{Workers: 1}, Seed: 7, Network: mustGenerate(t, "mult")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, again, 30*time.Second)
+	st := again.Status()
+	if st.State != StateDone || !st.CacheHit {
+		t.Fatalf("identical resubmission not served from cache: %+v", st)
+	}
+	if string(again.Result().AIGER) != string(first.Result().AIGER) {
+		t.Fatal("cache returned different bytes")
+	}
+	if hits := s.Metrics().Cache.Hits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// A different seed is a different key: no hit.
+	other, err := s.Submit(JobRequest{Config: dacpara.Config{Workers: 1}, Seed: 8, Network: mustGenerate(t, "mult")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, other, 30*time.Second)
+	if other.Status().CacheHit {
+		t.Fatal("different seed served from cache")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 4})
+	defer s.Drain(0)
+	blocker, err := s.Submit(slowRequest(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning, 30*time.Second)
+	queued, err := s.Submit(fastRequest(t, "voter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != StateQueued {
+		t.Fatalf("job state = %s, want queued", queued.State())
+	}
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != StateCancelled {
+		t.Fatalf("state after cancel = %s", st)
+	}
+	if got := s.Metrics().Jobs.Cancelled; got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+}
+
+func TestCancelRunningJobPromptly(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 4, WorkersPerJob: 2})
+	defer s.Drain(0)
+	j, err := s.Submit(slowRequest(t, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 30*time.Second)
+	// Let it get into the engine proper, then cancel mid-run.
+	time.Sleep(30 * time.Millisecond)
+	t0 := time.Now()
+	if _, err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 10*time.Second)
+	latency := time.Since(t0)
+	st := j.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s (err %q), want cancelled", st.State, st.Error)
+	}
+	if st.Error == "" {
+		t.Fatal("cancelled job should record the cancellation error")
+	}
+	// "Promptly" = at the next phase barrier / level boundary, which for
+	// the tiny voter circuit is well under a second; the bound here is
+	// generous for loaded CI machines.
+	if latency > 5*time.Second {
+		t.Fatalf("cancellation took %v", latency)
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	const n = 8
+	s := New(Options{MaxConcurrent: n, QueueLimit: n, WorkersPerJob: 1})
+	defer s.Drain(time.Second)
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		j, err := s.Submit(slowRequest(t, 25))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	// All n must be running at once: the scheduler has n slots and every
+	// job takes hundreds of milliseconds.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if s.Metrics().Jobs.Running == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d concurrent jobs (running=%d)", n, s.Metrics().Jobs.Running)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, j := range jobs {
+		waitDone(t, j, 60*time.Second)
+		if st := j.Status(); st.State != StateDone {
+			t.Fatalf("job %d: %s (err %q)", i, st.State, st.Error)
+		}
+	}
+}
+
+func TestWorkerBudgetCapsRequests(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, QueueLimit: 2, WorkersPerJob: 3})
+	defer s.Drain(time.Second)
+	req := fastRequest(t, "voter")
+	req.Config.Workers = 64
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status().Workers; got != 3 {
+		t.Fatalf("workers = %d, want capped to 3", got)
+	}
+	waitDone(t, j, 30*time.Second)
+}
+
+func TestVerifySubmission(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 2})
+	defer s.Drain(time.Second)
+	req := fastRequest(t, "sqrt")
+	req.Verify = true
+	req.VerifyBudget = 100_000
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	st := j.Status()
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %q)", st.State, st.Error)
+	}
+	if st.Verify == nil || !st.Verify.Equivalent {
+		t.Fatalf("verify status: %+v", st.Verify)
+	}
+}
+
+func TestDrainRejectsAndFinishes(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, QueueLimit: 4})
+	j, err := s.Submit(slowRequest(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 30*time.Second)
+	done := make(chan struct{})
+	go func() { s.Drain(30 * time.Second); close(done) }()
+	// Submissions during drain are rejected with the typed error.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := s.Submit(fastRequest(t, "voter"))
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submission during drain: %v, want ErrDraining", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain did not finish")
+	}
+	if st := j.State(); st != StateDone {
+		t.Fatalf("running job after graceful drain = %s, want done", st)
+	}
+}
+
+func TestDrainCancelsAfterGrace(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueLimit: 4, WorkersPerJob: 2})
+	j, err := s.Submit(slowRequest(t, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning, 30*time.Second)
+	t0 := time.Now()
+	s.Drain(50 * time.Millisecond)
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("long job after impatient drain = %s, want cancelled", st)
+	}
+	if d := time.Since(t0); d > 30*time.Second {
+		t.Fatalf("drain took %v", d)
+	}
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dacpara"
+)
+
+// Options configures a Service; the zero value gets the documented
+// defaults.
+type Options struct {
+	// QueueLimit bounds the jobs waiting to run; a submission that finds
+	// the queue full is rejected with *QueueFullError — backpressure, not
+	// unbounded buffering (default 64).
+	QueueLimit int
+	// MaxConcurrent is K, the number of engine jobs running at once
+	// (default 8).
+	MaxConcurrent int
+	// WorkersPerJob is the per-job worker-count budget: a job may request
+	// fewer workers but never more, so K jobs × the budget bounds the
+	// goroutines competing for cores (default max(1, NumCPU/K)).
+	WorkersPerJob int
+	// CacheEntries and CacheBytes bound the result cache (defaults 256
+	// entries, 256 MiB; negative disables the respective bound... 0 uses
+	// the default).
+	CacheEntries int
+	CacheBytes   int64
+	// VerifyBudget is the default SAT conflict budget per output for
+	// Verify submissions (default 50000).
+	VerifyBudget int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 64
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 8
+	}
+	if o.WorkersPerJob <= 0 {
+		o.WorkersPerJob = runtime.NumCPU() / o.MaxConcurrent
+		if o.WorkersPerJob < 1 {
+			o.WorkersPerJob = 1
+		}
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.VerifyBudget <= 0 {
+		o.VerifyBudget = 50_000
+	}
+	return o
+}
+
+// QueueFullError is the typed admission-control rejection: the queue is
+// at its limit and the submission was not accepted. The HTTP layer maps
+// it to 429.
+type QueueFullError struct {
+	// Limit is the queue bound that was hit.
+	Limit int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: job queue full (limit %d)", e.Limit)
+}
+
+// ErrDraining rejects submissions arriving after drain began. The HTTP
+// layer maps it to 503.
+var ErrDraining = errors.New("serve: service is draining, not admitting jobs")
+
+// ErrUnknownJob reports a job ID the service has no record of.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Service is the long-running optimization service: it owns the job
+// queue, the scheduler, the job records and the result cache.
+type Service struct {
+	opts  Options
+	cache *resultCache
+
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	queue    chan *Job
+	draining bool
+	nextID   uint64
+
+	running   atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	rejected  atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a service: MaxConcurrent scheduler workers begin pulling
+// from the queue immediately. Stop it with Drain.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:  opts,
+		cache: newResultCache(opts.CacheEntries, opts.CacheBytes),
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, opts.QueueLimit),
+	}
+	for i := 0; i < opts.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Options returns the resolved configuration.
+func (s *Service) Options() Options { return s.opts }
+
+// Submit validates and enqueues a job. The typed errors are
+// *QueueFullError (queue at limit) and ErrDraining; anything else is a
+// bad request. On success the job is owned by the service and its
+// network must not be touched by the caller again.
+func (s *Service) Submit(req JobRequest) (*Job, error) {
+	if req.Network == nil {
+		return nil, errors.New("serve: submission has no network")
+	}
+	if req.Engine == "" {
+		req.Engine = dacpara.EngineDACPara
+	}
+	if !knownEngine(req.Engine) {
+		return nil, fmt.Errorf("serve: unknown engine %q", req.Engine)
+	}
+	// Enforce the per-job worker budget: jobs may be narrower than the
+	// budget but never wider, so K running jobs cannot oversubscribe the
+	// machine.
+	if req.Config.Workers <= 0 || req.Config.Workers > s.opts.WorkersPerJob {
+		req.Config.Workers = s.opts.WorkersPerJob
+	}
+	if req.VerifyBudget <= 0 {
+		req.VerifyBudget = s.opts.VerifyBudget
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		req:       req,
+		digest:    StructuralDigest(req.Network),
+		input:     NetStatsOf(req.Network),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		cancel()
+		return nil, &QueueFullError{Limit: s.opts.QueueLimit}
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("j%08d", s.nextID)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return job, nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs lists every job record in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job by ID (see Job.Cancel). A queued job is counted
+// cancelled here; a running one is counted when the engine actually
+// stops.
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	if _, immediate := j.cancelRequest(); immediate {
+		s.cancelled.Add(1)
+	}
+	return j, nil
+}
+
+// Drain stops admitting jobs, lets queued and running jobs finish, and
+// after gracePeriod cancels whatever is still running (0 means cancel
+// immediately after the queue is closed... i.e. no grace). It blocks
+// until every worker has exited and is idempotent-safe for a single
+// caller (the daemon's signal handler).
+func (s *Service) Drain(gracePeriod time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue) // Submit never sends once draining is set (same lock)
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	var timer <-chan time.Time
+	if gracePeriod > 0 {
+		t := time.NewTimer(gracePeriod)
+		defer t.Stop()
+		timer = t.C
+	} else {
+		c := make(chan time.Time)
+		close(c)
+		timer = c
+	}
+	select {
+	case <-finished:
+		return
+	case <-timer:
+	}
+	// Grace expired: cancel everything still live and wait for the
+	// engines to reach their cancellation points.
+	for _, j := range s.Jobs() {
+		if !j.State().Terminal() {
+			if _, immediate := j.cancelRequest(); immediate {
+				s.cancelled.Add(1)
+			}
+		}
+	}
+	<-finished
+}
+
+// worker is one scheduler slot: it pulls queued jobs and runs them, at
+// most MaxConcurrent at a time by construction.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		if !job.markRunning() {
+			continue // cancelled while queued
+		}
+		s.running.Add(1)
+		s.run(job)
+		s.running.Add(-1)
+	}
+}
+
+// cacheKey is the full result-cache key: input structure + engine +
+// every result-affecting config knob + seed.
+func cacheKey(digest string, eng dacpara.Engine, cfg dacpara.Config, seed int64) string {
+	return fmt.Sprintf("%s|%s|cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
+		digest, eng, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
+		cfg.Passes, cfg.Workers, seed)
+}
+
+// run executes one job to a terminal state.
+func (s *Service) run(job *Job) {
+	key := cacheKey(job.digest, job.req.Engine, job.req.Config, job.req.Seed)
+	if res, ok := s.cache.get(key); ok {
+		s.completed.Add(1)
+		job.finish(StateDone, res, nil, true, "")
+		return
+	}
+
+	cfg := job.req.Config
+	cfg.Metrics = dacpara.NewMetrics()
+	var golden *dacpara.Network
+	if job.req.Verify {
+		golden = job.req.Network.Clone()
+	}
+
+	result, err := dacpara.RewriteContext(job.ctx, job.req.Network, job.req.Engine, cfg)
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		job.finish(StateCancelled, nil, nil, false, err.Error())
+		return
+	case err != nil:
+		s.failed.Add(1)
+		job.finish(StateFailed, nil, nil, false, err.Error())
+		return
+	}
+
+	var verify *VerifyStatus
+	if job.req.Verify {
+		eq, proved, verr := dacpara.EquivalentBudget(golden, job.req.Network, job.req.VerifyBudget)
+		if verr != nil {
+			s.failed.Add(1)
+			job.finish(StateFailed, nil, nil, false, "verification: "+verr.Error())
+			return
+		}
+		verify = &VerifyStatus{Equivalent: eq, Proved: proved}
+		if !eq {
+			s.failed.Add(1)
+			job.finish(StateFailed, nil, verify, false, "verification: result not equivalent to input")
+			return
+		}
+	}
+
+	var buf bytes.Buffer
+	if werr := job.req.Network.WriteBinary(&buf); werr != nil {
+		s.failed.Add(1)
+		job.finish(StateFailed, nil, verify, false, "encoding result: "+werr.Error())
+		return
+	}
+	res := &CachedResult{
+		AIGER:   buf.Bytes(),
+		Output:  NetStatsOf(job.req.Network),
+		Result:  result,
+		Metrics: result.Metrics,
+	}
+	s.cache.put(key, res)
+	s.completed.Add(1)
+	job.finish(StateDone, res, verify, false, "")
+}
+
+func knownEngine(e dacpara.Engine) bool {
+	for _, k := range dacpara.Engines() {
+		if e == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessMetrics is the process-level /metrics payload.
+type ProcessMetrics struct {
+	Schema   string `json:"schema"`
+	UptimeNs int64  `json:"uptime_ns"`
+
+	QueueLimit    int `json:"queue_limit"`
+	QueueDepth    int `json:"queue_depth"`
+	MaxConcurrent int `json:"max_concurrent"`
+	WorkersPerJob int `json:"workers_per_job"`
+
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Queued    int64 `json:"queued"`
+		Running   int64 `json:"running"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Cancelled int64 `json:"cancelled"`
+		Rejected  int64 `json:"rejected"`
+	} `json:"jobs"`
+
+	Cache struct {
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"cache"`
+
+	Goroutines int `json:"goroutines"`
+}
+
+// SchemaProcess identifies the /metrics JSON schema.
+const SchemaProcess = "dacparad-process/v1"
+
+// Metrics snapshots the process-level counters.
+func (s *Service) Metrics() ProcessMetrics {
+	var m ProcessMetrics
+	m.Schema = SchemaProcess
+	m.UptimeNs = time.Since(s.start).Nanoseconds()
+	m.QueueLimit = s.opts.QueueLimit
+	m.QueueDepth = len(s.queue)
+	m.MaxConcurrent = s.opts.MaxConcurrent
+	m.WorkersPerJob = s.opts.WorkersPerJob
+	m.Jobs.Submitted = s.submitted.Load()
+	m.Jobs.Running = s.running.Load()
+	m.Jobs.Done = s.completed.Load()
+	m.Jobs.Failed = s.failed.Load()
+	m.Jobs.Cancelled = s.cancelled.Load()
+	m.Jobs.Rejected = s.rejected.Load()
+	m.Jobs.Queued = m.Jobs.Submitted - m.Jobs.Running - m.Jobs.Done - m.Jobs.Failed - m.Jobs.Cancelled
+	if m.Jobs.Queued < 0 {
+		m.Jobs.Queued = 0
+	}
+	m.Cache.Entries, m.Cache.Bytes, m.Cache.Hits, m.Cache.Misses = s.cache.stats()
+	m.Goroutines = runtime.NumGoroutine()
+	return m
+}
+

@@ -17,6 +17,8 @@
 package staticpar
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -53,11 +55,20 @@ func (v Variant) String() string {
 // evaluation on the unchanging input graph, then serial conditional
 // replacement.
 //
-// The error is always nil today — the static engines synchronize with
-// barriers instead of speculative locks, so there is no retry machinery
-// to exhaust — but the signature matches the other engines so callers
-// handle every engine uniformly.
+// The only error today is a context cancellation (see RewriteCtx) — the
+// static engines synchronize with barriers instead of speculative locks,
+// so there is no retry machinery to exhaust — but the signature matches
+// the other engines so callers handle every engine uniformly.
 func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) (rewrite.Result, error) {
+	return RewriteCtx(context.Background(), a, lib, cfg, variant)
+}
+
+// RewriteCtx is Rewrite under a context. Cancellation is observed at the
+// level boundaries of all three phases — between the per-level barriers,
+// never inside one — matching the GPU kernels' launch granularity: a
+// cancel lands after the current level's kernel, leaving the network
+// structurally consistent and the Result marked Incomplete.
+func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) (rewrite.Result, error) {
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -73,7 +84,20 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 	m := cfg.Metrics
 	m.StartRun(variant.String(), workers, passes(cfg))
 	shards := m.Shards(workers) // nil when metrics are off
-	for p := 0; p < passes(cfg); p++ {
+	var runErr error
+	// levelCancelled polls the context at a level boundary and records
+	// the wrapped error once.
+	levelCancelled := func() bool {
+		if runErr != nil {
+			return true
+		}
+		if err := ctx.Err(); err != nil {
+			runErr = fmt.Errorf("%s: %w", variant.String(), err)
+			return true
+		}
+		return false
+	}
+	for p := 0; p < passes(cfg) && runErr == nil; p++ {
 		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
 		cm.Ensure(0, nil)
 		for _, pi := range a.PIs() {
@@ -95,6 +119,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 		})
 		m.PhaseStart(metrics.PhaseEnumerate)
 		for _, wl := range levels {
+			if levelCancelled() {
+				break
+			}
 			m.ObserveLevel(len(wl))
 			parallelFor(workers, wl, func(_ int, id int32) {
 				cm.Ensure(id, nil)
@@ -111,6 +138,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 		}
 		m.PhaseStart(metrics.PhaseEvaluate)
 		for _, wl := range levels {
+			if levelCancelled() {
+				break
+			}
 			parallelFor(workers, wl, func(w int, id int32) {
 				if cuts, ok := cm.Cuts(id); ok {
 					prep[id] = evs[w].Evaluate(id, cuts)
@@ -128,6 +158,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 		ev := evs[0]
 		m.PhaseStart(metrics.PhaseReplace)
 		for _, wl := range levels {
+			if levelCancelled() {
+				break
+			}
 			for _, id := range wl {
 				cand := prep[id]
 				if !cand.Ok() {
@@ -161,8 +194,9 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
+	res.Incomplete = runErr != nil
 	rewrite.FinishMetrics(m, &res)
-	return res, nil
+	return res, runErr
 }
 
 // parallelFor distributes items over workers with a barrier at the end.

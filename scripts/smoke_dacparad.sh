@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Smoke test for the dacparad daemon: boot it, submit a circuit over
+# HTTP, poll the job to completion, validate the metrics snapshot
+# schema, exercise a mid-run cancel, and shut down via SIGTERM. Used by
+# CI and runnable locally from the repo root:
+#
+#   ./scripts/smoke_dacparad.sh [port]
+set -euo pipefail
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+# jq when available, a grep fallback otherwise (both present on
+# ubuntu-latest; the fallback keeps the script runnable anywhere).
+json_field() { # json_field <file> <jq-expr> <grep-regex>
+  if command -v jq >/dev/null 2>&1; then
+    jq -r "$2" "$1"
+  else
+    grep -o "$3" "$1" | head -1 | sed 's|.*: *||; s|[",]||g'
+  fi
+}
+
+echo "smoke: building dacparad + benchgen"
+go build -o "$WORK/dacparad" ./cmd/dacparad
+go build -o "$WORK/benchgen" ./cmd/benchgen
+
+echo "smoke: generating the tiny suite"
+"$WORK/benchgen" -scale tiny -name voter -out "$WORK"
+AIG="$(ls "$WORK"/voter*.aig | head -1)"
+[[ -s "$AIG" ]] || fail "benchgen produced no voter AIGER"
+
+echo "smoke: booting dacparad on :$PORT"
+"$WORK/dacparad" -addr "127.0.0.1:$PORT" -max-jobs 2 -queue 8 -job-workers 2 &
+DAEMON_PID=$!
+
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  [[ $i -eq 100 ]] && fail "daemon never became healthy"
+  sleep 0.1
+done
+echo "smoke: daemon healthy"
+
+# --- happy path: submit, poll, result, metrics schema ---------------
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?engine=dacpara&workers=2&verify=1" >"$WORK/submit.json" \
+  || fail "submission rejected"
+JOB="$(json_field "$WORK/submit.json" .id '"id": *"[^"]*"')"
+[[ "$JOB" == j* ]] || fail "no job id in submit response: $(cat "$WORK/submit.json")"
+echo "smoke: submitted $JOB"
+
+STATE=""
+for i in $(seq 1 300); do
+  curl -sf "$BASE/jobs/$JOB" >"$WORK/status.json" || fail "status poll failed"
+  STATE="$(json_field "$WORK/status.json" .state '"state": *"[^"]*"')"
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled) fail "job $JOB ended $STATE: $(cat "$WORK/status.json")" ;;
+  esac
+  sleep 0.1
+done
+[[ "$STATE" == done ]] || fail "job $JOB stuck in '$STATE'"
+echo "smoke: $JOB done"
+
+grep -q '"cache_hit"' "$WORK/status.json" || fail "status payload missing cache_hit"
+grep -q '"equivalent": *true' "$WORK/status.json" || fail "verify did not prove equivalence: $(cat "$WORK/status.json")"
+
+curl -sf -o "$WORK/out.aig" "$BASE/jobs/$JOB/result" || fail "result download failed"
+head -c 3 "$WORK/out.aig" | grep -q '^aig' || fail "result is not binary AIGER"
+
+curl -sf "$BASE/jobs/$JOB/metrics" >"$WORK/metrics.json" || fail "metrics download failed"
+SCHEMA="$(json_field "$WORK/metrics.json" .schema '"schema": *"[^"]*"')"
+[[ "$SCHEMA" == "dacpara-metrics/v1" ]] || fail "metrics schema '$SCHEMA', want dacpara-metrics/v1"
+if command -v jq >/dev/null 2>&1; then
+  PHASES="$(jq '.phases | length' "$WORK/metrics.json")"
+  [[ "$PHASES" -ge 1 ]] || fail "metrics snapshot has no phases"
+  jq -e '.qor.final_ands >= 0' "$WORK/metrics.json" >/dev/null || fail "metrics snapshot has no QoR"
+else
+  grep -q '"phases": *\[' "$WORK/metrics.json" || fail "metrics snapshot has no phases"
+fi
+echo "smoke: metrics schema ok"
+
+# --- cache: resubmitting identical work is a hit --------------------
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?engine=dacpara&workers=2&verify=1" >"$WORK/resubmit.json" \
+  || fail "resubmission rejected"
+JOB2="$(json_field "$WORK/resubmit.json" .id '"id": *"[^"]*"')"
+for i in $(seq 1 300); do
+  curl -sf "$BASE/jobs/$JOB2" >"$WORK/status2.json"
+  [[ "$(json_field "$WORK/status2.json" .state '"state": *"[^"]*"')" == done ]] && break
+  sleep 0.1
+done
+grep -q '"cache_hit": *true' "$WORK/status2.json" || fail "identical resubmission not served from cache: $(cat "$WORK/status2.json")"
+echo "smoke: cache hit ok"
+
+# --- mid-run cancel -------------------------------------------------
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?engine=dacpara&workers=2&passes=2000&zero_gain=1" >"$WORK/slow.json" \
+  || fail "slow submission rejected"
+SLOW="$(json_field "$WORK/slow.json" .id '"id": *"[^"]*"')"
+for i in $(seq 1 100); do
+  curl -sf "$BASE/jobs/$SLOW" >"$WORK/slowstat.json"
+  [[ "$(json_field "$WORK/slowstat.json" .state '"state": *"[^"]*"')" == running ]] && break
+  [[ $i -eq 100 ]] && fail "slow job never started: $(cat "$WORK/slowstat.json")"
+  sleep 0.05
+done
+sleep 0.2  # let it get into the level loops: this is a *mid-run* cancel
+curl -sf -X POST "$BASE/jobs/$SLOW/cancel" >/dev/null || fail "cancel request failed"
+for i in $(seq 1 100); do
+  curl -sf "$BASE/jobs/$SLOW" >"$WORK/slowstat.json"
+  STATE="$(json_field "$WORK/slowstat.json" .state '"state": *"[^"]*"')"
+  [[ "$STATE" == cancelled ]] && break
+  [[ "$STATE" == done || "$STATE" == failed ]] && fail "cancelled job ended $STATE"
+  [[ $i -eq 100 ]] && fail "cancel not observed: still '$STATE'"
+  sleep 0.1
+done
+echo "smoke: mid-run cancel ok"
+
+# --- process metrics + graceful shutdown ----------------------------
+curl -sf "$BASE/metrics" >"$WORK/proc.json" || fail "process metrics failed"
+grep -q '"dacparad-process/v1"' "$WORK/proc.json" || fail "process metrics schema: $(cat "$WORK/proc.json")"
+
+kill -TERM "$DAEMON_PID"
+for i in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; break; }
+  [[ $i -eq 100 ]] && fail "daemon did not exit on SIGTERM"
+  sleep 0.1
+done
+echo "smoke: clean SIGTERM drain"
+echo "smoke: PASS"

@@ -36,7 +36,7 @@ func main() {
 		verify    = flag.Bool("verify", false, "equivalence-check the result against the input")
 		simOnly   = flag.Bool("sim-only", false, "verification by simulation only (for large circuits)")
 		lut       = flag.Int("lut", 0, "after optimizing, also map into k-input LUTs and report mapped area/depth")
-		script    = flag.String("script", "", "run an ABC-style flow instead of one engine, e.g. \"balance; rewrite; refactor\" (use 'resyn2' for the classic script)")
+		script    = flag.String("script", "", "run an ABC-style flow instead of one engine, e.g. \"b; rw; rf -p; rs -p -w=8; b\" (per-step flags: -z zero-gain, -p parallel refactor/resub, -w=N workers; use 'resyn2' for the classic script)")
 		list      = flag.Bool("list", false, "list generatable benchmarks and exit")
 		stats     = flag.Bool("stats", false, "collect engine metrics and print a per-phase summary")
 		statsJSON = flag.String("stats-json", "", "collect engine metrics and write the snapshot(s) as JSON to this file ('-' for stdout)")

@@ -9,10 +9,12 @@
 //
 //	perfbench -scale tiny -workers 1,4                 # full sweep
 //	perfbench -circuits sin,mult -engines dacpara,abc  # focused sweep
+//	perfbench -pass rewrite,refactor,resub             # cross-pass sweep
 //	perfbench -validate BENCH_2026-08-06.json          # schema check
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,18 +25,21 @@ import (
 
 	"dacpara"
 	"dacpara/internal/metrics"
+	"dacpara/internal/refactor"
+	"dacpara/internal/resub"
 )
 
 func main() {
 	var (
-		scale    = flag.String("scale", "tiny", "suite scale: tiny, small, full")
-		engines  = flag.String("engines", "abc,iccad18,dacpara,dac22,tcad23", "comma-separated engines to sweep")
-		workers  = flag.String("workers", "1,4", "comma-separated worker counts")
-		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
-		passes   = flag.Int("passes", 1, "rewriting passes per run")
-		out      = flag.String("out", "", "output file (default BENCH_<date>.json)")
-		validate = flag.String("validate", "", "validate an existing BENCH json against the schema and exit")
-		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		scale     = flag.String("scale", "tiny", "suite scale: tiny, small, full")
+		engines   = flag.String("engines", "abc,iccad18,dacpara,dac22,tcad23", "comma-separated engines to sweep")
+		workers   = flag.String("workers", "1,4", "comma-separated worker counts")
+		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		passNames = flag.String("pass", "rewrite", "comma-separated passes to sweep: rewrite, refactor, resub (refactor/resub run their DACPara-style parallel executors)")
+		passes    = flag.Int("passes", 1, "rewriting passes per run")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		validate  = flag.String("validate", "", "validate an existing BENCH json against the schema and exit")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 
@@ -72,28 +77,55 @@ func main() {
 	}
 
 	coll := dacpara.NewMetrics()
+	record := func(name, pass, eng string, w int, res dacpara.Result, runErr error) {
+		run := metrics.BenchRun{
+			Circuit: name,
+			Pass:    pass,
+			Engine:  eng,
+			Workers: w,
+			Metrics: res.Metrics,
+		}
+		if runErr != nil {
+			run.Error = runErr.Error()
+		}
+		file.Runs = append(file.Runs, run)
+		if !*quiet {
+			fmt.Printf("%-14s %-9s %-16s w=%-2d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
+				name, pass, eng, w, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
+				res.Aborts, 100*res.WastedFraction())
+		}
+	}
 	for _, name := range names {
-		for _, eng := range strings.Split(*engines, ",") {
-			for _, w := range workerCounts {
-				net, err := dacpara.Generate(name, sc)
-				fatal(err)
-				cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
-				res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
-				run := metrics.BenchRun{
-					Circuit: name,
-					Engine:  eng,
-					Workers: w,
-					Metrics: res.Metrics,
+		for _, pass := range strings.Split(*passNames, ",") {
+			switch pass = strings.TrimSpace(pass); pass {
+			case "rewrite":
+				for _, eng := range strings.Split(*engines, ",") {
+					for _, w := range workerCounts {
+						net, err := dacpara.Generate(name, sc)
+						fatal(err)
+						cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
+						res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
+						record(name, pass, eng, w, res, runErr)
+					}
 				}
-				if runErr != nil {
-					run.Error = runErr.Error()
+			case "refactor":
+				for _, w := range workerCounts {
+					net, err := dacpara.Generate(name, sc)
+					fatal(err)
+					res, runErr := refactor.RunParallelCtx(context.Background(), net,
+						refactor.Config{Metrics: coll}, w)
+					record(name, pass, res.Engine, w, res, runErr)
 				}
-				file.Runs = append(file.Runs, run)
-				if !*quiet {
-					fmt.Printf("%-14s %-8s w=%-2d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
-						name, eng, w, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
-						res.Aborts, 100*res.WastedFraction())
+			case "resub":
+				for _, w := range workerCounts {
+					net, err := dacpara.Generate(name, sc)
+					fatal(err)
+					res, runErr := resub.RunParallelCtx(context.Background(), net,
+						resub.Config{Metrics: coll}, w)
+					record(name, pass, res.Engine, w, res, runErr)
 				}
+			default:
+				fatal(fmt.Errorf("unknown pass %q (want rewrite, refactor or resub)", pass))
 			}
 		}
 	}

@@ -159,6 +159,120 @@ func TestRewriteContextCancellation(t *testing.T) {
 	}
 }
 
+// TestPassContextCancellation pins the cancellation contract of the
+// non-rewriting passes, serial and parallel: a pre-cancelled context
+// stops every variant with context.Canceled in the error chain before
+// it transforms anything, and the Result (where the pass returns one)
+// is marked Incomplete. The service's job cancellation relies on every
+// flow step honouring this.
+func TestPassContextCancellation(t *testing.T) {
+	net, err := Generate("voter", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	variants := []struct {
+		name string
+		run  func(n *Network) (Result, error)
+	}{
+		{"refactor", func(n *Network) (Result, error) { return RefactorContext(ctx, n, false) }},
+		{"refactor-parallel", func(n *Network) (Result, error) { return RefactorParallel(ctx, n, false, 2) }},
+		{"resub", func(n *Network) (Result, error) { return ResubContext(ctx, n, false) }},
+		{"resub-parallel", func(n *Network) (Result, error) { return ResubParallel(ctx, n, false, 2) }},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			n := net.Clone()
+			before := n.Stats()
+			res, err := v.run(n)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled in the chain", err)
+			}
+			if !res.Incomplete {
+				t.Fatal("cancelled run not marked Incomplete")
+			}
+			if err := n.Check(aig.CheckOptions{}); err != nil {
+				t.Fatalf("network inconsistent after cancel: %v", err)
+			}
+			if after := n.Stats(); after.Ands != before.Ands {
+				t.Fatalf("pre-cancelled run still transformed the network: %d -> %d ANDs",
+					before.Ands, after.Ands)
+			}
+		})
+	}
+	t.Run("balance", func(t *testing.T) {
+		b, err := BalanceContext(ctx, net)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", err)
+		}
+		if b != nil {
+			t.Fatal("cancelled balance returned a partial copy")
+		}
+	})
+}
+
+// TestParallelPassDeterministicOutput extends the Workers=1 determinism
+// property to the framework's parallel refactor and resub passes: with a
+// single worker the engine's level sweeps are sequential, so repeated
+// concurrent runs must produce byte-identical AIGER output.
+func TestParallelPassDeterministicOutput(t *testing.T) {
+	passes := []struct {
+		name string
+		run  func(n *Network) error
+	}{
+		{"refactor-parallel", func(n *Network) error {
+			_, err := RefactorParallel(context.Background(), n, false, 1)
+			return err
+		}},
+		{"resub-parallel", func(n *Network) error {
+			_, err := ResubParallel(context.Background(), n, false, 1)
+			return err
+		}},
+	}
+	for _, p := range passes {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			const runs = 4
+			outs := make([][]byte, runs)
+			var wg sync.WaitGroup
+			for i := 0; i < runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					net, err := Generate("voter", ScaleTiny)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := p.run(net); err != nil {
+						t.Error(err)
+						return
+					}
+					var buf bytes.Buffer
+					if err := net.WriteBinary(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+					outs[i] = buf.Bytes()
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for i := 1; i < runs; i++ {
+				if !bytes.Equal(outs[i], outs[0]) {
+					t.Fatalf("run %d produced different bytes than run 0 (%d vs %d bytes)",
+						i, len(outs[i]), len(outs[0]))
+				}
+			}
+		})
+	}
+}
+
 // TestFlowContextCancellation: the flow runner stops between steps and
 // returns the results of the steps that did finish.
 func TestFlowContextCancellation(t *testing.T) {

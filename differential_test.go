@@ -81,3 +81,63 @@ func TestDifferentialEngines(t *testing.T) {
 		})
 	}
 }
+
+// TestDifferentialCrossPassFlow runs whole cross-pass sequences through
+// the framework — rewrite, parallel refactor, parallel resub and balance
+// in one script — at one and several workers, and checks each final
+// network against the golden input's simulation signature. Small
+// circuits additionally get a SAT-backed equivalence proof. This is the
+// differential pass for the pass-engine framework itself: a stale-plan
+// bug in any framework pass, at any worker count, shows up here.
+func TestDifferentialCrossPassFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const script = "rw; rf -p; rs -p; b"
+	for _, name := range BenchmarkNames(ScaleTiny) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			golden, err := Generate(name, ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const seed, rounds = 1789, 8
+			goldenSig := aig.RandomSignature(golden, rand.New(rand.NewSource(seed)), rounds)
+			small := golden.Stats().Ands <= cecBudgetAnds
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+					net := golden.Clone()
+					results, final, err := Flow(net, script, Config{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(results) != 4 {
+						t.Fatalf("flow ran %d steps, want 4", len(results))
+					}
+					for _, res := range results {
+						if res.Incomplete {
+							t.Fatalf("step %s incomplete without error", res.Engine)
+						}
+					}
+					if err := final.Check(aig.CheckOptions{AllowDuplicates: true}); err != nil {
+						t.Fatalf("structural check: %v", err)
+					}
+					sig := aig.RandomSignature(final, rand.New(rand.NewSource(seed)), rounds)
+					if !aig.EqualSignatures(goldenSig, sig) {
+						t.Fatalf("flow result differs from input under simulation")
+					}
+					if small {
+						eq, err := Equivalent(golden, final)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !eq {
+							t.Fatal("CEC disproved flow equivalence")
+						}
+					}
+				})
+			}
+		})
+	}
+}

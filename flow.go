@@ -3,6 +3,7 @@ package dacpara
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dacpara/internal/balance"
@@ -16,11 +17,31 @@ import (
 // AND chains are re-associated into arrival-sorted balanced trees.
 func Balance(net *Network) *Network { return balance.Run(net) }
 
+// BalanceContext is Balance under a context: a cancelled build discards
+// the partial copy and returns nil with the wrapped ctx error. The input
+// is never modified either way.
+func BalanceContext(ctx context.Context, net *Network) (*Network, error) {
+	return balance.RunCtx(ctx, net)
+}
+
 // Refactor resynthesizes large reconvergence-driven cones (up to ten
 // leaves by default) through SOP factoring — ABC's `refactor`, the
 // complement to 4-cut rewriting.
 func Refactor(net *Network, zeroGain bool) Result {
 	return refactor.Run(net, refactor.Config{ZeroGain: zeroGain})
+}
+
+// RefactorContext is Refactor under a context (cancellation polled every
+// few hundred nodes; a cancelled run is Incomplete but consistent).
+func RefactorContext(ctx context.Context, net *Network, zeroGain bool) (Result, error) {
+	return refactor.RunCtx(ctx, net, refactor.Config{ZeroGain: zeroGain})
+}
+
+// RefactorParallel runs DACPara-style parallel refactoring: level
+// worklists, lock-free cone evaluation, serial commit re-validating
+// every stored plan on the latest graph (workers <= 0: GOMAXPROCS).
+func RefactorParallel(ctx context.Context, net *Network, zeroGain bool, workers int) (Result, error) {
+	return refactor.RunParallelCtx(ctx, net, refactor.Config{ZeroGain: zeroGain}, workers)
 }
 
 // LUTMapping is a k-input LUT cover of a network.
@@ -39,6 +60,19 @@ func Resub(net *Network, zeroGain bool) Result {
 	return resub.Run(net, resub.Config{ZeroGain: zeroGain})
 }
 
+// ResubContext is Resub under a context (cancellation polled every few
+// hundred nodes; a cancelled run is Incomplete but consistent).
+func ResubContext(ctx context.Context, net *Network, zeroGain bool) (Result, error) {
+	return resub.RunCtx(ctx, net, resub.Config{ZeroGain: zeroGain})
+}
+
+// ResubParallel runs DACPara-style parallel resubstitution: level
+// worklists, lock-free divisor search, serial commit re-validating every
+// stored candidate on the latest graph (workers <= 0: GOMAXPROCS).
+func ResubParallel(ctx context.Context, net *Network, zeroGain bool, workers int) (Result, error) {
+	return resub.RunParallelCtx(ctx, net, resub.Config{ZeroGain: zeroGain}, workers)
+}
+
 // Fraig performs functional reduction in place: simulation-guided,
 // SAT-proved merging of functionally equivalent nodes (ABC's `fraig`),
 // catching equivalences that structural rewriting cannot see. It returns
@@ -49,13 +83,28 @@ func Fraig(net *Network) int {
 
 // FlowStep is one validated command of a flow script.
 type FlowStep struct {
-	// Cmd is the command name as written in the script.
+	// Cmd is the canonical command name (aliases resolved).
 	Cmd string
 	// ZeroGain reports the -z flag.
 	ZeroGain bool
+	// Parallel reports the -p flag on refactor/resub: run the step
+	// through the DACPara pass engine instead of serially.
+	Parallel bool
+	// Workers is the per-step worker override from -w=N (0: use the
+	// flow Config's Workers).
+	Workers int
 	// Engine is non-empty for rewriting commands (rewrite and the engine
-	// names), empty for the serial transforms.
+	// names), empty for the other transforms.
 	Engine Engine
+}
+
+// flowAliases maps the ABC-style short command names to the canonical
+// ones.
+var flowAliases = map[string]string{
+	"b":  "balance",
+	"rw": "rewrite",
+	"rf": "refactor",
+	"rs": "resub",
 }
 
 // ParseFlow parses and validates a whole flow script without touching
@@ -70,23 +119,43 @@ func ParseFlow(script string) ([]FlowStep, error) {
 			continue
 		}
 		st := FlowStep{Cmd: fields[0]}
+		if canon, ok := flowAliases[st.Cmd]; ok {
+			st.Cmd = canon
+		}
 		for _, f := range fields[1:] {
-			switch f {
-			case "-z":
+			switch {
+			case f == "-z":
 				st.ZeroGain = true
+			case f == "-p":
+				st.Parallel = true
+			case strings.HasPrefix(f, "-w="):
+				n, err := strconv.Atoi(f[len("-w="):])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("dacpara: flow command %q: bad worker count %q", st.Cmd, f)
+				}
+				st.Workers = n
 			default:
 				return nil, fmt.Errorf("dacpara: flow command %q: unknown flag %q", st.Cmd, f)
 			}
 		}
 		switch st.Cmd {
 		case "balance", "fraig":
-			if st.ZeroGain {
-				return nil, fmt.Errorf("dacpara: flow command %q does not accept -z", st.Cmd)
+			if st.ZeroGain || st.Parallel || st.Workers != 0 {
+				return nil, fmt.Errorf("dacpara: flow command %q does not accept flags", st.Cmd)
 			}
 		case "refactor", "resub":
+			if st.Workers != 0 && !st.Parallel {
+				return nil, fmt.Errorf("dacpara: flow command %q: -w= requires -p", st.Cmd)
+			}
 		case "rewrite":
+			if st.Parallel {
+				return nil, fmt.Errorf("dacpara: flow command %q is always engine-driven; -p applies to refactor/resub only", st.Cmd)
+			}
 			st.Engine = EngineDACPara
 		default:
+			if st.Parallel {
+				return nil, fmt.Errorf("dacpara: flow command %q is always engine-driven; -p applies to refactor/resub only", st.Cmd)
+			}
 			eng := Engine(st.Cmd)
 			known := false
 			for _, e := range Engines() {
@@ -110,27 +179,35 @@ func ParseFlow(script string) ([]FlowStep, error) {
 //	"balance; rewrite; refactor; balance; rewrite -z; balance"
 //
 // (the classic resyn2 shape). Supported commands: every Engine name
-// (abc, iccad18, dacpara, dac22, tcad23) and the aliases rewrite
-// (= dacpara), plus balance, refactor, resub and fraig;
-// rewrite/refactor/resub accept -z.
+// (abc, iccad18, dacpara, dac22, tcad23), rewrite (= dacpara), balance,
+// refactor, resub and fraig, plus the ABC short aliases b, rw, rf, rs.
+//
+// Flags: rewrite, refactor and resub accept -z (zero-gain commits);
+// refactor and resub accept -p to run through the DACPara pass engine
+// (level-parallel evaluation with serial revalidating commits) and, with
+// -p, a per-step -w=N worker override:
+//
+//	"b; rw; rf -p; rs -p -w=8; b"
 //
 // The whole script is parsed and validated before the first command
 // runs. Flow returns the per-command results and the final network
 // (balance rebuilds the graph, so the returned pointer may differ from
 // the argument).
 //
-// When cfg.Metrics is set, every rewriting step resets the collector on
-// entry and attaches its own snapshot to that step's Result.Metrics, so
-// a flow yields one per-step snapshot sequence; the serial transforms
-// (balance, refactor, resub, fraig) are not instrumented.
+// When cfg.Metrics is set, every rewriting step and every parallel
+// refactor/resub step resets the collector on entry and attaches its own
+// snapshot to that step's Result.Metrics, so a flow yields one per-step
+// snapshot sequence; the serial transforms (balance, serial
+// refactor/resub, fraig) are not instrumented.
 func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
 	return FlowContext(context.Background(), net, script, cfg)
 }
 
 // FlowContext is Flow under a context: cancellation is observed between
-// steps and inside every rewriting engine (see RewriteContext). On
-// cancellation the per-step results completed so far are returned along
-// with the latest network and the wrapped ctx error.
+// steps and inside every step (see RewriteContext; the serial transforms
+// poll every few hundred nodes). On cancellation the per-step results
+// completed so far are returned along with the latest network and the
+// wrapped ctx error.
 func FlowContext(ctx context.Context, net *Network, script string, cfg Config) ([]Result, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {
@@ -154,15 +231,15 @@ func FlowContext(ctx context.Context, net *Network, script string, cfg Config) (
 // FlowGuarded is Flow with every rewriting command executed under the
 // guard (see RewriteGuarded): each engine run is verified and, on
 // failure, degraded down the engine ladder instead of aborting the flow.
-// The serial transforms (balance, refactor, resub, fraig) run directly.
+// The other transforms (balance, refactor, resub, fraig) run directly.
 // Reports holds one entry per rewriting command, in script order.
 func FlowGuarded(net *Network, script string, cfg Config, opts GuardOptions) ([]Result, []*GuardReport, *Network, error) {
 	return FlowGuardedContext(context.Background(), net, script, cfg, opts)
 }
 
 // FlowGuardedContext is FlowGuarded under a context; cancellation stops
-// the flow between steps and interrupts the rewriting engines inside a
-// guarded step (see RewriteGuardedContext).
+// the flow between steps and interrupts the engines inside a step (see
+// RewriteGuardedContext).
 func FlowGuardedContext(ctx context.Context, net *Network, script string, cfg Config, opts GuardOptions) ([]Result, []*GuardReport, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {
@@ -187,10 +264,20 @@ func FlowGuardedContext(ctx context.Context, net *Network, script string, cfg Co
 // runFlowStep executes one validated step. When guard is non-nil,
 // rewriting steps run guarded and append their report to *reports.
 func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, guard *GuardOptions, reports *[]*GuardReport) (Result, *Network, error) {
+	// stepWorkers resolves the per-step override against the flow
+	// config.
+	stepWorkers := cfg.Workers
+	if st.Workers > 0 {
+		stepWorkers = st.Workers
+	}
 	switch st.Cmd {
 	case "balance":
 		before := net.Stats()
-		net = Balance(net)
+		balanced, err := balance.RunCtx(ctx, net)
+		if err != nil {
+			return Result{Engine: "balance", Threads: 1, Passes: 1, Incomplete: true}, net, err
+		}
+		net = balanced
 		after := net.Stats()
 		return Result{
 			Engine:       "balance",
@@ -202,9 +289,21 @@ func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, gua
 			FinalDelay:   after.Delay,
 		}, net, nil
 	case "refactor":
-		return Refactor(net, st.ZeroGain), net, nil
+		if st.Parallel {
+			res, err := refactor.RunParallelCtx(ctx, net,
+				refactor.Config{ZeroGain: st.ZeroGain, Metrics: cfg.Metrics}, stepWorkers)
+			return res, net, err
+		}
+		res, err := refactor.RunCtx(ctx, net, refactor.Config{ZeroGain: st.ZeroGain})
+		return res, net, err
 	case "resub":
-		return Resub(net, st.ZeroGain), net, nil
+		if st.Parallel {
+			res, err := resub.RunParallelCtx(ctx, net,
+				resub.Config{ZeroGain: st.ZeroGain, Metrics: cfg.Metrics}, stepWorkers)
+			return res, net, err
+		}
+		res, err := resub.RunCtx(ctx, net, resub.Config{ZeroGain: st.ZeroGain})
+		return res, net, err
 	case "fraig":
 		before := net.Stats()
 		merged := Fraig(net)
@@ -222,6 +321,7 @@ func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, gua
 	}
 	c := cfg
 	c.ZeroGain = st.ZeroGain
+	c.Workers = stepWorkers
 	if guard == nil {
 		res, err := RewriteContext(ctx, net, st.Engine, c)
 		return res, net, err

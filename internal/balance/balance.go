@@ -10,13 +10,25 @@
 package balance
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"dacpara/internal/aig"
+	"dacpara/internal/engine"
 )
 
 // Run returns a balanced copy of the network. The input is not modified.
 func Run(a *aig.AIG) *aig.AIG {
+	b, _ := RunCtx(context.Background(), a)
+	return b
+}
+
+// RunCtx is Run under a context. Balancing builds a fresh network, so
+// cancellation (polled every engine.SerialCancelStride roots in the
+// build pass) simply discards the partial copy and returns nil with the
+// wrapped ctx error — the input is never modified either way.
+func RunCtx(ctx context.Context, a *aig.AIG) (*aig.AIG, error) {
 	b := aig.New(aig.Options{CapacityHint: a.NumAnds() + a.NumPIs() + 1})
 	b.Name = a.Name
 
@@ -45,7 +57,10 @@ func Run(a *aig.AIG) *aig.AIG {
 	for _, pi := range a.PIs() {
 		mp[pi] = b.AddPI()
 	}
-	for _, id := range a.TopoOrder(nil) {
+	for i, id := range a.TopoOrder(nil) {
+		if i%engine.SerialCancelStride == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("balance: %w", ctx.Err())
+		}
 		if !a.N(id).IsAnd() || !needed[id] {
 			continue
 		}
@@ -59,7 +74,7 @@ func Run(a *aig.AIG) *aig.AIG {
 	for _, po := range a.POs() {
 		b.AddPO(mp[po.Node()].XorCompl(po.Compl()))
 	}
-	return b
+	return b, nil
 }
 
 // frontier flattens the maximal absorbed AND tree rooted at id into its

@@ -19,19 +19,18 @@
 // replacement bookkeeping, never the expensive evaluation — the essence of
 // the paper's Fig. 2 — while the per-list barriers make the lock-free
 // evaluation safe.
+//
+// The loop structure itself — level worklists, the three-phase executor,
+// metrics shards, cancellation and fault wiring — lives in
+// internal/engine (Dynamic mode); this package binds it to the rewriting
+// pass.
 package core
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync/atomic"
-	"time"
 
 	"dacpara/internal/aig"
-	"dacpara/internal/cut"
-	"dacpara/internal/galois"
-	"dacpara/internal/metrics"
+	"dacpara/internal/engine"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 )
@@ -39,18 +38,7 @@ import (
 // NodeDividing partitions the live AND nodes by level (depth from the
 // PIs), the worklist array of Algorithm 1. Worklists[i] holds the nodes of
 // level i+1 (level 0 is the PIs, which need no rewriting).
-func NodeDividing(a *aig.AIG) [][]int32 {
-	a.Levelize()
-	var lists [][]int32
-	a.ForEachAnd(func(id int32) {
-		lv := int(a.N(id).Level()) - 1
-		for len(lists) <= lv {
-			lists = append(lists, nil)
-		}
-		lists[lv] = append(lists[lv], id)
-	})
-	return lists
-}
+func NodeDividing(a *aig.AIG) [][]int32 { return engine.ByLevel(a) }
 
 // Rewrite runs DACPara over the network and reports the run statistics.
 // A non-nil error (a retry-budget exhaustion, possibly fault-injected)
@@ -58,7 +46,7 @@ func NodeDividing(a *aig.AIG) [][]int32 {
 // rewritten; the returned Result covers the work done and is marked
 // Incomplete.
 func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	return rewriteWith(context.Background(), a, lib, cfg, "dacpara", NodeDividing)
+	return RewriteCtx(context.Background(), a, lib, cfg)
 }
 
 // RewriteCtx is Rewrite under a context. Cancellation is observed at
@@ -67,7 +55,11 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 // in-flight replacement: the network stays structurally consistent and
 // the Result (marked Incomplete) covers the work done.
 func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	return rewriteWith(ctx, a, lib, cfg, "dacpara", NodeDividing)
+	return engine.Run(ctx, a, &rewrite.Pass{A: a, Lib: lib, Cfg: cfg}, engine.Plan{
+		Name:      "dacpara",
+		Partition: engine.ByLevel,
+		Mode:      engine.Dynamic,
+	}, cfg.Exec())
 }
 
 // RewriteFlat is the level-partitioning ablation: the same three split
@@ -76,192 +68,9 @@ func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrit
 // replacement validity — stored results go stale much more often — which
 // is exactly what the paper's nodeDividing step prevents.
 func RewriteFlat(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	return rewriteWith(context.Background(), a, lib, cfg, "dacpara-flat", func(a *aig.AIG) [][]int32 {
-		var all []int32
-		for _, id := range a.TopoOrder(nil) {
-			if a.N(id).IsAnd() {
-				all = append(all, id)
-			}
-		}
-		return [][]int32{all}
-	})
-}
-
-func rewriteWith(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, name string,
-	partition func(*aig.AIG) [][]int32) (rewrite.Result, error) {
-	start := time.Now()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	res := rewrite.Result{
-		Engine:       name,
-		Threads:      workers,
-		Passes:       passes(cfg),
-		InitialAnds:  a.NumAnds(),
-		InitialDelay: a.Delay(),
-	}
-	m := cfg.Metrics
-	m.StartRun(name, workers, passes(cfg))
-	shards := m.Shards(workers + 1) // nil when metrics are off
-	var attempts, replacements, stale atomic.Int64
-	var runErr error
-	for p := 0; p < passes(cfg); p++ {
-		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
-		ex := galois.NewExecutor(a.Capacity()+1, workers)
-		ex.Fault = cfg.Fault
-		ex.RetryBudget = cfg.RetryBudget
-		// runPhase brackets one executor run with the phase clock and
-		// attributes the executor counter movement to that phase.
-		specBase := metrics.SpecOf(&ex.Stats)
-		runPhase := func(ph metrics.Phase, wl []int32, op galois.Operator) error {
-			m.PhaseStart(ph)
-			err := ex.RunCtx(ctx, wl, op)
-			cur := metrics.SpecOf(&ex.Stats)
-			m.PhaseEnd(ph, cur.Sub(specBase))
-			specBase = cur
-			return err
-		}
-		evs := make([]*rewrite.Evaluator, workers+1)
-		for w := range evs {
-			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
-		}
-		// Ensure the PI and constant cut sets once, serially: every
-		// recursive enumeration bottoms out on them.
-		cm.Ensure(0, nil)
-		for _, pi := range a.PIs() {
-			cm.Ensure(pi, nil)
-		}
-		worklists := partition(a)
-		// prepInfo: pre-replacement information per node ID ("the
-		// container prepInfo with the same capacity as AIG").
-		prep := make([]rewrite.Candidate, a.Capacity())
-
-		enumOp := func(ctx *galois.Ctx, id int32) error {
-			if !ctx.Acquire(id) {
-				if shards != nil {
-					shards[ctx.Worker()].Conflict(metrics.PhaseEnumerate, id)
-				}
-				return galois.ErrConflict
-			}
-			if !a.N(id).IsAnd() {
-				return nil
-			}
-			if _, ok := cm.Ensure(id, ctx.Acquire); !ok {
-				if shards != nil {
-					shards[ctx.Worker()].Conflict(metrics.PhaseEnumerate, id)
-				}
-				return galois.ErrConflict
-			}
-			return nil
-		}
-		evalOp := func(ctx *galois.Ctx, id int32) error {
-			// Completely lock-free: stage barriers guarantee the graph is
-			// immutable while evaluation runs.
-			prep[id] = rewrite.Candidate{}
-			if !a.N(id).IsAnd() {
-				return nil
-			}
-			cuts, ok := cm.Cuts(id)
-			if !ok {
-				return nil
-			}
-			prep[id] = evs[ctx.Worker()].Evaluate(id, cuts)
-			if shards != nil {
-				shards[ctx.Worker()].Evals++
-			}
-			return nil
-		}
-		repOp := func(ctx *galois.Ctx, id int32) error {
-			cand := prep[id]
-			if !cand.Ok() {
-				return nil
-			}
-			if !ctx.Acquire(id) {
-				if shards != nil {
-					shards[ctx.Worker()].Conflict(metrics.PhaseReplace, id)
-				}
-				return galois.ErrConflict
-			}
-			ev := evs[ctx.Worker()]
-			_, st := ev.Execute(cm, &cand, ctx.Acquire)
-			switch st {
-			case rewrite.StatusConflict:
-				if shards != nil {
-					shards[ctx.Worker()].Conflict(metrics.PhaseReplace, id)
-				}
-				return galois.ErrConflict
-			case rewrite.StatusCommitted:
-				replacements.Add(1)
-			case rewrite.StatusStale:
-				// The stored evaluation was outdated on the latest graph:
-				// that evaluation is the (cheap) work a split-operator
-				// conflict throws away.
-				stale.Add(1)
-				if shards != nil {
-					shards[ctx.Worker()].WastedEvals++
-				}
-			}
-			return nil
-		}
-
-		for _, wl := range worklists {
-			if len(wl) == 0 {
-				continue
-			}
-			// The level boundary is the cancellation point of Algorithm 1:
-			// between levels no activity is in flight, so stopping here
-			// abandons no speculative work.
-			if err := ctx.Err(); err != nil {
-				runErr = fmt.Errorf("%s: %w", name, err)
-				break
-			}
-			m.ObserveLevel(len(wl))
-			if err := runPhase(metrics.PhaseEnumerate, wl, enumOp); err != nil {
-				runErr = fmt.Errorf("%s: enumeration stage: %w", name, err)
-				break
-			}
-			if err := runPhase(metrics.PhaseEvaluate, wl, evalOp); err != nil {
-				runErr = fmt.Errorf("%s: evaluation stage: %w", name, err)
-				break
-			}
-			for _, id := range wl {
-				if prep[id].Ok() {
-					attempts.Add(1)
-				}
-			}
-			if err := runPhase(metrics.PhaseReplace, wl, repOp); err != nil {
-				runErr = fmt.Errorf("%s: replacement stage: %w", name, err)
-				break
-			}
-			// The executor's join above ordered every shard write; fold
-			// the per-worker counters in while the workers are quiescent.
-			m.MergeShards(shards)
-		}
-		m.MergeShards(shards)
-		res.Commits += ex.Stats.Commits.Load()
-		res.Aborts += ex.Stats.Aborts.Load()
-		res.InjectedAborts += ex.Stats.InjectedAborts.Load()
-		res.CommittedWork += time.Duration(ex.Stats.CommittedNs.Load())
-		res.WastedWork += time.Duration(ex.Stats.WastedNs.Load())
-		if runErr != nil {
-			break
-		}
-	}
-	res.Attempts = int(attempts.Load())
-	res.Replacements = int(replacements.Load())
-	res.Stale = int(stale.Load())
-	res.FinalAnds = a.NumAnds()
-	res.FinalDelay = a.Delay()
-	res.Duration = time.Since(start)
-	res.Incomplete = runErr != nil
-	rewrite.FinishMetrics(m, &res)
-	return res, runErr
-}
-
-func passes(cfg rewrite.Config) int {
-	if cfg.Passes <= 0 {
-		return 1
-	}
-	return cfg.Passes
+	return engine.Run(context.Background(), a, &rewrite.Pass{A: a, Lib: lib, Cfg: cfg}, engine.Plan{
+		Name:      "dacpara-flat",
+		Partition: engine.Flat,
+		Mode:      engine.Dynamic,
+	}, cfg.Exec())
 }

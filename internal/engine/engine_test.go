@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/metrics"
+)
+
+// toyAIG is a 6-AND, 3-level network: enough structure for the policies
+// to produce several worklists and for the skeletons to visit nodes at
+// different depths.
+func toyAIG() *aig.AIG {
+	a := aig.New()
+	x, y, z := a.AddPI(), a.AddPI(), a.AddPI()
+	n1 := a.And(x, y)
+	n2 := a.And(y, z)
+	n3 := a.And(n1, z)
+	n4 := a.And(n2, x.Not())
+	n5 := a.And(n3, n4.Not())
+	a.AddPO(n5)
+	a.AddPO(a.And(n3.Not(), n4))
+	return a
+}
+
+// toyPass is a three-phase pass with scripted commit verdicts: the maps
+// are written before the run and only read during it, so the hooks are
+// safe under the executor's workers.
+type toyPass struct {
+	verdict map[int32]Status // nodes with a stored candidate → commit verdict
+
+	begins     int
+	slots      int
+	enumerates atomic.Int64
+	evaluates  atomic.Int64
+	commits    atomic.Int64
+}
+
+func (p *toyPass) Begin(slots int, _ Env) { p.begins++; p.slots = slots }
+
+func (p *toyPass) Enumerate(_ int, _ int32, _ Locker) bool {
+	p.enumerates.Add(1)
+	return true
+}
+
+func (p *toyPass) Evaluate(_ int, _ int32) bool {
+	p.evaluates.Add(1)
+	return true
+}
+
+func (p *toyPass) Stored(id int32) bool { _, ok := p.verdict[id]; return ok }
+
+func (p *toyPass) Commit(_ int, id int32, _ Locker) Status {
+	p.commits.Add(1)
+	return p.verdict[id]
+}
+
+// toyFused is the fused counterpart; it counts its own attempts through
+// Env like the real fused passes do.
+type toyFused struct {
+	verdict map[int32]Status
+
+	begins int
+	slots  int
+	env    Env
+	fuses  atomic.Int64
+}
+
+func (p *toyFused) Begin(slots int, env Env) { p.begins++; p.slots = slots; p.env = env }
+
+func (p *toyFused) Fuse(_ int, id int32, _ Locker) Status {
+	p.fuses.Add(1)
+	st, ok := p.verdict[id]
+	if !ok {
+		return StatusSkip
+	}
+	p.env.Attempts.Add(1)
+	return st
+}
+
+// scriptedVerdicts picks three AND nodes and assigns one verdict each:
+// committed, stale, no-gain.
+func scriptedVerdicts(a *aig.AIG) map[int32]Status {
+	var ands []int32
+	a.ForEachAnd(func(id int32) { ands = append(ands, id) })
+	return map[int32]Status{
+		ands[0]: StatusCommitted,
+		ands[1]: StatusStale,
+		ands[2]: StatusNoGain,
+	}
+}
+
+func TestDynamicAccounting(t *testing.T) {
+	a := toyAIG()
+	pass := &toyPass{verdict: scriptedVerdicts(a)}
+	m := metrics.New()
+	res, err := Run(context.Background(), a, pass, Plan{
+		Name: "toy-dynamic", Partition: ByLevel, Mode: Dynamic,
+	}, Exec{Workers: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.begins != 1 || pass.slots != 3 {
+		t.Fatalf("begins=%d slots=%d, want 1 begin with workers+1=3 slots", pass.begins, pass.slots)
+	}
+	nAnds := int64(a.NumAnds())
+	if pass.enumerates.Load() != nAnds || pass.evaluates.Load() != nAnds {
+		t.Fatalf("enumerate=%d evaluate=%d, want %d each",
+			pass.enumerates.Load(), pass.evaluates.Load(), nAnds)
+	}
+	if res.Attempts != 3 || res.Replacements != 1 || res.Stale != 1 {
+		t.Fatalf("attempts=%d replacements=%d stale=%d, want 3/1/1",
+			res.Attempts, res.Replacements, res.Stale)
+	}
+	if res.Engine != "toy-dynamic" || res.Threads != 2 || res.Incomplete {
+		t.Fatalf("bad result header %+v", res)
+	}
+	if res.Metrics == nil || len(res.Metrics.Phases) == 0 {
+		t.Fatal("no metrics snapshot from instrumented run")
+	}
+}
+
+func TestDynamicSkipEnumerate(t *testing.T) {
+	a := toyAIG()
+	pass := &toyPass{verdict: map[int32]Status{}}
+	if _, err := Run(context.Background(), a, pass, Plan{
+		Name: "toy", Partition: ByLevel, Mode: Dynamic, SkipEnumerate: true, SerialCommit: true,
+	}, Exec{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := pass.enumerates.Load(); n != 0 {
+		t.Fatalf("SkipEnumerate plan ran %d enumerations", n)
+	}
+}
+
+func TestDynamicSerialCommit(t *testing.T) {
+	a := toyAIG()
+	pass := &toyPass{verdict: scriptedVerdicts(a)}
+	res, err := Run(context.Background(), a, pass, Plan{
+		Name: "toy", Partition: ByLevel, Mode: Dynamic, SerialCommit: true,
+	}, Exec{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 || res.Replacements != 1 || res.Stale != 1 {
+		t.Fatalf("attempts=%d replacements=%d stale=%d, want 3/1/1",
+			res.Attempts, res.Replacements, res.Stale)
+	}
+	// Commit runs once per stored candidate, serially on slot 0.
+	if n := pass.commits.Load(); n != 3 {
+		t.Fatalf("%d commit calls, want 3", n)
+	}
+}
+
+func TestStaticAccounting(t *testing.T) {
+	a := toyAIG()
+	pass := &toyPass{verdict: scriptedVerdicts(a)}
+	res, err := Run(context.Background(), a, pass, Plan{
+		Name: "toy-static", Partition: ByLevel, Mode: Static,
+	}, Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.slots != 2 {
+		t.Fatalf("slots=%d, want workers=2 (static slots are 0-based)", pass.slots)
+	}
+	nAnds := int64(a.NumAnds())
+	if pass.enumerates.Load() != nAnds || pass.evaluates.Load() != nAnds {
+		t.Fatalf("enumerate=%d evaluate=%d, want %d each",
+			pass.enumerates.Load(), pass.evaluates.Load(), nAnds)
+	}
+	if res.Attempts != 3 || res.Replacements != 1 || res.Stale != 1 {
+		t.Fatalf("attempts=%d replacements=%d stale=%d, want 3/1/1",
+			res.Attempts, res.Replacements, res.Stale)
+	}
+}
+
+func TestFusedAccounting(t *testing.T) {
+	a := toyAIG()
+	pass := &toyFused{verdict: scriptedVerdicts(a)}
+	res, err := RunFused(context.Background(), a, pass, Plan{
+		Name: "toy-fused", Partition: Flat, Mode: Fused,
+	}, Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.slots != 3 {
+		t.Fatalf("slots=%d, want workers+1=3", pass.slots)
+	}
+	if pass.fuses.Load() != int64(a.NumAnds()) {
+		t.Fatalf("fuse ran %d times, want %d", pass.fuses.Load(), a.NumAnds())
+	}
+	if res.Attempts != 3 || res.Replacements != 1 || res.Stale != 1 {
+		t.Fatalf("attempts=%d replacements=%d stale=%d, want 3/1/1",
+			res.Attempts, res.Replacements, res.Stale)
+	}
+}
+
+func TestSerialAccounting(t *testing.T) {
+	a := toyAIG()
+	pass := &toyFused{verdict: scriptedVerdicts(a)}
+	res, err := RunFused(context.Background(), a, pass, Plan{
+		Name: "toy-serial", Partition: Topo, Mode: Serial,
+	}, Exec{Workers: 8}) // Workers is ignored: serial means one thread
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass.slots != 1 || res.Threads != 1 {
+		t.Fatalf("slots=%d threads=%d, want 1/1", pass.slots, res.Threads)
+	}
+	// The Topo policy hands the serial sweep the FULL order, non-ANDs
+	// included; the pass skips them at visit time (StatusSkip).
+	if got, want := pass.fuses.Load(), int64(len(a.TopoOrder(nil))); got != want {
+		t.Fatalf("fuse ran %d times, want the full topo order %d", got, want)
+	}
+	if res.Attempts != 3 || res.Replacements != 1 || res.Stale != 1 {
+		t.Fatalf("attempts=%d replacements=%d stale=%d, want 3/1/1",
+			res.Attempts, res.Replacements, res.Stale)
+	}
+}
+
+func TestMultiPassBeginsPerPass(t *testing.T) {
+	a := toyAIG()
+	pass := &toyPass{verdict: map[int32]Status{}}
+	if _, err := Run(context.Background(), a, pass, Plan{
+		Name: "toy", Partition: ByLevel, Mode: Dynamic,
+	}, Exec{Workers: 1, Passes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if pass.begins != 3 {
+		t.Fatalf("begins=%d, want one per pass (3)", pass.begins)
+	}
+}
+
+// TestCancellationContract pins the framework half of every pass's
+// cancellation contract: a cancelled context stops each skeleton with
+// context.Canceled in the chain, the error prefixed by the plan's error
+// name, and the result marked Incomplete.
+func TestCancellationContract(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		run  func(a *aig.AIG) (Result, error)
+	}{
+		{"dynamic", func(a *aig.AIG) (Result, error) {
+			return Run(ctx, a, &toyPass{verdict: map[int32]Status{}},
+				Plan{Name: "toy", Partition: ByLevel, Mode: Dynamic}, Exec{Workers: 2})
+		}},
+		{"static", func(a *aig.AIG) (Result, error) {
+			return Run(ctx, a, &toyPass{verdict: map[int32]Status{}},
+				Plan{Name: "toy", Partition: ByLevel, Mode: Static}, Exec{Workers: 2})
+		}},
+		{"fused", func(a *aig.AIG) (Result, error) {
+			return RunFused(ctx, a, &toyFused{verdict: map[int32]Status{}},
+				Plan{Name: "toy", Partition: Flat, Mode: Fused}, Exec{Workers: 2})
+		}},
+		{"serial", func(a *aig.AIG) (Result, error) {
+			return RunFused(ctx, a, &toyFused{verdict: map[int32]Status{}},
+				Plan{Name: "toy", Partition: Topo, Mode: Serial}, Exec{})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run(toyAIG())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled in the chain", err)
+			}
+			if !strings.HasPrefix(err.Error(), "toy:") {
+				t.Fatalf("error %q not prefixed with the plan name", err)
+			}
+			if !res.Incomplete {
+				t.Fatal("cancelled run not marked Incomplete")
+			}
+		})
+	}
+}
+
+func TestErrNameOverride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunFused(ctx, toyAIG(), &toyFused{verdict: map[int32]Status{}},
+		Plan{Name: "long-display-name", ErrName: "short", Partition: Flat, Mode: Serial}, Exec{})
+	if err == nil || !strings.HasPrefix(err.Error(), "short:") {
+		t.Fatalf("error %v does not use the ErrName prefix", err)
+	}
+}
+
+func TestModeMismatchRejected(t *testing.T) {
+	a := toyAIG()
+	if _, err := Run(context.Background(), a, &toyPass{verdict: map[int32]Status{}},
+		Plan{Name: "toy", Partition: Flat, Mode: Fused}, Exec{}); err == nil {
+		t.Fatal("Run accepted a fused mode")
+	}
+	if _, err := RunFused(context.Background(), a, &toyFused{verdict: map[int32]Status{}},
+		Plan{Name: "toy", Partition: Flat, Mode: Dynamic}, Exec{}); err == nil {
+		t.Fatal("RunFused accepted a three-phase mode")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	a := toyAIG()
+	nAnds := a.NumAnds()
+
+	byLevel := ByLevel(a)
+	total := 0
+	for i, wl := range byLevel {
+		for _, id := range wl {
+			if got := int(a.N(id).Level()); got != i+1 {
+				t.Fatalf("ByLevel list %d holds node %d of level %d", i, id, got)
+			}
+			if !a.N(id).IsAnd() {
+				t.Fatalf("ByLevel list %d holds non-AND node %d", i, id)
+			}
+			total++
+		}
+	}
+	if total != nAnds {
+		t.Fatalf("ByLevel covered %d ANDs, want %d", total, nAnds)
+	}
+
+	flat := Flat(a)
+	if len(flat) != 1 || len(flat[0]) != nAnds {
+		t.Fatalf("Flat produced %d lists (first %d nodes), want 1 list of %d ANDs",
+			len(flat), len(flat[0]), nAnds)
+	}
+
+	topo := Topo(a)
+	if len(topo) != 1 || len(topo[0]) != len(a.TopoOrder(nil)) {
+		t.Fatalf("Topo must be one list of the full topological order")
+	}
+}

@@ -1,0 +1,43 @@
+package engine
+
+import "dacpara/internal/aig"
+
+// ByLevel partitions the live AND nodes by level (depth from the PIs) —
+// the paper's nodeDividing step, the worklist array of Algorithm 1.
+// Worklists[i] holds the nodes of level i+1 (level 0 is the PIs, which
+// need no optimization).
+func ByLevel(a *aig.AIG) [][]int32 {
+	a.Levelize()
+	var lists [][]int32
+	a.ForEachAnd(func(id int32) {
+		lv := int(a.N(id).Level()) - 1
+		for len(lists) <= lv {
+			lists = append(lists, nil)
+		}
+		lists[lv] = append(lists[lv], id)
+	})
+	return lists
+}
+
+// Flat is the level-partitioning ablation: one worklist holding every
+// live AND node in topological order. Under the Dynamic skeleton,
+// evaluation then races far ahead of replacement validity — stored
+// results go stale much more often — which is exactly what nodeDividing
+// prevents. It is also the natural policy for the Fused and Serial
+// skeletons, which have no phase barriers to exploit levels.
+func Flat(a *aig.AIG) [][]int32 {
+	var all []int32
+	for _, id := range a.TopoOrder(nil) {
+		if a.N(id).IsAnd() {
+			all = append(all, id)
+		}
+	}
+	return [][]int32{all}
+}
+
+// Topo is the full topological visit order including non-AND nodes, as
+// one worklist — the classical serial sweep (ABC's rewrite visits the
+// whole order and skips non-ANDs at visit time).
+func Topo(a *aig.AIG) [][]int32 {
+	return [][]int32{a.TopoOrder(nil)}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/galois"
+	"dacpara/internal/metrics"
+)
+
+// Result reports one pass-engine run. Every pass in the repository —
+// rewriting, refactoring, resubstitution — returns this shape, so flow
+// steps, guard reports and the service speak one result type.
+type Result struct {
+	Engine  string
+	Threads int
+	Passes  int
+
+	InitialAnds, FinalAnds   int
+	InitialDelay, FinalDelay int32
+
+	// Replacements is the number of committed graph updates; Attempts the
+	// number of nodes with a positive-gain candidate; Stale the attempts
+	// whose stored information was outdated on the latest AIG (skipped or
+	// re-validated per the paper's Section 4.4).
+	Replacements, Attempts, Stale int
+
+	// Commits and Aborts are the speculative-execution counters of the
+	// Galois substrate (zero for serial engines). InjectedAborts counts
+	// the subset forced by a FaultPlan.
+	Commits, Aborts, InjectedAborts int64
+
+	// Incomplete marks a run that stopped early because the executor
+	// returned an error (retry budget exhausted, fault injection). The
+	// counters cover only the work done up to that point, and the network
+	// holds a partially optimized — but structurally consistent — state.
+	Incomplete bool
+
+	// CommittedWork and WastedWork are the total time spent inside
+	// committed and aborted activities: the paper's Fig. 2 signal. A
+	// fused operator (ICCAD'18) wastes its whole evaluation on conflict;
+	// DACPara's split operators waste almost nothing.
+	CommittedWork, WastedWork time.Duration
+
+	Duration time.Duration
+
+	// Metrics is the instrumentation snapshot of the run, present only
+	// when a metrics collector was supplied.
+	Metrics *metrics.Snapshot
+}
+
+// absorb folds one executor's speculative counters into the result.
+func (r *Result) absorb(st *galois.Stats) {
+	r.Commits += st.Commits.Load()
+	r.Aborts += st.Aborts.Load()
+	r.InjectedAborts += st.InjectedAborts.Load()
+	r.CommittedWork += time.Duration(st.CommittedNs.Load())
+	r.WastedWork += time.Duration(st.WastedNs.Load())
+}
+
+// finish stamps the post-run QoR, duration and completeness, and closes
+// the metrics run.
+func (r *Result) finish(a *aig.AIG, start time.Time, m *metrics.Collector, runErr error) {
+	r.FinalAnds = a.NumAnds()
+	r.FinalDelay = a.Delay()
+	r.Duration = time.Since(start)
+	r.Incomplete = runErr != nil
+	FinishMetrics(m, r)
+}
+
+// FinishMetrics records the result's QoR into the collector, closes the
+// run and attaches the snapshot to the result. The framework calls it
+// last, after the final shard merge; a nil collector is a no-op.
+func FinishMetrics(m *metrics.Collector, res *Result) {
+	if m == nil {
+		return
+	}
+	m.FinishRun(metrics.QoR{
+		InitialAnds:  res.InitialAnds,
+		FinalAnds:    res.FinalAnds,
+		InitialDelay: int(res.InitialDelay),
+		FinalDelay:   int(res.FinalDelay),
+		Replacements: res.Replacements,
+		Attempts:     res.Attempts,
+		Stale:        res.Stale,
+		Incomplete:   res.Incomplete,
+	})
+	res.Metrics = m.Snapshot()
+}
+
+// WastedFraction returns the share of speculative work that was thrown
+// away because of lock conflicts.
+func (r Result) WastedFraction() float64 {
+	total := r.CommittedWork + r.WastedWork
+	if total == 0 {
+		return 0
+	}
+	return float64(r.WastedWork) / float64(total)
+}
+
+// AreaReduction returns the number of AND gates removed, the paper's
+// quality metric ("Area Reduction" columns).
+func (r Result) AreaReduction() int { return r.InitialAnds - r.FinalAnds }

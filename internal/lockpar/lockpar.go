@@ -10,18 +10,19 @@
 // (including the expensive evaluation, >90% of the runtime) is discarded
 // and redone later — exactly the waste the paper's Fig. 2 illustrates and
 // DACPara's split operators avoid.
+//
+// The speculative executor, metrics and cancellation wiring are the
+// engine framework's Fused mode; this package supplies the fused
+// operator itself.
 package lockpar
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync/atomic"
 	"time"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/cut"
-	"dacpara/internal/galois"
+	"dacpara/internal/engine"
 	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
@@ -41,146 +42,115 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Resul
 // operator mid-replacement, leaving the network structurally consistent
 // and the Result marked Incomplete.
 func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config) (rewrite.Result, error) {
-	start := time.Now()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return engine.RunFused(ctx, a, &fusedPass{a: a, lib: lib, cfg: cfg}, engine.Plan{
+		Name:      "iccad18-lockpar",
+		ErrName:   "iccad18",
+		Partition: engine.Flat,
+		Mode:      engine.Fused,
+	}, cfg.Exec())
+}
+
+// fusedPass is the ICCAD'18 operator as a framework pass: one fused
+// activity per node doing enumeration, evaluation and replacement back
+// to back under one lock set.
+type fusedPass struct {
+	a   *aig.AIG
+	lib *rewlib.Library
+	cfg rewrite.Config
+
+	cm  *cut.Manager
+	evs []*rewrite.Evaluator
+	env engine.Env
+}
+
+var _ engine.FusedPass = (*fusedPass)(nil)
+
+func (p *fusedPass) Begin(slots int, env engine.Env) {
+	p.cm = cut.NewManager(p.a, cut.Params{MaxCuts: p.cfg.MaxCuts})
+	p.evs = make([]*rewrite.Evaluator, slots)
+	for w := range p.evs {
+		p.evs[w] = rewrite.NewEvaluator(p.a, p.lib, p.cfg)
 	}
-	passes := cfg.Passes
-	if passes <= 0 {
-		passes = 1
+	p.env = env
+}
+
+func (p *fusedPass) Fuse(worker int, id int32, lock engine.Locker) engine.Status {
+	// One fused activity: enumeration, evaluation and replacement back
+	// to back under one lock set. The shard timings attribute
+	// in-operator time to the three logical stages so the fused engine's
+	// snapshot is comparable with the split engines'.
+	var sh *metrics.Shard
+	var t0 time.Time
+	if p.env.Shards != nil {
+		sh = &p.env.Shards[worker]
+		t0 = time.Now()
 	}
-	res := rewrite.Result{
-		Engine:       "iccad18-lockpar",
-		Threads:      workers,
-		Passes:       passes,
-		InitialAnds:  a.NumAnds(),
-		InitialDelay: a.Delay(),
+	if !lock(id) {
+		sh.Conflict(metrics.PhaseFused, id)
+		return engine.StatusConflict
 	}
-	m := cfg.Metrics
-	m.StartRun("iccad18-lockpar", workers, passes)
-	shards := m.Shards(workers + 1) // nil when metrics are off
-	var attempts, replacements, stale atomic.Int64
-	var runErr error
-	for p := 0; p < passes; p++ {
-		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
-		ex := galois.NewExecutor(a.Capacity()+1, workers)
-		ex.Fault = cfg.Fault
-		ex.RetryBudget = cfg.RetryBudget
-		evs := make([]*rewrite.Evaluator, workers+1)
-		for w := range evs {
-			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
-		}
-		var order []int32
-		for _, id := range a.TopoOrder(nil) {
-			if a.N(id).IsAnd() {
-				order = append(order, id)
-			}
-		}
-		op := func(ctx *galois.Ctx, id int32) error {
-			// One fused activity: enumeration, evaluation and replacement
-			// back to back under one lock set. The shard timings attribute
-			// in-operator time to the three logical stages so the fused
-			// engine's snapshot is comparable with the split engines'.
-			var sh *metrics.Shard
-			var t0 time.Time
-			if shards != nil {
-				sh = &shards[ctx.Worker()]
-				t0 = time.Now()
-			}
-			if !ctx.Acquire(id) {
+	if !p.a.N(id).IsAnd() {
+		return engine.StatusSkip
+	}
+	ev := p.evs[worker]
+	// Enumeration: lock the recursive region whose cut sets the
+	// operator reads or writes.
+	cuts, ok := p.cm.Ensure(id, cut.Visitor(lock))
+	if !ok {
+		sh.Conflict(metrics.PhaseFused, id)
+		return engine.StatusConflict
+	}
+	// The fused operator holds the locks of all cut leaves for its
+	// whole lifetime: evaluation scans their fanout lists for shared
+	// logic, and replacement mutates them.
+	for i := range cuts {
+		for _, leaf := range cuts[i].LeafSlice() {
+			if !lock(leaf) {
 				sh.Conflict(metrics.PhaseFused, id)
-				return galois.ErrConflict
+				return engine.StatusConflict
 			}
-			if !a.N(id).IsAnd() {
-				return nil
-			}
-			ev := evs[ctx.Worker()]
-			// Enumeration: lock the recursive region whose cut sets the
-			// operator reads or writes.
-			cuts, ok := cm.Ensure(id, ctx.Acquire)
-			if !ok {
-				sh.Conflict(metrics.PhaseFused, id)
-				return galois.ErrConflict
-			}
-			// The fused operator holds the locks of all cut leaves for its
-			// whole lifetime: evaluation scans their fanout lists for
-			// shared logic, and replacement mutates them.
-			for i := range cuts {
-				for _, leaf := range cuts[i].LeafSlice() {
-					if !ctx.Acquire(leaf) {
-						sh.Conflict(metrics.PhaseFused, id)
-						return galois.ErrConflict
-					}
-				}
-			}
-			var t1 time.Time
-			if sh != nil {
-				t1 = time.Now()
-				sh.EnumNs += t1.Sub(t0).Nanoseconds()
-			}
-			cand, conflict := ev.EvaluateLocked(id, cuts, ctx.Acquire)
-			if sh != nil {
-				t2 := time.Now()
-				sh.EvalNs += t2.Sub(t1).Nanoseconds()
-				sh.Evals++
-				t1 = t2
-			}
-			if conflict {
-				// The expensive evaluation is discarded with the activity —
-				// the fused-operator waste of the paper's Fig. 2.
-				if sh != nil {
-					sh.WastedEvals++
-					sh.Conflict(metrics.PhaseFused, id)
-				}
-				return galois.ErrConflict
-			}
-			if !cand.Ok() {
-				return nil
-			}
-			attempts.Add(1)
-			_, st := ev.Execute(cm, &cand, ctx.Acquire)
-			if sh != nil {
-				sh.ReplaceNs += time.Since(t1).Nanoseconds()
-			}
-			switch st {
-			case rewrite.StatusConflict:
-				if sh != nil {
-					sh.WastedEvals++
-					sh.Conflict(metrics.PhaseFused, id)
-				}
-				return galois.ErrConflict
-			case rewrite.StatusCommitted:
-				replacements.Add(1)
-			case rewrite.StatusStale:
-				stale.Add(1)
-			}
-			return nil
-		}
-		specBase := metrics.SpecOf(&ex.Stats)
-		m.PhaseStart(metrics.PhaseFused)
-		err := ex.RunCtx(ctx, order, op)
-		m.PhaseEnd(metrics.PhaseFused, metrics.SpecOf(&ex.Stats).Sub(specBase))
-		m.MergeShards(shards)
-		if err != nil {
-			runErr = fmt.Errorf("iccad18: fused operator: %w", err)
-		}
-		res.Commits += ex.Stats.Commits.Load()
-		res.Aborts += ex.Stats.Aborts.Load()
-		res.InjectedAborts += ex.Stats.InjectedAborts.Load()
-		res.CommittedWork += time.Duration(ex.Stats.CommittedNs.Load())
-		res.WastedWork += time.Duration(ex.Stats.WastedNs.Load())
-		if runErr != nil {
-			break
 		}
 	}
-	res.Attempts = int(attempts.Load())
-	res.Replacements = int(replacements.Load())
-	res.Stale = int(stale.Load())
-	res.FinalAnds = a.NumAnds()
-	res.FinalDelay = a.Delay()
-	res.Duration = time.Since(start)
-	res.Incomplete = runErr != nil
-	rewrite.FinishMetrics(m, &res)
-	return res, runErr
+	var t1 time.Time
+	if sh != nil {
+		t1 = time.Now()
+		sh.EnumNs += t1.Sub(t0).Nanoseconds()
+	}
+	cand, conflict := ev.EvaluateLocked(id, cuts, rewrite.Locker(lock))
+	if sh != nil {
+		t2 := time.Now()
+		sh.EvalNs += t2.Sub(t1).Nanoseconds()
+		sh.Evals++
+		t1 = t2
+	}
+	if conflict {
+		// The expensive evaluation is discarded with the activity — the
+		// fused-operator waste of the paper's Fig. 2.
+		if sh != nil {
+			sh.WastedEvals++
+			sh.Conflict(metrics.PhaseFused, id)
+		}
+		return engine.StatusConflict
+	}
+	if !cand.Ok() {
+		return engine.StatusSkip
+	}
+	p.env.Attempts.Add(1)
+	_, st := ev.Execute(p.cm, &cand, rewrite.Locker(lock))
+	if sh != nil {
+		sh.ReplaceNs += time.Since(t1).Nanoseconds()
+	}
+	switch st {
+	case rewrite.StatusConflict:
+		if sh != nil {
+			sh.WastedEvals++
+			sh.Conflict(metrics.PhaseFused, id)
+		}
+		return engine.StatusConflict
+	case rewrite.StatusCommitted:
+		return engine.StatusCommitted
+	case rewrite.StatusStale:
+		return engine.StatusStale
+	}
+	return engine.StatusNoGain
 }

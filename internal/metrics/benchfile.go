@@ -30,9 +30,13 @@ type BenchHost struct {
 	NumCPU    int    `json:"num_cpu"`
 }
 
-// BenchRun is one (circuit, engine, workers) cell of the sweep.
+// BenchRun is one (circuit, pass, engine, workers) cell of the sweep.
 type BenchRun struct {
 	Circuit string `json:"circuit"`
+	// Pass names the optimization pass the row measures: "rewrite",
+	// "refactor" or "resub". Empty in files written before the field
+	// existed, which readers must treat as "rewrite".
+	Pass    string `json:"pass,omitempty"`
 	Engine  string `json:"engine"`
 	Workers int    `json:"workers"`
 	// Error is the engine's error string for runs that ended incomplete
@@ -64,6 +68,11 @@ func (f *BenchFile) Validate() error {
 		where := fmt.Sprintf("bench: run %d (%s/%s/w%d)", i, r.Circuit, r.Engine, r.Workers)
 		if r.Circuit == "" || r.Engine == "" {
 			return fmt.Errorf("%s: missing circuit or engine", where)
+		}
+		switch r.Pass {
+		case "", "rewrite", "refactor", "resub":
+		default:
+			return fmt.Errorf("%s: unknown pass %q", where, r.Pass)
 		}
 		if r.Workers < 1 {
 			return fmt.Errorf("%s: workers %d < 1", where, r.Workers)

@@ -1,12 +1,11 @@
 package refactor
 
 import (
-	"runtime"
-	"sync"
-	"time"
+	"context"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/bigtt"
+	"dacpara/internal/engine"
 	"dacpara/internal/rewrite"
 )
 
@@ -20,134 +19,114 @@ import (
 // 4-cut rewriting (its conclusion calls the approach "scalable and
 // continuously explorable").
 func RunParallel(a *aig.AIG, cfg Config, workers int) rewrite.Result {
-	start := time.Now()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	res := rewrite.Result{
-		Engine:       "refactor-parallel",
-		Threads:      workers,
-		Passes:       1,
-		InitialAnds:  a.NumAnds(),
-		InitialDelay: a.Delay(),
-	}
-
-	// Divide by level, as in DACPara's nodeDividing.
-	a.Levelize()
-	var lists [][]int32
-	a.ForEachAnd(func(id int32) {
-		lv := int(a.N(id).Level()) - 1
-		for len(lists) <= lv {
-			lists = append(lists, nil)
-		}
-		lists[lv] = append(lists[lv], id)
-	})
-
-	type prep struct {
-		root    int32
-		rootVer uint32
-		leaves  []int32
-		f       bigtt.TT
-		plan    *plan
-		gain    int
-	}
-
-	workerStates := make([]*refactorer, workers)
-	for w := range workerStates {
-		workerStates[w] = &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
-	}
-	commitState := &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
-
-	for _, wl := range lists {
-		if len(wl) == 0 {
-			continue
-		}
-		// Stage 1+2: parallel, lock-free evaluation on the immutable
-		// graph (barrier between lists).
-		preps := make([]prep, len(wl))
-		var wg sync.WaitGroup
-		chunk := (len(wl) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, len(wl))
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				r := workerStates[w]
-				for i := lo; i < hi; i++ {
-					id := wl[i]
-					if !a.N(id).IsAnd() {
-						continue
-					}
-					leaves, ok := r.reconvCut(id)
-					if !ok || len(leaves) < 3 {
-						continue
-					}
-					f, cone, ok := r.coneFunction(id, leaves)
-					if !ok {
-						continue
-					}
-					saved := r.coneSavings(id, cone, leaves)
-					p := bestPlan(f)
-					if p == nil {
-						continue
-					}
-					_, nNew, ok := r.instantiate(p, leaves, id, false)
-					if !ok || saved-nNew < 1 {
-						continue
-					}
-					preps[i] = prep{
-						root: id, rootVer: a.N(id).Version(),
-						leaves: leaves, f: f, plan: p, gain: saved - nNew,
-					}
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
-
-		// Stage 3: serial commit with dynamic re-validation — the stored
-		// plan is applied only if the cone still computes the same
-		// function over still-alive leaves and the gain re-verifies.
-		for i := range preps {
-			p := &preps[i]
-			if p.plan == nil {
-				continue
-			}
-			res.Attempts++
-			if a.N(p.root).Version() != p.rootVer || !a.N(p.root).IsAnd() {
-				res.Stale++
-				continue
-			}
-			cur, cone, ok := commitState.coneFunction(p.root, p.leaves)
-			if !ok || !cur.Equal(p.f) {
-				res.Stale++
-				continue
-			}
-			saved := commitState.coneSavings(p.root, cone, p.leaves)
-			_, nNew, ok := commitState.instantiate(p.plan, p.leaves, p.root, false)
-			if !ok || saved-nNew < 1 {
-				continue
-			}
-			out, _, ok := commitState.instantiate(p.plan, p.leaves, p.root, true)
-			if !ok || out.Node() == p.root {
-				continue
-			}
-			a.Replace(p.root, out, aig.ReplaceOptions{CascadeMerge: true})
-			res.Replacements++
-		}
-	}
-	res.FinalAnds = a.NumAnds()
-	res.FinalDelay = a.Delay()
-	res.Duration = time.Since(start)
+	res, _ := RunParallelCtx(context.Background(), a, cfg, workers)
 	return res
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// RunParallelCtx is RunParallel under a context, driven by the engine
+// framework's Dynamic skeleton (level worklists, lock-free evaluation,
+// serial revalidating commit). Cancellation is observed at level
+// boundaries; a cancelled run returns the wrapped ctx error with a
+// structurally consistent, partially refactored network and the Result
+// marked Incomplete.
+func RunParallelCtx(ctx context.Context, a *aig.AIG, cfg Config, workers int) (rewrite.Result, error) {
+	return engine.Run(ctx, a, &refactorPass{a: a, cfg: cfg}, engine.Plan{
+		Name:      "refactor-dacpara",
+		Partition: engine.ByLevel,
+		Mode:      engine.Dynamic,
+		// Refactoring has no cut-manager warm-up; the evaluation hook
+		// builds its own reconvergence windows.
+		SkipEnumerate: true,
+		// Replacements rewire whole cones; instead of locking them, the
+		// serial commit re-validates every stored plan on the latest
+		// graph (version, cone function, re-counted gain).
+		SerialCommit: true,
+	}, engine.Exec{Workers: workers, Metrics: cfg.Metrics})
+}
+
+// refPrep is one node's stored candidate: the window, the cone function
+// it was planned against, and the factored plan.
+type refPrep struct {
+	rootVer uint32
+	leaves  []int32
+	f       bigtt.TT
+	plan    *plan
+}
+
+// refactorPass is refactoring as a framework pass: Evaluate runs the
+// expensive window/factoring work lock-free and stores a plan; Commit
+// re-validates it on the latest graph before replacing.
+type refactorPass struct {
+	a   *aig.AIG
+	cfg Config
+
+	states []*refactorer
+	prep   []refPrep
+}
+
+var _ engine.Pass = (*refactorPass)(nil)
+
+func (p *refactorPass) Begin(slots int, _ engine.Env) {
+	p.states = make([]*refactorer, slots)
+	for w := range p.states {
+		p.states[w] = &refactorer{a: p.a, cfg: p.cfg, delta: map[int32]int32{}}
 	}
-	return b
+	p.prep = make([]refPrep, p.a.Capacity())
+}
+
+func (p *refactorPass) Enumerate(int, int32, engine.Locker) bool { return true }
+
+func (p *refactorPass) Evaluate(worker int, id int32) bool {
+	p.prep[id] = refPrep{}
+	if !p.a.N(id).IsAnd() {
+		return false
+	}
+	r := p.states[worker]
+	leaves, ok := r.reconvCut(id)
+	if !ok || len(leaves) < 3 {
+		return true
+	}
+	f, cone, ok := r.coneFunction(id, leaves)
+	if !ok {
+		return true
+	}
+	saved := r.coneSavings(id, cone, leaves)
+	pl := bestPlan(f)
+	if pl == nil {
+		return true
+	}
+	_, nNew, ok := r.instantiate(pl, leaves, id, false)
+	if !ok || saved-nNew < p.cfg.minGain() {
+		return true
+	}
+	p.prep[id] = refPrep{rootVer: p.a.N(id).Version(), leaves: leaves, f: f, plan: pl}
+	return true
+}
+
+func (p *refactorPass) Stored(id int32) bool { return p.prep[id].plan != nil }
+
+func (p *refactorPass) Commit(worker int, id int32, _ engine.Locker) engine.Status {
+	c := &p.prep[id]
+	r := p.states[worker]
+	// Dynamic re-validation: the stored plan is applied only if the cone
+	// still computes the same function over still-alive leaves and the
+	// gain re-verifies on the latest graph.
+	if p.a.N(id).Version() != c.rootVer || !p.a.N(id).IsAnd() {
+		return engine.StatusStale
+	}
+	cur, cone, ok := r.coneFunction(id, c.leaves)
+	if !ok || !cur.Equal(c.f) {
+		return engine.StatusStale
+	}
+	saved := r.coneSavings(id, cone, c.leaves)
+	_, nNew, ok := r.instantiate(c.plan, c.leaves, id, false)
+	if !ok || saved-nNew < p.cfg.minGain() {
+		return engine.StatusNoGain
+	}
+	out, _, ok := r.instantiate(c.plan, c.leaves, id, true)
+	if !ok || out.Node() == id {
+		return engine.StatusNoGain
+	}
+	p.a.Replace(id, out, aig.ReplaceOptions{CascadeMerge: true})
+	return engine.StatusCommitted
 }

@@ -12,10 +12,14 @@
 package refactor
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/bigtt"
+	"dacpara/internal/engine"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewrite"
 )
 
@@ -28,6 +32,9 @@ type Config struct {
 	MaxConeSize int
 	// ZeroGain also commits restructurings that do not change the count.
 	ZeroGain bool
+	// Metrics, when non-nil, collects the parallel engine's per-phase
+	// timings and per-level parallelism (the serial path ignores it).
+	Metrics *metrics.Collector
 }
 
 func (c Config) maxLeaves() int {
@@ -48,9 +55,26 @@ func (c Config) maxCone() int {
 	return c.MaxConeSize
 }
 
+// minGain is the commit threshold: 1 node saved, or 0 with ZeroGain.
+func (c Config) minGain() int {
+	if c.ZeroGain {
+		return 0
+	}
+	return 1
+}
+
 // Run refactors the network in place and reports statistics in a
 // rewrite.Result (the engines share the result shape).
 func Run(a *aig.AIG, cfg Config) rewrite.Result {
+	res, _ := RunCtx(context.Background(), a, cfg)
+	return res
+}
+
+// RunCtx is Run under a context. Cancellation is observed every
+// engine.SerialCancelStride nodes; a cancelled run returns the wrapped
+// ctx error with a structurally consistent, partially refactored
+// network and the Result marked Incomplete.
+func RunCtx(ctx context.Context, a *aig.AIG, cfg Config) (rewrite.Result, error) {
 	start := time.Now()
 	res := rewrite.Result{
 		Engine:       "refactor",
@@ -60,7 +84,12 @@ func Run(a *aig.AIG, cfg Config) rewrite.Result {
 		InitialDelay: a.Delay(),
 	}
 	r := &refactorer{a: a, cfg: cfg, delta: map[int32]int32{}}
-	for _, id := range a.TopoOrder(nil) {
+	var runErr error
+	for i, id := range a.TopoOrder(nil) {
+		if i%engine.SerialCancelStride == 0 && ctx.Err() != nil {
+			runErr = fmt.Errorf("refactor: %w", ctx.Err())
+			break
+		}
 		if !a.N(id).IsAnd() {
 			continue
 		}
@@ -75,7 +104,8 @@ func Run(a *aig.AIG, cfg Config) rewrite.Result {
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	res.Incomplete = runErr != nil
+	return res, runErr
 }
 
 type outcome int
@@ -115,12 +145,7 @@ func (r *refactorer) tryNode(root int32) outcome {
 	if !ok {
 		return skipped
 	}
-	gain := saved - nNew
-	minGain := 1
-	if r.cfg.ZeroGain {
-		minGain = 0
-	}
-	if gain < minGain {
+	if saved-nNew < r.cfg.minGain() {
 		return noGain
 	}
 	out, _, ok = r.instantiate(plan, leaves, root, true)

@@ -1,0 +1,188 @@
+package resub
+
+import (
+	"context"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bigtt"
+	"dacpara/internal/engine"
+	"dacpara/internal/rewrite"
+)
+
+// RunParallel applies the paper's divide-and-conquer principle to
+// resubstitution: nodes are divided by level; the expensive stage —
+// window growth, cone simulation and divisor matching — runs lock-free
+// in parallel against the immutable graph (barrier semantics, like
+// DACPara's paraEvaOperator), and a serial commit stage re-validates
+// every stored candidate on the latest graph before substituting.
+func RunParallel(a *aig.AIG, cfg Config, workers int) rewrite.Result {
+	res, _ := RunParallelCtx(context.Background(), a, cfg, workers)
+	return res
+}
+
+// RunParallelCtx is RunParallel under a context, driven by the engine
+// framework's Dynamic skeleton (level worklists, lock-free evaluation,
+// serial revalidating commit). Cancellation is observed at level
+// boundaries; a cancelled run returns the wrapped ctx error with a
+// structurally consistent, partially resubstituted network and the
+// Result marked Incomplete.
+func RunParallelCtx(ctx context.Context, a *aig.AIG, cfg Config, workers int) (rewrite.Result, error) {
+	return engine.Run(ctx, a, &resubPass{a: a, cfg: cfg}, engine.Plan{
+		Name:      "resub-dacpara",
+		Partition: engine.ByLevel,
+		Mode:      engine.Dynamic,
+		// Resubstitution has no cut-manager warm-up; the evaluation hook
+		// grows its own reconvergence windows.
+		SkipEnumerate: true,
+		// Substitutions rewire whole MFFCs; instead of locking them, the
+		// serial commit re-validates every stored candidate on the
+		// latest graph (version, window function, divisor liveness,
+		// re-counted gain).
+		SerialCommit: true,
+	}, engine.Exec{Workers: workers, Metrics: cfg.Metrics})
+}
+
+// resubPrep is one node's stored candidate plus everything commit-time
+// revalidation needs: the window and the function it was matched
+// against.
+type resubPrep struct {
+	cand    resubCand
+	rootVer uint32
+	leaves  []int32
+	f       bigtt.TT
+}
+
+// resubPass is resubstitution as a framework pass: Evaluate runs the
+// divisor search lock-free and stores the first match; Commit
+// re-validates it on the latest graph before substituting.
+type resubPass struct {
+	a   *aig.AIG
+	cfg Config
+
+	states []*resubber
+	prep   []resubPrep
+}
+
+var _ engine.Pass = (*resubPass)(nil)
+
+func (p *resubPass) Begin(slots int, _ engine.Env) {
+	p.states = make([]*resubber, slots)
+	for w := range p.states {
+		p.states[w] = &resubber{a: p.a, cfg: p.cfg, delta: map[int32]int32{}}
+	}
+	p.prep = make([]resubPrep, p.a.Capacity())
+}
+
+func (p *resubPass) Enumerate(int, int32, engine.Locker) bool { return true }
+
+func (p *resubPass) Evaluate(worker int, id int32) bool {
+	p.prep[id] = resubPrep{}
+	if !p.a.N(id).IsAnd() {
+		return false
+	}
+	r := p.states[worker]
+	cand, leaves, f, _ := r.search(id)
+	if cand.kind == candNone {
+		return true
+	}
+	p.prep[id] = resubPrep{cand: cand, rootVer: p.a.N(id).Version(), leaves: leaves, f: f}
+	return true
+}
+
+func (p *resubPass) Stored(id int32) bool { return p.prep[id].cand.kind != candNone }
+
+func (p *resubPass) Commit(worker int, id int32, _ engine.Locker) engine.Status {
+	c := &p.prep[id]
+	r := p.states[worker]
+	a := p.a
+	// Dynamic re-validation on the latest graph: the root must be
+	// untouched, the window leaves alive, the window function unchanged,
+	// the candidate's divisors still outside the (re-counted) MFFC, and
+	// the substitution relation must still hold over the recomputed
+	// divisor functions.
+	if a.N(id).Version() != c.rootVer || !a.N(id).IsAnd() {
+		return engine.StatusStale
+	}
+	for _, l := range c.leaves {
+		if a.N(l).IsDead() {
+			return engine.StatusStale
+		}
+	}
+	f2, _, tts, ok := r.coneFunctions(id, c.leaves)
+	if !ok || !f2.Equal(c.f) {
+		return engine.StatusStale
+	}
+	mffc := r.mffcSet(id, c.leaves)
+	saved := len(mffc)
+	pos := map[int32]int{}
+	for i, l := range c.leaves {
+		pos[l] = i
+	}
+	divTT := func(d int32) (bigtt.TT, bool) {
+		if i, isLeaf := pos[d]; isLeaf {
+			return bigtt.Var(len(c.leaves), i), true
+		}
+		if t, inCone := tts[d]; inCone && !mffc[d] && d != id {
+			return t, true
+		}
+		return bigtt.TT{}, false
+	}
+	switch c.cand.kind {
+	case candCopy:
+		if saved < p.cfg.minGain() {
+			return engine.StatusNoGain
+		}
+		t, ok := divTT(c.cand.lit.Node())
+		if !ok {
+			return engine.StatusStale
+		}
+		if c.cand.lit.Compl() {
+			t = t.Not()
+		}
+		if !t.Equal(f2) {
+			return engine.StatusStale
+		}
+	case candGate:
+		if saved-1 < p.cfg.minGain() {
+			return engine.StatusNoGain
+		}
+		t1, ok1 := divTT(c.cand.l1.Node())
+		t2, ok2 := divTT(c.cand.l2.Node())
+		if !ok1 || !ok2 {
+			return engine.StatusStale
+		}
+		if c.cand.l1.Compl() {
+			t1 = t1.Not()
+		}
+		if c.cand.l2.Compl() {
+			t2 = t2.Not()
+		}
+		g := t1.And(t2)
+		if c.cand.compl {
+			g = g.Not()
+		}
+		if !g.Equal(f2) {
+			return engine.StatusStale
+		}
+	case candXor:
+		if saved-1 < p.cfg.minGain() {
+			return engine.StatusNoGain
+		}
+		t1, ok1 := divTT(c.cand.d1)
+		t2, ok2 := divTT(c.cand.d2)
+		if !ok1 || !ok2 {
+			return engine.StatusStale
+		}
+		x := t1.Xor(t2)
+		if c.cand.compl {
+			x = x.Not()
+		}
+		if !x.Equal(f2) {
+			return engine.StatusStale
+		}
+	}
+	if r.apply(id, c.cand) == committed {
+		return engine.StatusCommitted
+	}
+	return engine.StatusNoGain
+}

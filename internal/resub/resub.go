@@ -8,10 +8,14 @@
 package resub
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/bigtt"
+	"dacpara/internal/engine"
+	"dacpara/internal/metrics"
 	"dacpara/internal/rewrite"
 )
 
@@ -23,6 +27,9 @@ type Config struct {
 	MaxDivisors int
 	// ZeroGain also accepts size-neutral substitutions.
 	ZeroGain bool
+	// Metrics, when non-nil, collects the parallel engine's per-phase
+	// timings and per-level parallelism (the serial path ignores it).
+	Metrics *metrics.Collector
 }
 
 func (c Config) maxLeaves() int {
@@ -42,8 +49,25 @@ func (c Config) maxDivisors() int {
 	return c.MaxDivisors
 }
 
+// minGain is the commit threshold: 1 node saved, or 0 with ZeroGain.
+func (c Config) minGain() int {
+	if c.ZeroGain {
+		return 0
+	}
+	return 1
+}
+
 // Run resubstitutes over the network in place.
 func Run(a *aig.AIG, cfg Config) rewrite.Result {
+	res, _ := RunCtx(context.Background(), a, cfg)
+	return res
+}
+
+// RunCtx is Run under a context. Cancellation is observed every
+// engine.SerialCancelStride nodes; a cancelled run returns the wrapped
+// ctx error with a structurally consistent, partially resubstituted
+// network and the Result marked Incomplete.
+func RunCtx(ctx context.Context, a *aig.AIG, cfg Config) (rewrite.Result, error) {
 	start := time.Now()
 	res := rewrite.Result{
 		Engine:       "resub",
@@ -53,7 +77,12 @@ func Run(a *aig.AIG, cfg Config) rewrite.Result {
 		InitialDelay: a.Delay(),
 	}
 	r := &resubber{a: a, cfg: cfg, delta: map[int32]int32{}}
-	for _, id := range a.TopoOrder(nil) {
+	var runErr error
+	for i, id := range a.TopoOrder(nil) {
+		if i%engine.SerialCancelStride == 0 && ctx.Err() != nil {
+			runErr = fmt.Errorf("resub: %w", ctx.Err())
+			break
+		}
 		if !a.N(id).IsAnd() {
 			continue
 		}
@@ -68,7 +97,8 @@ func Run(a *aig.AIG, cfg Config) rewrite.Result {
 	res.FinalAnds = a.NumAnds()
 	res.FinalDelay = a.Delay()
 	res.Duration = time.Since(start)
-	return res
+	res.Incomplete = runErr != nil
+	return res, runErr
 }
 
 type outcome int
@@ -90,16 +120,54 @@ type divisor struct {
 	tt bigtt.TT
 }
 
+// candKind tags a stored substitution candidate.
+type candKind int
+
+const (
+	candNone candKind = iota
+	// candCopy: root equals an existing divisor literal (0-resub).
+	candCopy
+	// candGate: root is one AND of two divisor literals (1-resub).
+	candGate
+	// candXor: root is an XOR of two divisors.
+	candXor
+)
+
+// resubCand is the first applicable substitution search finds — pure
+// data, so the parallel engine can store it and re-validate later.
+type resubCand struct {
+	kind   candKind
+	lit    aig.Lit // candCopy
+	l1, l2 aig.Lit // candGate
+	d1, d2 int32   // candXor
+	compl  bool    // candGate / candXor output complement
+}
+
 func (r *resubber) tryNode(root int32) outcome {
+	cand, _, _, out := r.search(root)
+	if cand.kind == candNone {
+		return out
+	}
+	// First match wins: if the commit rejects (structural no-op), the
+	// node is left alone rather than re-searched.
+	return r.apply(root, cand)
+}
+
+// search finds the first applicable substitution for root without
+// touching the graph. When no candidate exists, the returned outcome is
+// skipped (no usable window) or noGain (searched, nothing found); the
+// leaves and window function are returned for commit-time revalidation.
+func (r *resubber) search(root int32) (resubCand, []int32, bigtt.TT, outcome) {
+	none := resubCand{}
 	leaves, ok := r.reconvCut(root)
 	if !ok || len(leaves) < 2 {
-		return skipped
+		return none, nil, bigtt.TT{}, skipped
 	}
 	// Window functions: the root's cone over the leaves, tracking each
 	// inner node's table.
 	fRoot, cone, tts, ok := r.coneFunctions(root, leaves)
 	if !ok {
-		return skipped
+		return none, nil, bigtt.TT{}, skipped
 	}
 	// The MFFC of root dies on substitution; divisors must survive, so
 	// exclude it.
@@ -120,10 +188,7 @@ func (r *resubber) tryNode(root int32) outcome {
 		}
 	}
 
-	minGain := 1
-	if r.cfg.ZeroGain {
-		minGain = 0
-	}
+	minGain := r.cfg.minGain()
 
 	// 0-resub: the root equals an existing divisor (or its complement).
 	for _, d := range divs {
@@ -131,17 +196,17 @@ func (r *resubber) tryNode(root int32) outcome {
 			break
 		}
 		if d.tt.Equal(fRoot) {
-			return r.commit(root, aig.MakeLit(d.id, false))
+			return resubCand{kind: candCopy, lit: aig.MakeLit(d.id, false)}, leaves, fRoot, skipped
 		}
 		if d.tt.Not().Equal(fRoot) {
-			return r.commit(root, aig.MakeLit(d.id, true))
+			return resubCand{kind: candCopy, lit: aig.MakeLit(d.id, true)}, leaves, fRoot, skipped
 		}
 	}
 
 	// 1-resub: root = g(d1, d2) for a single fresh gate; costs 1 node,
 	// needs saved >= 2 for positive gain (or >= 1 for zero-gain).
 	if saved-1 < minGain {
-		return noGain
+		return none, leaves, fRoot, noGain
 	}
 	for i := 0; i < len(divs); i++ {
 		for j := i + 1; j < len(divs); j++ {
@@ -158,22 +223,36 @@ func (r *resubber) tryNode(root int32) outcome {
 				l2 := aig.MakeLit(d2.id, p&2 == 2)
 				switch {
 				case t1.And(t2).Equal(fRoot):
-					return r.commitGate(root, l1, l2, false)
+					return resubCand{kind: candGate, l1: l1, l2: l2}, leaves, fRoot, skipped
 				case t1.And(t2).Not().Equal(fRoot):
-					return r.commitGate(root, l1, l2, true)
+					return resubCand{kind: candGate, l1: l1, l2: l2, compl: true}, leaves, fRoot, skipped
 				}
 			}
 			// XOR needs no phase sweep (xor absorbs input complements).
 			x := d1.tt.Xor(d2.tt)
 			if x.Equal(fRoot) {
-				return r.commitXor(root, d1.id, d2.id, false)
+				return resubCand{kind: candXor, d1: d1.id, d2: d2.id}, leaves, fRoot, skipped
 			}
 			if x.Not().Equal(fRoot) {
-				return r.commitXor(root, d1.id, d2.id, true)
+				return resubCand{kind: candXor, d1: d1.id, d2: d2.id, compl: true}, leaves, fRoot, skipped
 			}
 		}
 	}
-	return noGain
+	return none, leaves, fRoot, noGain
+}
+
+// apply commits a found candidate to the graph, re-running the
+// structural guards (root reuse, hash-lookup no-ops, XOR cost check).
+func (r *resubber) apply(root int32, c resubCand) outcome {
+	switch c.kind {
+	case candCopy:
+		return r.commit(root, c.lit)
+	case candGate:
+		return r.commitGate(root, c.l1, c.l2, c.compl)
+	case candXor:
+		return r.commitXor(root, c.d1, c.d2, c.compl)
+	}
+	return skipped
 }
 
 // commit replaces root by an existing literal.

@@ -11,8 +11,7 @@
 package rewrite
 
 import (
-	"time"
-
+	"dacpara/internal/engine"
 	"dacpara/internal/galois"
 	"dacpara/internal/metrics"
 	"dacpara/internal/rewlib"
@@ -104,75 +103,27 @@ func (c Config) maxStructs(n int) int {
 	return c.MaxStructs
 }
 
-// Result reports one engine run.
-type Result struct {
-	Engine  string
-	Threads int
-	Passes  int
-
-	InitialAnds, FinalAnds   int
-	InitialDelay, FinalDelay int32
-
-	// Replacements is the number of committed graph updates; Attempts the
-	// number of nodes with a positive-gain candidate; Stale the attempts
-	// whose stored information was outdated on the latest AIG (skipped or
-	// re-validated per the paper's Section 4.4).
-	Replacements, Attempts, Stale int
-
-	// Commits and Aborts are the speculative-execution counters of the
-	// Galois substrate (zero for serial engines). InjectedAborts counts
-	// the subset forced by a FaultPlan.
-	Commits, Aborts, InjectedAborts int64
-
-	// Incomplete marks a run that stopped early because the executor
-	// returned an error (retry budget exhausted, fault injection). The
-	// counters cover only the work done up to that point, and the network
-	// holds a partially rewritten — but structurally consistent — state.
-	Incomplete bool
-
-	// CommittedWork and WastedWork are the total time spent inside
-	// committed and aborted activities: the paper's Fig. 2 signal. A
-	// fused operator (ICCAD'18) wastes its whole evaluation on conflict;
-	// DACPara's split operators waste almost nothing.
-	CommittedWork, WastedWork time.Duration
-
-	Duration time.Duration
-
-	// Metrics is the instrumentation snapshot of the run, present only
-	// when Config.Metrics was set.
-	Metrics *metrics.Snapshot
+// Exec materializes the Config's spine knobs for the pass-engine
+// framework (parallelism, pass count, fault plan, retry budget,
+// metrics).
+func (c Config) Exec() engine.Exec {
+	return engine.Exec{
+		Workers:     c.Workers,
+		Passes:      c.Passes,
+		Fault:       c.Fault,
+		RetryBudget: c.RetryBudget,
+		Metrics:     c.Metrics,
+	}
 }
+
+// Result reports one engine run. It is the framework's pass-generic
+// result type; the alias keeps the historical rewrite.Result name every
+// engine and the facade return.
+type Result = engine.Result
 
 // FinishMetrics records the result's QoR into the collector, closes the
 // run and attaches the snapshot to the result. Engines call it last,
 // after their final shard merge; a nil collector is a no-op.
 func FinishMetrics(m *metrics.Collector, res *Result) {
-	if m == nil {
-		return
-	}
-	m.FinishRun(metrics.QoR{
-		InitialAnds:  res.InitialAnds,
-		FinalAnds:    res.FinalAnds,
-		InitialDelay: int(res.InitialDelay),
-		FinalDelay:   int(res.FinalDelay),
-		Replacements: res.Replacements,
-		Attempts:     res.Attempts,
-		Stale:        res.Stale,
-		Incomplete:   res.Incomplete,
-	})
-	res.Metrics = m.Snapshot()
+	engine.FinishMetrics(m, res)
 }
-
-// WastedFraction returns the share of speculative work that was thrown
-// away because of lock conflicts.
-func (r Result) WastedFraction() float64 {
-	total := r.CommittedWork + r.WastedWork
-	if total == 0 {
-		return 0
-	}
-	return float64(r.WastedWork) / float64(total)
-}
-
-// AreaReduction returns the number of AND gates removed, the paper's
-// quality metric ("Area Reduction" columns).
-func (r Result) AreaReduction() int { return r.InitialAnds - r.FinalAnds }

@@ -1,0 +1,167 @@
+package rewrite
+
+import (
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/cut"
+	"dacpara/internal/engine"
+	"dacpara/internal/rewlib"
+)
+
+// Pass adapts DAG-aware rewriting to the pass-engine framework: cut
+// enumeration as the Enumerate hook, library matching as the lock-free
+// Evaluate hook storing per-node Candidates, and Execute's
+// revalidate-then-replace as the Commit hook. The same adapter serves
+// every three-phase rewriting engine — DACPara's dynamic skeleton and
+// the DAC'22/TCAD'23 static models — differing only in the two variant
+// knobs below and the engine.Plan it runs under.
+type Pass struct {
+	A   *aig.AIG
+	Lib *rewlib.Library
+	Cfg Config
+
+	// TrustStoredGain makes commits trust the evaluation-time gain
+	// instead of re-evaluating it on the latest graph — the static GPU
+	// models' behaviour (decisions from static global information).
+	TrustStoredGain bool
+	// SkipStaleLeaves rejects a stored candidate whenever any leaf of
+	// its cut has been deleted by an earlier replacement — the DAC'22
+	// (NovelRewrite) conditional-replacement rule.
+	SkipStaleLeaves bool
+
+	cm   *cut.Manager
+	evs  []*Evaluator
+	prep []Candidate
+}
+
+var _ engine.Pass = (*Pass)(nil)
+
+func (p *Pass) Begin(slots int, env engine.Env) {
+	p.cm = cut.NewManager(p.A, cut.Params{MaxCuts: p.Cfg.MaxCuts})
+	p.evs = make([]*Evaluator, slots)
+	for w := range p.evs {
+		p.evs[w] = NewEvaluator(p.A, p.Lib, p.Cfg)
+		p.evs[w].TrustStoredGain = p.TrustStoredGain
+	}
+	// Ensure the PI and constant cut sets once, serially: every
+	// recursive enumeration bottoms out on them.
+	p.cm.Ensure(0, nil)
+	for _, pi := range p.A.PIs() {
+		p.cm.Ensure(pi, nil)
+	}
+	// prepInfo: pre-replacement information per node ID ("the container
+	// prepInfo with the same capacity as AIG").
+	p.prep = make([]Candidate, p.A.Capacity())
+}
+
+func (p *Pass) Enumerate(_ int, id int32, lock engine.Locker) bool {
+	if !p.A.N(id).IsAnd() {
+		return true
+	}
+	_, ok := p.cm.Ensure(id, cut.Visitor(lock))
+	return ok
+}
+
+func (p *Pass) Evaluate(worker int, id int32) bool {
+	p.prep[id] = Candidate{}
+	if !p.A.N(id).IsAnd() {
+		return false
+	}
+	cuts, ok := p.cm.Cuts(id)
+	if !ok {
+		return false
+	}
+	p.prep[id] = p.evs[worker].Evaluate(id, cuts)
+	return true
+}
+
+func (p *Pass) Stored(id int32) bool { return p.prep[id].Ok() }
+
+func (p *Pass) Commit(worker int, id int32, lock engine.Locker) engine.Status {
+	cand := p.prep[id]
+	if p.SkipStaleLeaves && !cand.Cut.Fresh(p.A) {
+		return engine.StatusStale
+	}
+	_, st := p.evs[worker].Execute(p.cm, &cand, Locker(lock))
+	switch st {
+	case StatusConflict:
+		return engine.StatusConflict
+	case StatusCommitted:
+		return engine.StatusCommitted
+	case StatusStale:
+		return engine.StatusStale
+	}
+	return engine.StatusNoGain
+}
+
+// serialPass is the ABC `rewrite` baseline as a fused framework pass:
+// one visit per node in topological order, immediate commits, so every
+// node sees the latest graph. Non-AND nodes are skipped at visit time —
+// the worklist is the full topological order and nodes die mid-pass.
+type serialPass struct {
+	a   *aig.AIG
+	lib *rewlib.Library
+	cfg Config
+
+	cm  *cut.Manager
+	ev  *Evaluator
+	env engine.Env
+}
+
+var _ engine.FusedPass = (*serialPass)(nil)
+
+func (p *serialPass) Begin(_ int, env engine.Env) {
+	p.cm = cut.NewManager(p.a, cut.Params{MaxCuts: p.cfg.MaxCuts})
+	p.ev = NewEvaluator(p.a, p.lib, p.cfg)
+	p.env = env
+}
+
+func (p *serialPass) Fuse(_ int, id int32, _ engine.Locker) engine.Status {
+	if !p.a.N(id).IsAnd() {
+		return engine.StatusSkip
+	}
+	if p.env.Shards == nil {
+		cuts, _ := p.cm.Ensure(id, nil)
+		cand := p.ev.Evaluate(id, cuts)
+		if !cand.Ok() {
+			return engine.StatusSkip
+		}
+		p.env.Attempts.Add(1)
+		_, st := p.ev.Execute(p.cm, &cand, nil)
+		switch st {
+		case StatusCommitted:
+			return engine.StatusCommitted
+		case StatusStale:
+			return engine.StatusStale
+		}
+		return engine.StatusNoGain
+	}
+	// The shard path attributes the in-loop stage time to the three
+	// logical phases so the serial snapshot is comparable with the
+	// parallel engines'.
+	sh := &p.env.Shards[0]
+	t0 := time.Now()
+	cuts, _ := p.cm.Ensure(id, nil)
+	t1 := time.Now()
+	cand := p.ev.Evaluate(id, cuts)
+	t2 := time.Now()
+	sh.EnumNs += t1.Sub(t0).Nanoseconds()
+	sh.EvalNs += t2.Sub(t1).Nanoseconds()
+	sh.Evals++
+	if !cand.Ok() {
+		return engine.StatusSkip
+	}
+	p.env.Attempts.Add(1)
+	t3 := time.Now()
+	_, st := p.ev.Execute(p.cm, &cand, nil)
+	sh.ReplaceNs += time.Since(t3).Nanoseconds()
+	switch st {
+	case StatusCommitted:
+		return engine.StatusCommitted
+	case StatusStale:
+		sh.WastedEvals++
+		return engine.StatusStale
+	}
+	return engine.StatusNoGain
+}

@@ -2,18 +2,11 @@ package rewrite
 
 import (
 	"context"
-	"fmt"
-	"time"
 
 	"dacpara/internal/aig"
-	"dacpara/internal/cut"
+	"dacpara/internal/engine"
 	"dacpara/internal/rewlib"
 )
-
-// cancelCheckStride is how many nodes the serial engine processes between
-// context polls: coarse enough to keep the hot loop cheap, fine enough
-// that cancellation lands within a few hundred node visits.
-const cancelCheckStride = 256
 
 // Serial runs single-threaded DAG-aware rewriting in topological order —
 // the ABC `rewrite` baseline of the paper's Table 2. Each node is visited
@@ -32,79 +25,13 @@ func Serial(a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
 }
 
 // SerialCtx is Serial under a context. Cancellation is observed every
-// cancelCheckStride nodes and between passes; a cancelled run returns the
-// wrapped ctx error with a structurally consistent, partially rewritten
-// network and the Result marked Incomplete.
+// engine.SerialCancelStride nodes and between passes; a cancelled run
+// returns the wrapped ctx error with a structurally consistent,
+// partially rewritten network and the Result marked Incomplete.
 func SerialCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg Config) (Result, error) {
-	start := time.Now()
-	m := cfg.Metrics
-	m.StartRun("abc-rewrite", 1, cfg.passes())
-	// One shard: the serial engine has no barriers, so its per-phase
-	// breakdown is the in-loop stage time accumulated here.
-	shards := m.Shards(1)
-	res := Result{
-		Engine:       "abc-rewrite",
-		Threads:      1,
-		Passes:       cfg.passes(),
-		InitialAnds:  a.NumAnds(),
-		InitialDelay: a.Delay(),
-	}
-	var runErr error
-	for p := 0; p < cfg.passes() && runErr == nil; p++ {
-		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
-		ev := NewEvaluator(a, lib, cfg)
-		for i, id := range a.TopoOrder(nil) {
-			if i%cancelCheckStride == 0 && ctx.Err() != nil {
-				runErr = fmt.Errorf("abc-rewrite: %w", ctx.Err())
-				break
-			}
-			if !a.N(id).IsAnd() {
-				continue
-			}
-			if shards == nil {
-				cuts, _ := cm.Ensure(id, nil)
-				cand := ev.Evaluate(id, cuts)
-				if !cand.Ok() {
-					continue
-				}
-				res.Attempts++
-				if _, st := ev.Execute(cm, &cand, nil); st == StatusCommitted {
-					res.Replacements++
-				} else if st == StatusStale {
-					res.Stale++
-				}
-				continue
-			}
-			sh := &shards[0]
-			t0 := time.Now()
-			cuts, _ := cm.Ensure(id, nil)
-			t1 := time.Now()
-			cand := ev.Evaluate(id, cuts)
-			t2 := time.Now()
-			sh.EnumNs += t1.Sub(t0).Nanoseconds()
-			sh.EvalNs += t2.Sub(t1).Nanoseconds()
-			sh.Evals++
-			if !cand.Ok() {
-				continue
-			}
-			res.Attempts++
-			t3 := time.Now()
-			_, st := ev.Execute(cm, &cand, nil)
-			sh.ReplaceNs += time.Since(t3).Nanoseconds()
-			switch st {
-			case StatusCommitted:
-				res.Replacements++
-			case StatusStale:
-				res.Stale++
-				sh.WastedEvals++
-			}
-		}
-	}
-	m.MergeShards(shards)
-	res.FinalAnds = a.NumAnds()
-	res.FinalDelay = a.Delay()
-	res.Duration = time.Since(start)
-	res.Incomplete = runErr != nil
-	FinishMetrics(m, &res)
-	return res, runErr
+	return engine.RunFused(ctx, a, &serialPass{a: a, lib: lib, cfg: cfg}, engine.Plan{
+		Name:      "abc-rewrite",
+		Partition: engine.Topo,
+		Mode:      engine.Serial,
+	}, cfg.Exec())
 }

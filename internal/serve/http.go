@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 
 	"dacpara"
@@ -28,10 +29,11 @@ const DefaultMaxUploadBytes = 256 << 20
 //	GET    /healthz          liveness
 //	GET    /metrics          process-level dacparad-process/v1 counters
 //
-// Submission query parameters: engine (abc|iccad18|dacpara|dac22|tcad23),
-// workers, passes, zero_gain, preserve_delay, max_cuts, max_structs,
-// classes, preset (p1|p2), seed, format (aiger|bench), verify,
-// verify_budget.
+// Submission query parameters: engine (abc|iccad18|dacpara|dac22|tcad23)
+// or flow (a whole synthesis script, e.g. "b; rw; rf -p; rs -p; b" —
+// mutually exclusive with engine), workers, passes, zero_gain,
+// preserve_delay, max_cuts, max_structs, classes, preset (p1|p2), seed,
+// format (aiger|bench), verify, verify_budget.
 func (s *Service) Handler() http.Handler {
 	return s.handler(DefaultMaxUploadBytes)
 }
@@ -149,12 +151,20 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload
 }
 
 // parseSubmission validates the query parameters and streams the body
-// through the circuit parser.
+// through the circuit parser. The query is parsed strictly: Query()
+// silently drops parameters containing raw semicolons, which would turn
+// a flow submission like ?flow=b;rw into a default engine job — a flow
+// script's semicolons must arrive URL-encoded (%3B), and anything else
+// is rejected loudly here.
 func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
-	q := r.URL.Query()
 	var req JobRequest
+	q, err := url.ParseQuery(r.URL.RawQuery)
+	if err != nil {
+		return req, fmt.Errorf("parsing query (URL-encode semicolons in flow scripts as %%3B): %w", err)
+	}
 	req.Engine = dacpara.Engine(q.Get("engine"))
-	if req.Engine == "" {
+	req.Flow = q.Get("flow")
+	if req.Engine == "" && req.Flow == "" {
 		req.Engine = dacpara.EngineDACPara
 	}
 
@@ -232,7 +242,6 @@ func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
 	body := http.MaxBytesReader(nil, r.Body, maxUpload)
 	defer body.Close()
 	var net *dacpara.Network
-	var err error
 	switch q.Get("format") {
 	case "", "aiger": // aig.Read sniffs ASCII vs binary itself
 		net, err = aig.Read(body)

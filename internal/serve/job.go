@@ -54,8 +54,14 @@ type VerifyStatus struct {
 
 // JobRequest is a validated submission.
 type JobRequest struct {
-	// Engine is the rewriting engine (default EngineDACPara).
+	// Engine is the rewriting engine (default EngineDACPara). Mutually
+	// exclusive with Flow.
 	Engine dacpara.Engine
+	// Flow, when non-empty, runs a whole synthesis script (see
+	// dacpara.ParseFlow) instead of a single engine: any mix of
+	// rewriting, refactoring, resubstitution and balancing, with
+	// per-step -z/-p/-w= flags. The job result summarizes the script.
+	Flow string
 	// Config carries the engine knobs. Workers is a request, capped by
 	// the service's per-job worker budget.
 	Config dacpara.Config
@@ -200,7 +206,8 @@ func (j *Job) finish(state State, res *CachedResult, verify *VerifyStatus, cache
 type JobStatus struct {
 	ID      string         `json:"id"`
 	State   State          `json:"state"`
-	Engine  dacpara.Engine `json:"engine"`
+	Engine  dacpara.Engine `json:"engine,omitempty"`
+	Flow    string         `json:"flow,omitempty"`
 	Workers int            `json:"workers"`
 	Passes  int            `json:"passes"`
 	Seed    int64          `json:"seed"`
@@ -237,6 +244,7 @@ func (j *Job) Status() JobStatus {
 		ID:          j.ID,
 		State:       j.state,
 		Engine:      j.req.Engine,
+		Flow:        j.req.Flow,
 		Workers:     j.req.Config.Workers,
 		Passes:      j.req.Config.Passes,
 		Seed:        j.req.Seed,

@@ -135,11 +135,22 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if req.Network == nil {
 		return nil, errors.New("serve: submission has no network")
 	}
-	if req.Engine == "" {
-		req.Engine = dacpara.EngineDACPara
-	}
-	if !knownEngine(req.Engine) {
-		return nil, fmt.Errorf("serve: unknown engine %q", req.Engine)
+	if req.Flow != "" {
+		if req.Engine != "" {
+			return nil, errors.New("serve: submission has both engine and flow")
+		}
+		// The whole script is validated up front, so a flow job can
+		// never fail on a typo after burning a scheduler slot.
+		if _, err := dacpara.ParseFlow(req.Flow); err != nil {
+			return nil, err
+		}
+	} else {
+		if req.Engine == "" {
+			req.Engine = dacpara.EngineDACPara
+		}
+		if !knownEngine(req.Engine) {
+			return nil, fmt.Errorf("serve: unknown engine %q", req.Engine)
+		}
 	}
 	// Enforce the per-job worker budget: jobs may be narrower than the
 	// budget but never wider, so K running jobs cannot oversubscribe the
@@ -284,17 +295,47 @@ func (s *Service) worker() {
 	}
 }
 
-// cacheKey is the full result-cache key: input structure + engine +
-// every result-affecting config knob + seed.
-func cacheKey(digest string, eng dacpara.Engine, cfg dacpara.Config, seed int64) string {
-	return fmt.Sprintf("%s|%s|cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
-		digest, eng, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
+// cacheKey is the full result-cache key: input structure + engine (or
+// flow script) + every result-affecting config knob + seed.
+func cacheKey(digest string, eng dacpara.Engine, flow string, cfg dacpara.Config, seed int64) string {
+	return fmt.Sprintf("%s|%s|flow=%q|cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
+		digest, eng, flow, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
 		cfg.Passes, cfg.Workers, seed)
+}
+
+// summarizeFlow folds a flow's per-step results into one job-level
+// summary: the QoR spans first input to final output, the work counters
+// accumulate across steps, and the metrics snapshot is the last
+// instrumented step's.
+func summarizeFlow(steps []dacpara.Result, cfg dacpara.Config, final *dacpara.Network) dacpara.Result {
+	out := dacpara.Result{Engine: "flow", Threads: cfg.Workers, Passes: len(steps)}
+	if len(steps) > 0 {
+		out.InitialAnds = steps[0].InitialAnds
+		out.InitialDelay = steps[0].InitialDelay
+	}
+	st := final.Stats()
+	out.FinalAnds = st.Ands
+	out.FinalDelay = st.Delay
+	for _, r := range steps {
+		out.Replacements += r.Replacements
+		out.Attempts += r.Attempts
+		out.Stale += r.Stale
+		out.Commits += r.Commits
+		out.Aborts += r.Aborts
+		out.InjectedAborts += r.InjectedAborts
+		out.CommittedWork += r.CommittedWork
+		out.WastedWork += r.WastedWork
+		out.Duration += r.Duration
+		if r.Metrics != nil {
+			out.Metrics = r.Metrics
+		}
+	}
+	return out
 }
 
 // run executes one job to a terminal state.
 func (s *Service) run(job *Job) {
-	key := cacheKey(job.digest, job.req.Engine, job.req.Config, job.req.Seed)
+	key := cacheKey(job.digest, job.req.Engine, job.req.Flow, job.req.Config, job.req.Seed)
 	if res, ok := s.cache.get(key); ok {
 		s.completed.Add(1)
 		job.finish(StateDone, res, nil, true, "")
@@ -308,7 +349,18 @@ func (s *Service) run(job *Job) {
 		golden = job.req.Network.Clone()
 	}
 
-	result, err := dacpara.RewriteContext(job.ctx, job.req.Network, job.req.Engine, cfg)
+	net := job.req.Network
+	var result dacpara.Result
+	var err error
+	if job.req.Flow != "" {
+		var stepResults []dacpara.Result
+		stepResults, net, err = dacpara.FlowContext(job.ctx, net, job.req.Flow, cfg)
+		if err == nil {
+			result = summarizeFlow(stepResults, cfg, net)
+		}
+	} else {
+		result, err = dacpara.RewriteContext(job.ctx, net, job.req.Engine, cfg)
+	}
 	switch {
 	case err != nil && errors.Is(err, context.Canceled):
 		s.cancelled.Add(1)
@@ -322,7 +374,7 @@ func (s *Service) run(job *Job) {
 
 	var verify *VerifyStatus
 	if job.req.Verify {
-		eq, proved, verr := dacpara.EquivalentBudget(golden, job.req.Network, job.req.VerifyBudget)
+		eq, proved, verr := dacpara.EquivalentBudget(golden, net, job.req.VerifyBudget)
 		if verr != nil {
 			s.failed.Add(1)
 			job.finish(StateFailed, nil, nil, false, "verification: "+verr.Error())
@@ -337,14 +389,14 @@ func (s *Service) run(job *Job) {
 	}
 
 	var buf bytes.Buffer
-	if werr := job.req.Network.WriteBinary(&buf); werr != nil {
+	if werr := net.WriteBinary(&buf); werr != nil {
 		s.failed.Add(1)
 		job.finish(StateFailed, nil, verify, false, "encoding result: "+werr.Error())
 		return
 	}
 	res := &CachedResult{
 		AIGER:   buf.Bytes(),
-		Output:  NetStatsOf(job.req.Network),
+		Output:  NetStatsOf(net),
 		Result:  result,
 		Metrics: result.Metrics,
 	}

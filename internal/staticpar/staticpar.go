@@ -11,6 +11,10 @@
 // replacements realize zero or even negative gain — the quality penalty
 // DACPara's dynamic re-evaluation avoids (Table 3).
 //
+// The barrier sweeps themselves are the engine framework's Static mode;
+// this package binds it to the rewriting pass with the two variants'
+// conditional-replacement rules.
+//
 // The GPU hardware itself is not modelled; the runtime of this engine is
 // reported as a CPU model runtime and is not comparable to the papers'
 // GPU numbers (see EXPERIMENTS.md).
@@ -18,14 +22,9 @@ package staticpar
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
-	"time"
 
 	"dacpara/internal/aig"
-	"dacpara/internal/cut"
-	"dacpara/internal/metrics"
+	"dacpara/internal/engine"
 	"dacpara/internal/rewlib"
 	"dacpara/internal/rewrite"
 )
@@ -69,169 +68,18 @@ func Rewrite(a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Varian
 // cancel lands after the current level's kernel, leaving the network
 // structurally consistent and the Result marked Incomplete.
 func RewriteCtx(ctx context.Context, a *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, variant Variant) (rewrite.Result, error) {
-	start := time.Now()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	res := rewrite.Result{
-		Engine:       variant.String(),
-		Threads:      workers,
-		Passes:       passes(cfg),
-		InitialAnds:  a.NumAnds(),
-		InitialDelay: a.Delay(),
-	}
-	m := cfg.Metrics
-	m.StartRun(variant.String(), workers, passes(cfg))
-	shards := m.Shards(workers) // nil when metrics are off
-	var runErr error
-	// levelCancelled polls the context at a level boundary and records
-	// the wrapped error once.
-	levelCancelled := func() bool {
-		if runErr != nil {
-			return true
-		}
-		if err := ctx.Err(); err != nil {
-			runErr = fmt.Errorf("%s: %w", variant.String(), err)
-			return true
-		}
-		return false
-	}
-	for p := 0; p < passes(cfg) && runErr == nil; p++ {
-		cm := cut.NewManager(a, cut.Params{MaxCuts: cfg.MaxCuts})
-		cm.Ensure(0, nil)
-		for _, pi := range a.PIs() {
-			cm.Ensure(pi, nil)
-		}
-
-		// Parallel enumeration level by level: the graph is static, and
-		// the barrier between levels means each node's fanin cut sets are
-		// complete and immutable when the node is processed — no locks, as
-		// on the GPU.
-		a.Levelize()
-		var levels [][]int32
-		a.ForEachAnd(func(id int32) {
-			lv := int(a.N(id).Level()) - 1
-			for len(levels) <= lv {
-				levels = append(levels, nil)
-			}
-			levels[lv] = append(levels[lv], id)
-		})
-		m.PhaseStart(metrics.PhaseEnumerate)
-		for _, wl := range levels {
-			if levelCancelled() {
-				break
-			}
-			m.ObserveLevel(len(wl))
-			parallelFor(workers, wl, func(_ int, id int32) {
-				cm.Ensure(id, nil)
-			})
-		}
-		m.PhaseEnd(metrics.PhaseEnumerate, metrics.Spec{})
-
-		// Parallel evaluation of every node against the static graph.
-		prep := make([]rewrite.Candidate, a.Capacity())
-		evs := make([]*rewrite.Evaluator, workers)
-		for w := range evs {
-			evs[w] = rewrite.NewEvaluator(a, lib, cfg)
-			evs[w].TrustStoredGain = true
-		}
-		m.PhaseStart(metrics.PhaseEvaluate)
-		for _, wl := range levels {
-			if levelCancelled() {
-				break
-			}
-			parallelFor(workers, wl, func(w int, id int32) {
-				if cuts, ok := cm.Cuts(id); ok {
-					prep[id] = evs[w].Evaluate(id, cuts)
-					if shards != nil {
-						shards[w].Evals++
-					}
-				}
-			})
-		}
-		m.PhaseEnd(metrics.PhaseEvaluate, metrics.Spec{})
-
-		// Serial conditional replacement on the CPU, in topological order
-		// (as DAC'22 does). The stored gain is trusted — static global
+	pass := &rewrite.Pass{
+		A:   a,
+		Lib: lib,
+		Cfg: cfg,
+		// The stored gain is trusted at commit time — static global
 		// information — so realized gains may be zero or negative.
-		ev := evs[0]
-		m.PhaseStart(metrics.PhaseReplace)
-		for _, wl := range levels {
-			if levelCancelled() {
-				break
-			}
-			for _, id := range wl {
-				cand := prep[id]
-				if !cand.Ok() {
-					continue
-				}
-				res.Attempts++
-				if variant == DAC22 && !cand.Cut.Fresh(a) {
-					res.Stale++
-					if shards != nil {
-						shards[0].WastedEvals++
-					}
-					continue
-				}
-				_, st := ev.Execute(cm, &cand, nil)
-				switch st {
-				case rewrite.StatusCommitted:
-					res.Replacements++
-				case rewrite.StatusStale:
-					res.Stale++
-					if shards != nil {
-						shards[0].WastedEvals++
-					}
-				}
-			}
-		}
-		m.PhaseEnd(metrics.PhaseReplace, metrics.Spec{})
-		// parallelFor's join ordered the shard writes of the barriers
-		// above.
-		m.MergeShards(shards)
+		TrustStoredGain: true,
+		SkipStaleLeaves: variant == DAC22,
 	}
-	res.FinalAnds = a.NumAnds()
-	res.FinalDelay = a.Delay()
-	res.Duration = time.Since(start)
-	res.Incomplete = runErr != nil
-	rewrite.FinishMetrics(m, &res)
-	return res, runErr
-}
-
-// parallelFor distributes items over workers with a barrier at the end.
-func parallelFor(workers int, items []int32, fn func(worker int, id int32)) {
-	if len(items) == 0 {
-		return
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(items) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, id := range items[lo:hi] {
-				fn(w, id)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-}
-
-func passes(cfg rewrite.Config) int {
-	if cfg.Passes <= 0 {
-		return 1
-	}
-	return cfg.Passes
+	return engine.Run(ctx, a, pass, engine.Plan{
+		Name:      variant.String(),
+		Partition: engine.ByLevel,
+		Mode:      engine.Static,
+	}, cfg.Exec())
 }

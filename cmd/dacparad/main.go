@@ -2,11 +2,15 @@
 // HTTP service that accepts AIGER/BENCH circuit uploads, schedules
 // rewriting jobs over a bounded queue with admission control, serves
 // repeated submissions from a structural-hash-keyed result cache, and
-// drains gracefully on SIGTERM.
+// drains gracefully on SIGTERM. With -data-dir it is crash-safe: every
+// job is journaled to a write-ahead log, multi-step flows checkpoint at
+// step boundaries, and a restart replays the journal and resumes
+// interrupted work.
 //
 // Usage:
 //
 //	dacparad -addr :8080 -max-jobs 8 -queue 64
+//	dacparad -addr :8080 -data-dir /var/lib/dacparad -max-rss 4096 -default-deadline 10m
 //
 //	curl -X POST --data-binary @circuit.aig 'localhost:8080/jobs?engine=dacpara&workers=4'
 //	curl localhost:8080/jobs/j00000001
@@ -39,16 +43,31 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 256, "result cache size bound in MiB")
 		uploadMB  = flag.Int64("max-upload-mb", 256, "submission body size bound in MiB")
 		drainGrac = flag.Duration("drain-grace", 30*time.Second, "on SIGTERM: how long running jobs may finish before being cancelled")
+		dataDir   = flag.String("data-dir", "", "durable data directory (job journal + checkpoints); empty = in-memory only")
+		maxRSS    = flag.Int64("max-rss", 0, "heap high-water mark in MiB: above 3/4 of it new submissions get 503, above it the largest running job is cancelled (0 = no memory watchdog)")
+		deadline  = flag.Duration("default-deadline", 0, "default per-job wall-clock deadline for submissions that set none (0 = unbounded)")
 	)
 	flag.Parse()
 
-	svc := serve.New(serve.Options{
-		QueueLimit:    *queue,
-		MaxConcurrent: *maxJobs,
-		WorkersPerJob: *jobWork,
-		CacheEntries:  *cacheN,
-		CacheBytes:    *cacheMB << 20,
+	svc, rec, err := serve.Open(serve.Options{
+		QueueLimit:      *queue,
+		MaxConcurrent:   *maxJobs,
+		WorkersPerJob:   *jobWork,
+		CacheEntries:    *cacheN,
+		CacheBytes:      *cacheMB << 20,
+		DataDir:         *dataDir,
+		DefaultDeadline: *deadline,
+		MemSoftLimit:    (*maxRSS << 20) * 3 / 4,
+		MemHardLimit:    *maxRSS << 20,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dacparad: opening data dir:", err)
+		os.Exit(1)
+	}
+	if rec != nil && (rec.Replayed > 0 || rec.TruncatedBytes > 0) {
+		fmt.Printf("dacparad: recovered %s: %d journal records (%d torn bytes dropped), %d terminal jobs restored, %d requeued (%d from checkpoints), %d lost\n",
+			*dataDir, rec.Replayed, rec.TruncatedBytes, len(rec.Restored), len(rec.Requeued), len(rec.Resumed), len(rec.Lost))
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -209,21 +209,48 @@ func Flow(net *Network, script string, cfg Config) ([]Result, *Network, error) {
 // completed so far are returned along with the latest network and the
 // wrapped ctx error.
 func FlowContext(ctx context.Context, net *Network, script string, cfg Config) ([]Result, *Network, error) {
+	return FlowResumeContext(ctx, net, script, cfg, 0, nil)
+}
+
+// FlowCheckpoint observes step-boundary states of a flow run: it is
+// called after each step completes with the number of steps finished so
+// far (the index the flow would resume from) and the current network.
+// The network is live flow state — observe or serialize it, do not
+// mutate it. A non-nil error aborts the flow.
+type FlowCheckpoint func(completed int, net *Network) error
+
+// FlowResumeContext is FlowContext with a resume cursor and a
+// step-boundary checkpoint hook, the primitive a durable service builds
+// crash recovery on: startStep skips the first startStep commands of
+// the (fully re-validated) script — net must then be the network state
+// those steps produced, e.g. a restored checkpoint — and checkpoint,
+// when non-nil, runs after every completed step. A startStep equal to
+// the script length is valid and runs nothing (the crash happened
+// between the last step and the final acknowledgement).
+func FlowResumeContext(ctx context.Context, net *Network, script string, cfg Config, startStep int, checkpoint FlowCheckpoint) ([]Result, *Network, error) {
 	steps, err := ParseFlow(script)
 	if err != nil {
 		return nil, net, err
 	}
+	if startStep < 0 || startStep > len(steps) {
+		return nil, net, fmt.Errorf("dacpara: flow: resume step %d out of range [0, %d]", startStep, len(steps))
+	}
 	var results []Result
-	for _, st := range steps {
+	for i := startStep; i < len(steps); i++ {
 		if err := ctx.Err(); err != nil {
 			return results, net, fmt.Errorf("dacpara: flow: %w", err)
 		}
-		res, next, err := runFlowStep(ctx, net, st, cfg, nil, nil)
+		res, next, err := runFlowStep(ctx, net, steps[i], cfg, nil, nil)
 		if err != nil {
 			return results, net, err
 		}
 		net = next
 		results = append(results, res)
+		if checkpoint != nil {
+			if cerr := checkpoint(i+1, net); cerr != nil {
+				return results, net, fmt.Errorf("dacpara: flow: checkpoint after step %d: %w", i, cerr)
+			}
+		}
 	}
 	return results, net, nil
 }

@@ -1,6 +1,8 @@
 package dacpara
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -255,5 +257,73 @@ func TestFlowResub(t *testing.T) {
 	}
 	if !eq {
 		t.Fatal("resub flow broke equivalence")
+	}
+}
+
+func TestFlowResumeContext(t *testing.T) {
+	net, err := Generate("sin", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := net.Clone()
+	const script = "b; rw; b"
+
+	// Run the first step only, capturing its boundary state through the
+	// checkpoint hook — the same way the durable service snapshots a flow.
+	type snap struct {
+		completed int
+		net       *Network
+	}
+	var snaps []snap
+	full, final, err := FlowResumeContext(context.Background(), net.Clone(), script, Config{}, 0, func(completed int, n *Network) error {
+		snaps = append(snaps, snap{completed, n.Clone()})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 3 || len(snaps) != 3 {
+		t.Fatalf("full run: %d results, %d checkpoints", len(full), len(snaps))
+	}
+
+	// Resume from the first checkpoint: only the remaining steps run, and
+	// the result is equivalent to the uninterrupted run's.
+	resumed, resumedFinal, err := FlowResumeContext(context.Background(), snaps[0].net, script, Config{}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 2 {
+		t.Fatalf("resumed run executed %d steps, want 2", len(resumed))
+	}
+	eq, err := Equivalent(golden, resumedFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("resumed flow broke equivalence")
+	}
+	_ = final
+
+	// Resuming at the script length is a valid no-op (crash between the
+	// last step and the terminal acknowledgement).
+	none, _, err := FlowResumeContext(context.Background(), snaps[2].net, script, Config{}, 3, nil)
+	if err != nil || len(none) != 0 {
+		t.Fatalf("resume at end: %d results, %v", len(none), err)
+	}
+
+	// Out-of-range cursors are rejected.
+	for _, bad := range []int{-1, 4} {
+		if _, _, err := FlowResumeContext(context.Background(), net.Clone(), script, Config{}, bad, nil); err == nil {
+			t.Fatalf("resume step %d accepted", bad)
+		}
+	}
+
+	// A checkpoint error aborts the flow and is surfaced.
+	boom := errors.New("disk on fire")
+	_, _, err = FlowResumeContext(context.Background(), net.Clone(), script, Config{}, 0, func(int, *Network) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("checkpoint error not surfaced: %v", err)
 	}
 }

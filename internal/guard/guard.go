@@ -207,7 +207,12 @@ func runEngine(ctx context.Context, eng Engine, a *aig.AIG, lib *rewlib.Library,
 // attempt runs one engine on the scratch network under panic recovery
 // and the deadline. On timeout the goroutine is abandoned: it only
 // touches the scratch copy, which the caller discards, and the engine's
-// bounded retries guarantee it terminates eventually.
+// bounded retries guarantee it terminates eventually. A cancelled
+// context unblocks the wait the same way — the engines observe
+// cancellation only at pass boundaries, and a caller enforcing a
+// wall-clock deadline (e.g. the daemon's per-job deadline) should not
+// wait out a slow pass for an attempt it is about to discard; a result
+// that raced the cancel is still drained and kept.
 func attempt(ctx context.Context, eng Engine, scratch *aig.AIG, lib *rewlib.Library, cfg rewrite.Config, deadline time.Duration) (outcome, bool) {
 	ch := make(chan outcome, 1)
 	go func() {
@@ -219,16 +224,24 @@ func attempt(ctx context.Context, eng Engine, scratch *aig.AIG, lib *rewlib.Libr
 		res, err := runEngine(ctx, eng, scratch, lib, cfg)
 		ch <- outcome{res: res, err: err}
 	}()
-	if deadline <= 0 {
-		return <-ch, false
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		timeout = t.C
 	}
-	t := time.NewTimer(deadline)
-	defer t.Stop()
 	select {
 	case o := <-ch:
 		return o, false
-	case <-t.C:
+	case <-timeout:
 		return outcome{}, true
+	case <-ctx.Done():
+		select {
+		case o := <-ch:
+			return o, false
+		default:
+		}
+		return outcome{err: ctx.Err()}, false
 	}
 }
 

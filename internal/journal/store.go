@@ -1,0 +1,156 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Store holds the service's large blobs next to the journal: the
+// submitted input circuit of every live job and the latest flow-step
+// checkpoint of every running flow job, all as binary AIGER bytes.
+// Every write is atomic (temp file + fsync + rename + directory fsync),
+// so a crash mid-write leaves either the previous blob or the new one,
+// never a torn file; checkpoints additionally carry a CRC-framed header
+// so a corrupt blob is detected at load time rather than parsed.
+type Store struct {
+	inputs      string
+	checkpoints string
+}
+
+// OpenStore creates (if needed) and opens the blob store under dir.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{
+		inputs:      filepath.Join(dir, "inputs"),
+		checkpoints: filepath.Join(dir, "checkpoints"),
+	}
+	for _, d := range []string{s.inputs, s.checkpoints} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Checkpoint is one flow job's resumable state: the working network at
+// a step boundary plus where the flow cursor stood.
+type Checkpoint struct {
+	// Job is the owning job ID.
+	Job string `json:"job"`
+	// Step is the number of flow steps completed — the index the flow
+	// resumes from.
+	Step int `json:"step"`
+	// Digest is the structural digest of the network; recovery re-parses
+	// AIGER and re-digests it, and a mismatch means the checkpoint is not
+	// trusted (the job restarts from its input instead).
+	Digest string `json:"digest"`
+	// AIGER is the network, binary AIGER encoded.
+	AIGER []byte `json:"-"`
+}
+
+const ckptMagic = "DACCKPT1"
+
+// atomicWrite writes data to path via a temp file in the same
+// directory, fsyncs it, renames it over path and fsyncs the directory.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (s *Store) inputPath(job string) string      { return filepath.Join(s.inputs, job+".aig") }
+func (s *Store) checkpointPath(job string) string { return filepath.Join(s.checkpoints, job+".ckpt") }
+
+// SaveInput persists a job's submitted circuit.
+func (s *Store) SaveInput(job string, aiger []byte) error {
+	return atomicWrite(s.inputPath(job), aiger)
+}
+
+// LoadInput reads a job's submitted circuit back.
+func (s *Store) LoadInput(job string) ([]byte, error) {
+	return os.ReadFile(s.inputPath(job))
+}
+
+// SaveCheckpoint persists a job's latest step-boundary state,
+// overwriting any earlier checkpoint (only the newest matters: flow
+// steps only ever move forward).
+func (s *Store) SaveCheckpoint(c Checkpoint) error {
+	hdr, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(ckptMagic)+12+len(hdr)+len(c.AIGER))
+	buf = append(buf, ckptMagic...)
+	var lens [12]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(hdr)))
+	binary.LittleEndian.PutUint32(lens[4:8], uint32(len(c.AIGER)))
+	binary.LittleEndian.PutUint32(lens[8:12], crc32.Checksum(c.AIGER, crcTable))
+	buf = append(buf, lens[:]...)
+	buf = append(buf, hdr...)
+	buf = append(buf, c.AIGER...)
+	return atomicWrite(s.checkpointPath(c.Job), buf)
+}
+
+// LoadCheckpoint reads a job's checkpoint back, verifying the framing
+// and the payload CRC. Any inconsistency is an error — the caller falls
+// back to the input blob, it never resumes from bytes it cannot trust.
+func (s *Store) LoadCheckpoint(job string) (Checkpoint, error) {
+	var c Checkpoint
+	data, err := os.ReadFile(s.checkpointPath(job))
+	if err != nil {
+		return c, err
+	}
+	if len(data) < len(ckptMagic)+12 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return c, fmt.Errorf("journal: checkpoint %s: bad magic", job)
+	}
+	rest := data[len(ckptMagic):]
+	hdrLen := int(binary.LittleEndian.Uint32(rest[0:4]))
+	aigLen := int(binary.LittleEndian.Uint32(rest[4:8]))
+	crc := binary.LittleEndian.Uint32(rest[8:12])
+	rest = rest[12:]
+	if hdrLen < 0 || aigLen < 0 || len(rest) != hdrLen+aigLen {
+		return c, fmt.Errorf("journal: checkpoint %s: truncated (%d bytes, want %d)", job, len(rest), hdrLen+aigLen)
+	}
+	if err := json.Unmarshal(rest[:hdrLen], &c); err != nil {
+		return c, fmt.Errorf("journal: checkpoint %s: header: %w", job, err)
+	}
+	payload := rest[hdrLen:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return c, fmt.Errorf("journal: checkpoint %s: payload CRC mismatch", job)
+	}
+	c.AIGER = payload
+	return c, nil
+}
+
+// Remove deletes a job's blobs (called when the job reaches a terminal
+// state: the journal keeps the record, the bytes are no longer needed).
+// Missing files are fine.
+func (s *Store) Remove(job string) {
+	os.Remove(s.inputPath(job))
+	os.Remove(s.checkpointPath(job))
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"dacpara"
 	"dacpara/internal/aig"
@@ -33,7 +34,9 @@ const DefaultMaxUploadBytes = 256 << 20
 // or flow (a whole synthesis script, e.g. "b; rw; rf -p; rs -p; b" —
 // mutually exclusive with engine), workers, passes, zero_gain,
 // preserve_delay, max_cuts, max_structs, classes, preset (p1|p2), seed,
-// format (aiger|bench), verify, verify_budget.
+// format (aiger|bench), verify, verify_budget, deadline (a Go duration
+// such as 30s or 2m bounding the job's running time; see
+// JobRequest.Deadline).
 func (s *Service) Handler() http.Handler {
 	return s.handler(DefaultMaxUploadBytes)
 }
@@ -88,6 +91,14 @@ func (s *Service) handler(maxUpload int64) http.Handler {
 		}
 		res := j.Result()
 		if res == nil {
+			if j.State() == StateDone {
+				// A done job without result bytes was restored from the
+				// journal after a restart: the record survived, the cached
+				// circuit did not.
+				writeError(w, http.StatusGone, "result_lost",
+					fmt.Sprintf("job %s: %v", j.ID, ErrResultLost))
+				return
+			}
 			writeError(w, http.StatusConflict, "not_done",
 				fmt.Sprintf("job %s is %s; the result exists only in state %s", j.ID, j.State(), StateDone))
 			return
@@ -131,7 +142,20 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload
 	}
 	job, err := s.Submit(req)
 	var full *QueueFullError
+	var overloaded *OverloadedError
 	switch {
+	case errors.As(err, &overloaded):
+		// Memory shedding: the watchdog saw the heap over the soft limit.
+		// Distinct from queue_full so clients can tell "submit slower"
+		// apart from "the machine is out of headroom".
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":      "overloaded",
+			"message":    err.Error(),
+			"heap_bytes": overloaded.HeapBytes,
+			"soft_limit": overloaded.SoftLimit,
+		})
+		return
 	case errors.As(err, &full):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
@@ -237,6 +261,13 @@ func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
 			return req, fmt.Errorf("bad verify_budget %q", v)
 		}
 		req.VerifyBudget = n
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return req, fmt.Errorf("bad deadline %q (want a Go duration like 30s)", v)
+		}
+		req.Deadline = d
 	}
 
 	body := http.MaxBytesReader(nil, r.Body, maxUpload)

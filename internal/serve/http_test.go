@@ -315,3 +315,123 @@ func TestHTTPListJobs(t *testing.T) {
 		}
 	}
 }
+
+func TestHTTPDeadlineParam(t *testing.T) {
+	_, srv := startDaemon(t, Options{MaxConcurrent: 1, QueueLimit: 4, WorkersPerJob: 2})
+	input := circuitBytes(t, "voter")
+
+	// Malformed and negative durations are rejected up front.
+	for _, bad := range []string{"deadline=soon", "deadline=-5s"} {
+		if _, resp := submit(t, srv.URL, bad, input); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// A short deadline on a long job surfaces as the distinct terminal
+	// state, visible in both the status and the process metrics.
+	st, resp := submit(t, srv.URL, "deadline=100ms&passes=5000&zero_gain=true&workers=2", input)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if st.DeadlineNs != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("accepted deadline_ns = %d", st.DeadlineNs)
+	}
+	final := pollStatus(t, srv.URL, st.ID, 30*time.Second)
+	if final.State != StateDeadlineExceeded {
+		t.Fatalf("state = %s (err %q), want deadline_exceeded", final.State, final.Error)
+	}
+	var pm ProcessMetrics
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&pm)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Jobs.DeadlineExceeded != 1 {
+		t.Fatalf("metrics deadline_exceeded = %d, want 1", pm.Jobs.DeadlineExceeded)
+	}
+}
+
+func TestHTTPOverload503(t *testing.T) {
+	s, srv := startDaemon(t, Options{MaxConcurrent: 1, QueueLimit: 4, MemSoftLimit: 1000, WatchdogInterval: time.Hour})
+	s.observeMemory(2000)
+	resp, err := http.Post(srv.URL+"/jobs", "application/octet-stream", bytes.NewReader(circuitBytes(t, "voter")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("memory-shed 503 is missing Retry-After")
+	}
+	var body struct {
+		Error     string `json:"error"`
+		HeapBytes int64  `json:"heap_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error != "overloaded" || body.HeapBytes != 2000 {
+		t.Fatalf("shed body: %+v", body)
+	}
+	// Recovery reopens admission; the shed episode shows in /metrics.
+	s.observeMemory(100)
+	if _, resp := submit(t, srv.URL, "", circuitBytes(t, "voter")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submit status %d", resp.StatusCode)
+	}
+	if m := s.Metrics().Memory; m.ShedEpisodes != 1 || m.ShedRejected != 1 || m.Recoveries != 1 {
+		t.Fatalf("shed metrics: %+v", m)
+	}
+}
+
+func TestHTTPResultLost410(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	j, err := s.Submit(fastRequest(t, "voter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	srv.Close()
+	s.Drain(time.Second)
+
+	s2, _, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		srv2.Close()
+		s2.Drain(0)
+	})
+	st := pollStatus(t, srv2.URL, j.ID, 10*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("restored job: %s", st.State)
+	}
+	resp, err := http.Get(srv2.URL + "/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("restored result status = %d, want 410", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error != "result_lost" {
+		t.Fatalf("error kind %q, want result_lost", body.Error)
+	}
+}

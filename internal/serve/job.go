@@ -10,7 +10,8 @@ import (
 )
 
 // State is a job's lifecycle position. Transitions: queued → running →
-// done|failed|cancelled, or queued → cancelled directly.
+// done|failed|cancelled|deadline_exceeded, or queued → cancelled
+// directly.
 type State string
 
 // The job states.
@@ -20,11 +21,20 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDeadlineExceeded is the terminal state of a job whose
+	// wall-clock deadline expired mid-run: distinct from cancelled (the
+	// caller's decision) and from failed (an engine fault) so clients can
+	// tell "you asked for a bound and hit it" apart from both.
+	StateDeadlineExceeded State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateDeadlineExceeded:
+		return true
+	}
+	return false
 }
 
 // NetStats is the network-statistics payload shared between the job
@@ -75,6 +85,13 @@ type JobRequest struct {
 	// VerifyBudget bounds the SAT conflicts per output of that check
 	// (0: the service default).
 	VerifyBudget int64
+	// Deadline bounds the job's wall-clock running time (measured from
+	// the moment a scheduler slot picks it up, not from submission, so a
+	// deep queue does not eat the budget). 0 means the service default;
+	// with both zero the job is unbounded. An expired deadline terminates
+	// the job in StateDeadlineExceeded via the engines' cooperative
+	// cancellation points, leaving the working network valid.
+	Deadline time.Duration
 	// Network is the parsed input circuit. The job owns it.
 	Network *dacpara.Network
 }
@@ -88,20 +105,43 @@ type Job struct {
 	digest string
 	input  NetStats
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	// resumeStep and resumed are set on jobs rebuilt by crash recovery:
+	// a flow job restored from a step checkpoint re-runs only the steps
+	// from resumeStep on.
+	resumeStep int
+	resumed    bool
+
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	done    chan struct{}
+	started chan struct{}
 
 	mu         sync.Mutex
 	state      State
 	submitted  time.Time
-	started    time.Time
+	startedAt  time.Time
 	finished   time.Time
 	errMsg     string
 	cacheHit   bool
 	result     *CachedResult
 	verify     *VerifyStatus
 	cancelOnce sync.Once
+}
+
+// newJob builds a job record around a validated request.
+func newJob(req JobRequest) *Job {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Job{
+		req:       req,
+		digest:    StructuralDigest(req.Network),
+		input:     NetStatsOf(req.Network),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		started:   make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
 }
 
 // Cancel requests cooperative cancellation: a queued job is cancelled
@@ -111,14 +151,16 @@ type Job struct {
 // anything. Service accounting flows through Service.Cancel — prefer it
 // over calling this directly.
 func (j *Job) Cancel() bool {
-	changed, _ := j.cancelRequest()
+	changed, _ := j.cancelRequest(nil)
 	return changed
 }
 
 // cancelRequest performs the cancellation state transition; immediate
 // reports the queued→cancelled fast path (the job never ran, so the
-// scheduler's terminal accounting will not see it).
-func (j *Job) cancelRequest() (changed, immediate bool) {
+// scheduler's terminal accounting will not see it). A non-nil cause
+// (e.g. the watchdog's *ResourceLimitError) is retrievable from the job
+// context and decides the terminal state the scheduler records.
+func (j *Job) cancelRequest(cause error) (changed, immediate bool) {
 	j.mu.Lock()
 	switch j.state {
 	case StateQueued:
@@ -130,7 +172,7 @@ func (j *Job) cancelRequest() (changed, immediate bool) {
 	}
 	j.mu.Unlock()
 	if changed {
-		j.cancelOnce.Do(j.cancel)
+		j.cancelOnce.Do(func() { j.cancel(cause) })
 		if immediate {
 			j.closeDone()
 		}
@@ -147,6 +189,11 @@ func (j *Job) State() State {
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Started is closed when a scheduler slot picks the job up (never, if
+// the job is cancelled while still queued). It exists so tests and
+// callers can wait for "actually running" without polling.
+func (j *Job) Started() <-chan struct{} { return j.started }
 
 // Result returns the completed job's cached result, nil until StateDone.
 func (j *Job) Result() *CachedResult {
@@ -180,12 +227,14 @@ func (j *Job) closeDone() {
 // cancelled (or otherwise left the queue) and must not run.
 func (j *Job) markRunning() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
-	j.started = time.Now()
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	close(j.started)
 	return true
 }
 
@@ -215,6 +264,16 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// DeadlineNs is the job's wall-clock running-time bound, 0 if
+	// unbounded.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+
+	// Resumed marks a job rebuilt by crash recovery; for a flow job,
+	// ResumeStep is the step index it resumed from (steps before it were
+	// restored from the checkpoint, not re-executed).
+	Resumed    bool `json:"resumed,omitempty"`
+	ResumeStep int  `json:"resume_step,omitempty"`
 
 	// Digest is the input's structural digest (the cache key's input
 	// half).
@@ -249,14 +308,17 @@ func (j *Job) Status() JobStatus {
 		Passes:      j.req.Config.Passes,
 		Seed:        j.req.Seed,
 		SubmittedAt: j.submitted,
+		DeadlineNs:  j.req.Deadline.Nanoseconds(),
+		Resumed:     j.resumed,
+		ResumeStep:  j.resumeStep,
 		Digest:      j.digest,
 		Input:       j.input,
 		CacheHit:    j.cacheHit,
 		Verify:      j.verify,
 		Error:       j.errMsg,
 	}
-	if !j.started.IsZero() {
-		t := j.started
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
 		st.StartedAt = &t
 	}
 	if !j.finished.IsZero() {

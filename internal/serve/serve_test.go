@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -195,33 +196,56 @@ func TestCancelRunningJobPromptly(t *testing.T) {
 }
 
 func TestConcurrentJobs(t *testing.T) {
-	const n = 8
+	// Sized to the machine: the fixed 8-job version raced its polled
+	// Running==8 assertion on a 1-CPU -race runner, where a fast worker
+	// could finish one 25-pass job and steal a second before the last slot
+	// ever started — the counter then never reached 8. Now the job count
+	// tracks GOMAXPROCS, the jobs are effectively unbounded (so none can
+	// finish before the concurrency is observed), and the waits are
+	// event-driven on each job's Started channel instead of sleeps.
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 2 {
+		n = 2
+	}
 	s := New(Options{MaxConcurrent: n, QueueLimit: n, WorkersPerJob: 1})
-	defer s.Drain(time.Second)
+	defer s.Drain(0)
 	jobs := make([]*Job, n)
 	for i := range jobs {
-		j, err := s.Submit(slowRequest(t, 25))
+		j, err := s.Submit(slowRequest(t, 5000))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		jobs[i] = j
 	}
-	// All n must be running at once: the scheduler has n slots and every
-	// job takes hundreds of milliseconds.
+	for i, j := range jobs {
+		select {
+		case <-j.Started():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("job %d never picked up by a scheduler slot (running=%d)", i, s.Metrics().Jobs.Running)
+		}
+	}
+	// Every job has a slot and none can have finished, so the running
+	// counter converges to n; the residual wait is only for the counter
+	// increment that trails the Started close.
 	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if s.Metrics().Jobs.Running == n {
-			break
-		}
+	for s.Metrics().Jobs.Running != int64(n) {
 		if time.Now().After(deadline) {
-			t.Fatalf("never reached %d concurrent jobs (running=%d)", n, s.Metrics().Jobs.Running)
+			t.Fatalf("running = %d after all %d jobs started", s.Metrics().Jobs.Running, n)
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	for _, j := range jobs {
+		if _, err := s.Cancel(j.ID); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for i, j := range jobs {
 		waitDone(t, j, 60*time.Second)
-		if st := j.Status(); st.State != StateDone {
-			t.Fatalf("job %d: %s (err %q)", i, st.State, st.Error)
+		if st := j.Status(); st.State != StateCancelled {
+			t.Fatalf("job %d after cancel: %s (err %q)", i, st.State, st.Error)
 		}
 	}
 }

@@ -35,6 +35,31 @@ type Options struct {
 	// VerifyBudget is the default SAT conflict budget per output for
 	// Verify submissions (default 50000).
 	VerifyBudget int64
+	// DataDir, when non-empty, makes the service durable: every job
+	// lifecycle transition is journaled (fsync'd, CRC-framed) and every
+	// flow job checkpoints its working network at step boundaries, so a
+	// service restarted on the same DataDir — even after kill -9 —
+	// replays the journal, re-enqueues interrupted jobs and resumes
+	// flows from their last trusted checkpoint. Use Open, not New, to
+	// construct a durable service.
+	DataDir string
+	// DefaultDeadline bounds the running time of jobs that do not set
+	// their own JobRequest.Deadline; 0 leaves such jobs unbounded.
+	DefaultDeadline time.Duration
+	// MemSoftLimit and MemHardLimit arm the memory watchdog (both in
+	// bytes of live heap, sampled from runtime.MemStats; 0 disables the
+	// respective mark). Above the soft mark the service sheds load: new
+	// submissions are rejected with *OverloadedError (HTTP 503 +
+	// Retry-After) until usage drops back under. Above the hard mark the
+	// watchdog additionally cancels the largest running job with a
+	// *ResourceLimitError cause — sacrificing one job beats the OOM
+	// killer taking the whole process (and, with DataDir set, every
+	// queued job with it).
+	MemSoftLimit int64
+	MemHardLimit int64
+	// WatchdogInterval is the memory sampling period (default 1s; only
+	// relevant when a mem limit is set).
+	WatchdogInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.VerifyBudget <= 0 {
 		o.VerifyBudget = 50_000
 	}
+	if o.WatchdogInterval <= 0 {
+		o.WatchdogInterval = time.Second
+	}
 	return o
 }
 
@@ -81,11 +109,51 @@ var ErrDraining = errors.New("serve: service is draining, not admitting jobs")
 // ErrUnknownJob reports a job ID the service has no record of.
 var ErrUnknownJob = errors.New("serve: unknown job")
 
+// ErrResultLost reports a job that completed in a previous process
+// life: the journal proves it finished, but the result bytes lived in
+// the in-memory cache and did not survive the restart. The HTTP layer
+// maps it to 410.
+var ErrResultLost = errors.New("serve: result not retained across restart; resubmit the circuit")
+
+// OverloadedError is the memory-shedding rejection: live heap is above
+// the soft limit and the service is not admitting work until it drops
+// back under. The HTTP layer maps it to 503 + Retry-After.
+type OverloadedError struct {
+	// HeapBytes is the live-heap sample that tripped (or is keeping) the
+	// shed; SoftLimit is the configured mark.
+	HeapBytes int64
+	SoftLimit int64
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: shedding load, live heap %d bytes over the %d-byte soft limit", e.HeapBytes, e.SoftLimit)
+}
+
+// ResourceLimitError is the cancellation cause the memory watchdog
+// attaches when live heap crosses the hard limit and the largest
+// running job is sacrificed to bring it down. The job terminates failed
+// with this message.
+type ResourceLimitError struct {
+	// Job is the sacrificed job's ID.
+	Job string
+	// HeapBytes is the sample that crossed HardLimit.
+	HeapBytes int64
+	HardLimit int64
+}
+
+func (e *ResourceLimitError) Error() string {
+	return fmt.Sprintf("serve: resource limit: live heap %d bytes over the %d-byte hard limit; job %s cancelled to shed memory",
+		e.HeapBytes, e.HardLimit, e.Job)
+}
+
 // Service is the long-running optimization service: it owns the job
-// queue, the scheduler, the job records and the result cache.
+// queue, the scheduler, the job records, the result cache and — when
+// configured with a DataDir — the durability layer and the memory
+// watchdog.
 type Service struct {
 	opts  Options
 	cache *resultCache
+	dur   *durability // nil: in-memory only
 
 	start time.Time
 
@@ -96,44 +164,98 @@ type Service struct {
 	draining bool
 	nextID   uint64
 
-	running   atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	rejected  atomic.Int64
+	running        atomic.Int64
+	submitted      atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	cancelled      atomic.Int64
+	deadlined      atomic.Int64
+	rejected       atomic.Int64
+	shedding       atomic.Bool
+	memUsed        atomic.Int64
+	shedEpisodes   atomic.Int64
+	shedRecoveries atomic.Int64
+	shedRejected   atomic.Int64
+	memKilled      atomic.Int64
+	stopc          chan struct{}
+	stopOnce       sync.Once
 
 	wg sync.WaitGroup
 }
 
-// New starts a service: MaxConcurrent scheduler workers begin pulling
-// from the queue immediately. Stop it with Drain.
+// New starts an in-memory service: MaxConcurrent scheduler workers
+// begin pulling from the queue immediately. Stop it with Drain. A
+// durable service (Options.DataDir set) must be built with Open, which
+// can fail and reports what it recovered; New panics on a DataDir to
+// keep the two constructors from silently diverging.
 func New(opts Options) *Service {
+	if opts.DataDir != "" {
+		panic("serve: New cannot open a durable service; use Open for Options.DataDir")
+	}
+	s, _, err := Open(opts)
+	if err != nil {
+		panic(err) // unreachable: only the durability layer can fail
+	}
+	return s
+}
+
+// Open starts a service, replaying the journal in Options.DataDir (if
+// any) first: terminal job records are restored for status queries,
+// interrupted jobs are re-enqueued ahead of new submissions, and
+// interrupted flow jobs resume from their last digest-verified
+// checkpoint instead of their original input. The Recovery report says
+// what was found.
+func Open(opts Options) (*Service, *Recovery, error) {
 	opts = opts.withDefaults()
 	s := &Service{
 		opts:  opts,
 		cache: newResultCache(opts.CacheEntries, opts.CacheBytes),
 		start: time.Now(),
 		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, opts.QueueLimit),
+		stopc: make(chan struct{}),
+	}
+	rec := &Recovery{}
+	var requeue []*Job
+	if opts.DataDir != "" {
+		var err error
+		if requeue, err = s.openDurability(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Size the queue for the configured limit plus everything recovery
+	// re-enqueues, so a full-queue crash can still requeue every job.
+	s.queue = make(chan *Job, opts.QueueLimit+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
 	}
 	for i := 0; i < opts.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if opts.MemSoftLimit > 0 || opts.MemHardLimit > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+	return s, rec, nil
 }
 
 // Options returns the resolved configuration.
 func (s *Service) Options() Options { return s.opts }
 
 // Submit validates and enqueues a job. The typed errors are
-// *QueueFullError (queue at limit) and ErrDraining; anything else is a
-// bad request. On success the job is owned by the service and its
-// network must not be touched by the caller again.
+// *QueueFullError (queue at limit), *OverloadedError (memory shed) and
+// ErrDraining; anything else is a bad request. On success the job is
+// owned by the service and its network must not be touched by the
+// caller again. On a durable service the input blob and the journal
+// record are fsync'd before Submit returns: an acknowledged submission
+// survives kill -9.
 func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if req.Network == nil {
 		return nil, errors.New("serve: submission has no network")
+	}
+	if s.shedding.Load() {
+		s.shedRejected.Add(1)
+		return nil, &OverloadedError{HeapBytes: s.memUsed.Load(), SoftLimit: s.opts.MemSoftLimit}
 	}
 	if req.Flow != "" {
 		if req.Engine != "" {
@@ -161,37 +283,47 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if req.VerifyBudget <= 0 {
 		req.VerifyBudget = s.opts.VerifyBudget
 	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	job := &Job{
-		req:       req,
-		digest:    StructuralDigest(req.Network),
-		input:     NetStatsOf(req.Network),
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		state:     StateQueued,
-		submitted: time.Now(),
+	if req.Deadline < 0 {
+		return nil, errors.New("serve: negative deadline")
 	}
+	if req.Deadline == 0 {
+		req.Deadline = s.opts.DefaultDeadline
+	}
+
+	job := newJob(req)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		cancel()
+		job.cancel(nil)
 		return nil, ErrDraining
 	}
-	select {
-	case s.queue <- job:
-	default:
+	// Admission is still bounded by QueueLimit even though the channel
+	// may be wider (recovery sizes it for re-enqueued jobs); only Submit
+	// sends while holding the mutex, so the length check is exact and
+	// the send below can never block.
+	if len(s.queue) >= s.opts.QueueLimit {
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		cancel()
+		job.cancel(nil)
 		return nil, &QueueFullError{Limit: s.opts.QueueLimit}
 	}
 	s.nextID++
 	job.ID = fmt.Sprintf("j%08d", s.nextID)
+	if s.dur != nil {
+		// Persist before acknowledging: blob first, then the journal
+		// record that makes it live. A failure here rejects the
+		// submission — a job the service cannot promise to survive is a
+		// job it does not accept. The ID stays consumed (gaps are fine).
+		if err := s.dur.persistSubmit(job); err != nil {
+			s.mu.Unlock()
+			job.cancel(nil)
+			return nil, fmt.Errorf("serve: persisting submission: %w", err)
+		}
+	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.queue <- job
 	s.mu.Unlock()
 	s.submitted.Add(1)
 	return job, nil
@@ -227,8 +359,9 @@ func (s *Service) Cancel(id string) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, immediate := j.cancelRequest(); immediate {
+	if _, immediate := j.cancelRequest(nil); immediate {
 		s.cancelled.Add(1)
+		s.persistTerminal(j, StateCancelled, "cancelled while queued")
 	}
 	return j, nil
 }
@@ -243,11 +376,13 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 	if s.draining {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.closeDurability()
 		return
 	}
 	s.draining = true
 	close(s.queue) // Submit never sends once draining is set (same lock)
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopc) })
 
 	finished := make(chan struct{})
 	go func() {
@@ -266,6 +401,7 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 	}
 	select {
 	case <-finished:
+		s.closeDurability()
 		return
 	case <-timer:
 	}
@@ -273,12 +409,14 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 	// engines to reach their cancellation points.
 	for _, j := range s.Jobs() {
 		if !j.State().Terminal() {
-			if _, immediate := j.cancelRequest(); immediate {
+			if _, immediate := j.cancelRequest(nil); immediate {
 				s.cancelled.Add(1)
+				s.persistTerminal(j, StateCancelled, "cancelled during drain")
 			}
 		}
 	}
 	<-finished
+	s.closeDurability()
 }
 
 // worker is one scheduler slot: it pulls queued jobs and runs them, at
@@ -335,10 +473,12 @@ func summarizeFlow(steps []dacpara.Result, cfg dacpara.Config, final *dacpara.Ne
 
 // run executes one job to a terminal state.
 func (s *Service) run(job *Job) {
+	s.journalStarted(job)
 	key := cacheKey(job.digest, job.req.Engine, job.req.Flow, job.req.Config, job.req.Seed)
 	if res, ok := s.cache.get(key); ok {
 		s.completed.Add(1)
 		job.finish(StateDone, res, nil, true, "")
+		s.persistTerminal(job, StateDone, "")
 		return
 	}
 
@@ -346,7 +486,21 @@ func (s *Service) run(job *Job) {
 	cfg.Metrics = dacpara.NewMetrics()
 	var golden *dacpara.Network
 	if job.req.Verify {
+		// For a job resumed from a checkpoint the golden reference is the
+		// checkpoint state, so verification covers the re-executed steps
+		// (the checkpointed prefix was verified by digest at recovery).
 		golden = job.req.Network.Clone()
+	}
+
+	// The wall-clock deadline wraps the job context: expiry surfaces as
+	// context.DeadlineExceeded through the engines' cancellation points,
+	// while a user cancel or a watchdog kill still cancels job.ctx
+	// underneath (its cause says which).
+	rctx := job.ctx
+	if job.req.Deadline > 0 {
+		var cancelDeadline context.CancelFunc
+		rctx, cancelDeadline = context.WithTimeout(job.ctx, job.req.Deadline)
+		defer cancelDeadline()
 	}
 
 	net := job.req.Network
@@ -354,21 +508,15 @@ func (s *Service) run(job *Job) {
 	var err error
 	if job.req.Flow != "" {
 		var stepResults []dacpara.Result
-		stepResults, net, err = dacpara.FlowContext(job.ctx, net, job.req.Flow, cfg)
+		stepResults, net, err = dacpara.FlowResumeContext(rctx, net, job.req.Flow, cfg, job.resumeStep, s.checkpointFn(job))
 		if err == nil {
 			result = summarizeFlow(stepResults, cfg, net)
 		}
 	} else {
-		result, err = dacpara.RewriteContext(job.ctx, net, job.req.Engine, cfg)
+		result, err = dacpara.RewriteContext(rctx, net, job.req.Engine, cfg)
 	}
-	switch {
-	case err != nil && errors.Is(err, context.Canceled):
-		s.cancelled.Add(1)
-		job.finish(StateCancelled, nil, nil, false, err.Error())
-		return
-	case err != nil:
-		s.failed.Add(1)
-		job.finish(StateFailed, nil, nil, false, err.Error())
+	if err != nil {
+		s.finishError(job, err)
 		return
 	}
 
@@ -378,12 +526,14 @@ func (s *Service) run(job *Job) {
 		if verr != nil {
 			s.failed.Add(1)
 			job.finish(StateFailed, nil, nil, false, "verification: "+verr.Error())
+			s.persistTerminal(job, StateFailed, "verification: "+verr.Error())
 			return
 		}
 		verify = &VerifyStatus{Equivalent: eq, Proved: proved}
 		if !eq {
 			s.failed.Add(1)
 			job.finish(StateFailed, nil, verify, false, "verification: result not equivalent to input")
+			s.persistTerminal(job, StateFailed, "verification: result not equivalent to input")
 			return
 		}
 	}
@@ -392,6 +542,7 @@ func (s *Service) run(job *Job) {
 	if werr := net.WriteBinary(&buf); werr != nil {
 		s.failed.Add(1)
 		job.finish(StateFailed, nil, verify, false, "encoding result: "+werr.Error())
+		s.persistTerminal(job, StateFailed, "encoding result: "+werr.Error())
 		return
 	}
 	res := &CachedResult{
@@ -403,6 +554,96 @@ func (s *Service) run(job *Job) {
 	s.cache.put(key, res)
 	s.completed.Add(1)
 	job.finish(StateDone, res, verify, false, "")
+	s.persistTerminal(job, StateDone, "")
+}
+
+// finishError classifies an interrupted or failed run into its terminal
+// state: a watchdog kill (the job context's cause is a
+// *ResourceLimitError) is a failure with that message, an expired
+// deadline is deadline_exceeded, a plain cancellation is cancelled, and
+// anything else is an engine failure.
+func (s *Service) finishError(job *Job, err error) {
+	var rle *ResourceLimitError
+	switch {
+	case errors.As(context.Cause(job.ctx), &rle):
+		s.failed.Add(1)
+		job.finish(StateFailed, nil, nil, false, rle.Error())
+		s.persistTerminal(job, StateFailed, rle.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlined.Add(1)
+		msg := fmt.Sprintf("deadline %v exceeded: %s", job.req.Deadline, err)
+		job.finish(StateDeadlineExceeded, nil, nil, false, msg)
+		s.persistTerminal(job, StateDeadlineExceeded, msg)
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		job.finish(StateCancelled, nil, nil, false, err.Error())
+		s.persistTerminal(job, StateCancelled, err.Error())
+	default:
+		s.failed.Add(1)
+		job.finish(StateFailed, nil, nil, false, err.Error())
+		s.persistTerminal(job, StateFailed, err.Error())
+	}
+}
+
+// watchdog samples live heap on a ticker and feeds the shed/kill state
+// machine until Drain stops it.
+func (s *Service) watchdog() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.observeMemory(int64(m.HeapAlloc))
+	}
+}
+
+// observeMemory is one watchdog step against a live-heap sample (split
+// out so tests can drive the state machine without allocating real
+// gigabytes). Above the soft limit the service starts shedding —
+// submissions are rejected with *OverloadedError until a later sample
+// drops back under. Above the hard limit it additionally cancels the
+// largest running job (by input AND count — the best cheap proxy for
+// engine working-set size) with a *ResourceLimitError cause.
+func (s *Service) observeMemory(used int64) {
+	s.memUsed.Store(used)
+	if soft := s.opts.MemSoftLimit; soft > 0 {
+		if used > soft {
+			if s.shedding.CompareAndSwap(false, true) {
+				s.shedEpisodes.Add(1)
+			}
+		} else if s.shedding.CompareAndSwap(true, false) {
+			s.shedRecoveries.Add(1)
+		}
+	}
+	if hard := s.opts.MemHardLimit; hard > 0 && used > hard {
+		s.killLargestRunning(used)
+	}
+}
+
+// killLargestRunning cancels the running job with the largest input
+// network, attributing the cancellation to the memory hard limit. No-op
+// when nothing is running.
+func (s *Service) killLargestRunning(used int64) {
+	var victim *Job
+	for _, j := range s.Jobs() {
+		if j.State() != StateRunning {
+			continue
+		}
+		if victim == nil || j.input.Ands > victim.input.Ands {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return
+	}
+	s.memKilled.Add(1)
+	victim.cancelRequest(&ResourceLimitError{Job: victim.ID, HeapBytes: used, HardLimit: s.opts.MemHardLimit})
 }
 
 func knownEngine(e dacpara.Engine) bool {
@@ -425,13 +666,14 @@ type ProcessMetrics struct {
 	WorkersPerJob int `json:"workers_per_job"`
 
 	Jobs struct {
-		Submitted int64 `json:"submitted"`
-		Queued    int64 `json:"queued"`
-		Running   int64 `json:"running"`
-		Done      int64 `json:"done"`
-		Failed    int64 `json:"failed"`
-		Cancelled int64 `json:"cancelled"`
-		Rejected  int64 `json:"rejected"`
+		Submitted        int64 `json:"submitted"`
+		Queued           int64 `json:"queued"`
+		Running          int64 `json:"running"`
+		Done             int64 `json:"done"`
+		Failed           int64 `json:"failed"`
+		Cancelled        int64 `json:"cancelled"`
+		DeadlineExceeded int64 `json:"deadline_exceeded"`
+		Rejected         int64 `json:"rejected"`
 	} `json:"jobs"`
 
 	Cache struct {
@@ -440,6 +682,32 @@ type ProcessMetrics struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
 	} `json:"cache"`
+
+	// Memory is the watchdog's view: the latest live-heap sample, the
+	// configured marks, whether load is currently being shed, and the
+	// shed/recovery/kill history.
+	Memory struct {
+		HeapBytes    int64 `json:"heap_bytes"`
+		SoftLimit    int64 `json:"soft_limit"`
+		HardLimit    int64 `json:"hard_limit"`
+		Shedding     bool  `json:"shedding"`
+		ShedEpisodes int64 `json:"shed_episodes"`
+		ShedRejected int64 `json:"shed_rejected"`
+		Recoveries   int64 `json:"recoveries"`
+		Killed       int64 `json:"killed"`
+	} `json:"memory"`
+
+	// Durability reports the journal/checkpoint layer (zero values when
+	// the service runs without a DataDir).
+	Durability struct {
+		Enabled          bool  `json:"enabled"`
+		JournalRecords   int64 `json:"journal_records"`
+		Checkpoints      int64 `json:"checkpoints"`
+		CheckpointErrors int64 `json:"checkpoint_errors"`
+		JournalErrors    int64 `json:"journal_errors"`
+		RecoveredJobs    int64 `json:"recovered_jobs"`
+		ResumedJobs      int64 `json:"resumed_jobs"`
+	} `json:"durability"`
 
 	Goroutines int `json:"goroutines"`
 }
@@ -461,13 +729,30 @@ func (s *Service) Metrics() ProcessMetrics {
 	m.Jobs.Done = s.completed.Load()
 	m.Jobs.Failed = s.failed.Load()
 	m.Jobs.Cancelled = s.cancelled.Load()
+	m.Jobs.DeadlineExceeded = s.deadlined.Load()
 	m.Jobs.Rejected = s.rejected.Load()
-	m.Jobs.Queued = m.Jobs.Submitted - m.Jobs.Running - m.Jobs.Done - m.Jobs.Failed - m.Jobs.Cancelled
+	m.Jobs.Queued = m.Jobs.Submitted - m.Jobs.Running - m.Jobs.Done - m.Jobs.Failed - m.Jobs.Cancelled - m.Jobs.DeadlineExceeded
 	if m.Jobs.Queued < 0 {
 		m.Jobs.Queued = 0
 	}
 	m.Cache.Entries, m.Cache.Bytes, m.Cache.Hits, m.Cache.Misses = s.cache.stats()
+	m.Memory.HeapBytes = s.memUsed.Load()
+	m.Memory.SoftLimit = s.opts.MemSoftLimit
+	m.Memory.HardLimit = s.opts.MemHardLimit
+	m.Memory.Shedding = s.shedding.Load()
+	m.Memory.ShedEpisodes = s.shedEpisodes.Load()
+	m.Memory.ShedRejected = s.shedRejected.Load()
+	m.Memory.Recoveries = s.shedRecoveries.Load()
+	m.Memory.Killed = s.memKilled.Load()
+	if s.dur != nil {
+		m.Durability.Enabled = true
+		m.Durability.JournalRecords = s.dur.log.Records()
+		m.Durability.Checkpoints = s.dur.checkpoints.Load()
+		m.Durability.CheckpointErrors = s.dur.checkpointErrors.Load()
+		m.Durability.JournalErrors = s.dur.journalErrors.Load()
+		m.Durability.RecoveredJobs = s.dur.recoveredJobs
+		m.Durability.ResumedJobs = s.dur.resumedJobs
+	}
 	m.Goroutines = runtime.NumGoroutine()
 	return m
 }
-

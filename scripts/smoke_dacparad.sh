@@ -139,4 +139,80 @@ for i in $(seq 1 100); do
   sleep 0.1
 done
 echo "smoke: clean SIGTERM drain"
+
+# --- crash recovery: kill -9 mid-flow, restart, resume --------------
+# A durable daemon journals every job and checkpoints flow jobs at step
+# boundaries. Boot one on a data dir, submit a slow multi-step flow
+# (fast first step -> an early checkpoint; slow rw step for the crash to
+# land in), kill -9 once the checkpoint exists, restart on the same data
+# dir, and require the SAME job ID to resume from the checkpoint and
+# reach done.
+DATA="$WORK/data"
+echo "smoke: booting durable dacparad on :$PORT (data dir $DATA)"
+"$WORK/dacparad" -addr "127.0.0.1:$PORT" -max-jobs 1 -queue 8 -job-workers 2 -data-dir "$DATA" &
+DAEMON_PID=$!
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "durable daemon died during startup"
+  [[ $i -eq 100 ]] && fail "durable daemon never became healthy"
+  sleep 0.1
+done
+
+# Flow script semicolons must be URL-encoded (%3B): "b; rw -z; b".
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?flow=b%3B%20rw%20-z%3B%20b&workers=2&passes=2000" >"$WORK/flow.json" \
+  || fail "flow submission rejected"
+FLOWJOB="$(json_field "$WORK/flow.json" .id '"id": *"[^"]*"')"
+[[ "$FLOWJOB" == j* ]] || fail "no job id in flow submit response: $(cat "$WORK/flow.json")"
+echo "smoke: submitted flow job $FLOWJOB"
+
+# Wait for the first step checkpoint to hit the disk, then pull the plug.
+for i in $(seq 1 200); do
+  [[ -s "$DATA/checkpoints/$FLOWJOB.ckpt" ]] && break
+  STATE="$(curl -sf "$BASE/jobs/$FLOWJOB" | grep -o '"state": *"[^"]*"' | head -1)"
+  case "$STATE" in
+    *done*|*failed*|*cancelled*) fail "flow job ended ($STATE) before a checkpoint; crash window missed" ;;
+  esac
+  [[ $i -eq 200 ]] && fail "no checkpoint file appeared for $FLOWJOB"
+  sleep 0.05
+done
+echo "smoke: checkpoint on disk, kill -9"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "smoke: restarting on the same data dir"
+"$WORK/dacparad" -addr "127.0.0.1:$PORT" -max-jobs 1 -queue 8 -job-workers 2 -data-dir "$DATA" >"$WORK/restart.log" &
+DAEMON_PID=$!
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during recovery restart: $(cat "$WORK/restart.log")"
+  [[ $i -eq 100 ]] && fail "daemon never became healthy after restart"
+  sleep 0.1
+done
+grep -q "recovered" "$WORK/restart.log" || fail "restart did not report recovery: $(cat "$WORK/restart.log")"
+
+STATE=""
+for i in $(seq 1 600); do
+  curl -sf "$BASE/jobs/$FLOWJOB" >"$WORK/flowstat.json" || fail "recovered job $FLOWJOB unknown after restart"
+  STATE="$(json_field "$WORK/flowstat.json" .state '"state": *"[^"]*"')"
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled|deadline_exceeded) fail "recovered job $FLOWJOB ended $STATE: $(cat "$WORK/flowstat.json")" ;;
+  esac
+  sleep 0.1
+done
+[[ "$STATE" == done ]] || fail "recovered job $FLOWJOB stuck in '$STATE'"
+grep -q '"resumed": *true' "$WORK/flowstat.json" || fail "recovered job did not resume: $(cat "$WORK/flowstat.json")"
+grep -q '"resume_step": *[1-9]' "$WORK/flowstat.json" || fail "recovered job restarted from step 0: $(cat "$WORK/flowstat.json")"
+curl -sf -o "$WORK/resumed.aig" "$BASE/jobs/$FLOWJOB/result" || fail "resumed result download failed"
+head -c 3 "$WORK/resumed.aig" | grep -q '^aig' || fail "resumed result is not binary AIGER"
+echo "smoke: kill -9 recovery + checkpoint resume ok"
+
+kill -TERM "$DAEMON_PID"
+for i in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; break; }
+  [[ $i -eq 100 ]] && fail "durable daemon did not exit on SIGTERM"
+  sleep 0.1
+done
 echo "smoke: PASS"

@@ -360,6 +360,37 @@ func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, gua
 	return res, net, err
 }
 
+// SummarizeFlow folds a flow's per-step results into one job-level
+// summary: the QoR spans first input to final output, the work counters
+// accumulate across steps, and the metrics snapshot is the last
+// instrumented step's. It is the summary shape dacparad reports for
+// flow jobs, whether the flow ran locally or on a cluster worker.
+func SummarizeFlow(steps []Result, cfg Config, final *Network) Result {
+	out := Result{Engine: "flow", Threads: cfg.Workers, Passes: len(steps)}
+	if len(steps) > 0 {
+		out.InitialAnds = steps[0].InitialAnds
+		out.InitialDelay = steps[0].InitialDelay
+	}
+	st := final.Stats()
+	out.FinalAnds = st.Ands
+	out.FinalDelay = st.Delay
+	for _, r := range steps {
+		out.Replacements += r.Replacements
+		out.Attempts += r.Attempts
+		out.Stale += r.Stale
+		out.Commits += r.Commits
+		out.Aborts += r.Aborts
+		out.InjectedAborts += r.InjectedAborts
+		out.CommittedWork += r.CommittedWork
+		out.WastedWork += r.WastedWork
+		out.Duration += r.Duration
+		if r.Metrics != nil {
+			out.Metrics = r.Metrics
+		}
+	}
+	return out
+}
+
 // Resyn2 is the classic ABC optimization script shape adapted to the
 // engines available here.
 const Resyn2 = "balance; rewrite; refactor; balance; rewrite; rewrite -z; balance; refactor -z; rewrite -z; balance"

@@ -1,0 +1,57 @@
+package aig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// StructuralDigest returns a hex SHA-256 of the network's structure:
+// the PI/PO counts, every AND node's fanin literals and the PO literals,
+// all expressed over a dense renumbering in topological order. Two
+// networks that are identical up to node-ID assignment (the same circuit
+// uploaded twice, or parsed from ASCII vs binary AIGER) digest equally;
+// any structural difference — an extra inverter, a swapped fanin cone —
+// changes the digest. It keys the service's result cache and integrity-
+// checks every blob (inputs, flow checkpoints, cluster uploads) against
+// the journal.
+func StructuralDigest(a *AIG) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	put(int64(a.NumPIs()))
+	put(int64(a.NumPOs()))
+	// Dense renumbering: constant node 0 stays 0, PIs take 1..N in
+	// creation order (the order AIGER I/O preserves), ANDs follow in
+	// topological order.
+	ren := make([]int64, a.Capacity())
+	next := int64(1)
+	for _, pi := range a.PIs() {
+		ren[pi] = next
+		next++
+	}
+	renLit := func(l Lit) int64 {
+		v := ren[l.Node()] << 1
+		if l.Compl() {
+			v |= 1
+		}
+		return v
+	}
+	for _, id := range a.TopoOrder(nil) {
+		n := a.N(id)
+		if !n.IsAnd() {
+			continue
+		}
+		ren[id] = next
+		next++
+		put(renLit(n.Fanin0()))
+		put(renLit(n.Fanin1()))
+	}
+	for _, po := range a.POs() {
+		put(renLit(po))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

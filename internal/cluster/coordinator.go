@@ -1,0 +1,595 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hooks are the coordinator's side effects into the owning service:
+// journal appends, checkpoint persistence, job-status updates. Every
+// hook is optional and is invoked outside the coordinator lock (they
+// may fsync).
+type Hooks struct {
+	// OnLease fires when a worker is granted a lease on a job (attempt
+	// counts from 1; resumeStep is the flow cursor the worker starts at).
+	OnLease func(job, worker string, attempt, resumeStep int)
+	// OnLeaseExpired fires when the failure detector expires a lease
+	// (the holder missed heartbeats for a whole lease duration).
+	OnLeaseExpired func(job, worker string, attempt int)
+	// OnCheckpoint fires when a worker uploads a flow-step checkpoint;
+	// the owning service persists it exactly as a local run would.
+	OnCheckpoint func(job string, step int, digest string, aiger []byte)
+	// OnRequeue fires when a job goes back on the dispatch queue after a
+	// lost lease or a worker-reported failure.
+	OnRequeue func(job string, attempt, resumeStep int)
+}
+
+// workerState is the coordinator's book on one worker.
+type workerState struct {
+	id           string
+	firstSeen    time.Time
+	lastSeen     time.Time
+	job          string // "" when idle
+	attempt      int
+	leaseExpires time.Time
+	completed    int64
+	failed       int64
+}
+
+// task is one dispatched job's coordinator-side state.
+type task struct {
+	t     Task
+	input []byte // starting state at dispatch (submitted input or recovery checkpoint)
+
+	// Latest uploaded checkpoint; a failover resumes from here instead
+	// of the input.
+	ckStep   int
+	ckDigest string
+	ckAIGER  []byte
+
+	attempts     int // leases granted so far
+	worker       string
+	lease        string
+	leaseExpires time.Time
+	cancelled    bool
+	lastErr      string
+
+	done chan struct{}
+	res  *RemoteResult
+	err  error
+}
+
+// resumePoint returns the state a re-dispatch (or a local degrade)
+// should start from: the newest checkpoint if one was uploaded, the
+// dispatch-time input otherwise.
+func (tk *task) resumePoint() (step int, blob []byte) {
+	if tk.ckAIGER != nil {
+		return tk.ckStep, tk.ckAIGER
+	}
+	return tk.t.ResumeStep, tk.input
+}
+
+// Coordinator owns the dispatch queue, the worker registry and the
+// lease failure detector. The owning service keeps admission, the
+// journal and the result cache; the coordinator only decides which
+// worker runs which job and what happens when one dies.
+type Coordinator struct {
+	cfg   Config
+	hooks Hooks
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	tasks    map[string]*task // live (pending or leased) tasks by job ID
+	pending  []*task          // FIFO dispatch queue
+	leaseSeq uint64
+
+	wake     chan struct{} // nudges one long-poller when work arrives
+	stopc    chan struct{}
+	stopOnce sync.Once
+	swept    chan struct{} // sweeper exited
+
+	leasesGranted       int64
+	leasesExpired       int64
+	requeued            int64
+	attemptsExhausted   int64
+	checkpointsUploaded int64
+	heartbeats          int64
+	completedRemote     int64
+	failedUploads       int64
+}
+
+// NewCoordinator starts a coordinator and its lease sweeper. Close it
+// when the owning service drains.
+func NewCoordinator(cfg Config, hooks Hooks) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		hooks:   hooks,
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*task),
+		wake:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		swept:   make(chan struct{}),
+	}
+	go c.sweeper()
+	return c
+}
+
+// Close stops the failure detector. Outstanding Dispatch calls are the
+// caller's to cancel (they hold the job contexts).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopc) })
+	<-c.swept
+}
+
+// Config returns the resolved configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Dispatch hands one job to the fleet and blocks until it completes,
+// exhausts its attempt budget, loses every worker, or ctx ends.
+//
+//   - A nil error means a worker ran the job to completion; the
+//     RemoteResult carries the optimized circuit.
+//   - ErrNoWorkers (no live workers at dispatch time) and
+//     *WorkersLostError (the fleet died mid-job; carries the last
+//     checkpoint) both mean "run it locally instead".
+//   - *AttemptsExhaustedError is terminal: the job failed on every
+//     lease it was given.
+//   - A ctx error means the job was cancelled or timed out; any lease
+//     holder learns via its next heartbeat and abandons the work.
+func (c *Coordinator) Dispatch(ctx context.Context, t Task, input []byte) (*RemoteResult, error) {
+	now := time.Now()
+	c.mu.Lock()
+	if c.liveWorkersLocked(now) == 0 {
+		c.mu.Unlock()
+		return nil, ErrNoWorkers
+	}
+	tk := &task{t: t, input: input, done: make(chan struct{})}
+	c.tasks[t.Job] = tk
+	c.pending = append(c.pending, tk)
+	c.wakeLocked()
+	c.mu.Unlock()
+
+	select {
+	case <-tk.done:
+		return tk.res, tk.err
+	case <-ctx.Done():
+		if res, err, finished := c.cancelTask(tk); finished {
+			// The result upload won the race against the cancel: keep it.
+			return res, err
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// cancelTask marks a dispatched task cancelled. A pending task is
+// removed outright; a leased one stays registered so the holder's next
+// heartbeat answers "cancel" and the worker abandons it. finished
+// reports that the task had already completed (its outcome wins).
+func (c *Coordinator) cancelTask(tk *task) (res *RemoteResult, err error, finished bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-tk.done:
+		return tk.res, tk.err, true
+	default:
+	}
+	tk.cancelled = true
+	if tk.worker == "" {
+		c.removePendingLocked(tk)
+		delete(c.tasks, tk.t.Job)
+	}
+	return nil, nil, false
+}
+
+// finishLocked resolves a task's Dispatch and forgets it.
+func (c *Coordinator) finishLocked(tk *task, res *RemoteResult, err error) {
+	delete(c.tasks, tk.t.Job)
+	tk.res, tk.err = res, err
+	close(tk.done)
+}
+
+func (c *Coordinator) removePendingLocked(tk *task) {
+	for i, p := range c.pending {
+		if p == tk {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) wakeLocked() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// touchWorker registers first contact or refreshes liveness.
+func (c *Coordinator) touchWorker(id string, now time.Time) *workerState {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerState{id: id, firstSeen: now}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// liveWorkersLocked counts workers whose last contact is fresh enough
+// to trust with new work.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.LiveWindow {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveWorkers reports the current live-worker count.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked(time.Now())
+}
+
+// register handles first contact from a worker and returns the
+// failure-detector parameters it must live by.
+func (c *Coordinator) register(id string) registration {
+	now := time.Now()
+	c.mu.Lock()
+	c.touchWorker(id, now)
+	c.mu.Unlock()
+	return registration{
+		LeaseNs:     int64(c.cfg.Lease),
+		HeartbeatNs: int64(c.cfg.Heartbeat),
+		PollWaitNs:  int64(c.cfg.PollWait),
+	}
+}
+
+// acquire hands the oldest pending task to the polling worker under a
+// fresh lease, or reports none pending. The returned blob is the state
+// the worker must start from.
+func (c *Coordinator) acquire(workerID string) (hdr *pollHeader, blob []byte, ok bool) {
+	now := time.Now()
+	var onLease func(job, worker string, attempt, resumeStep int)
+	var job string
+	var attempt, resumeStep int
+	c.mu.Lock()
+	w := c.touchWorker(workerID, now)
+	if len(c.pending) > 0 {
+		tk := c.pending[0]
+		c.pending = c.pending[1:]
+		c.leaseSeq++
+		tk.attempts++
+		tk.worker = workerID
+		tk.lease = fmt.Sprintf("%s#%d", workerID, c.leaseSeq)
+		tk.leaseExpires = now.Add(c.cfg.Lease)
+		step, state := tk.resumePoint()
+		t := tk.t
+		t.Attempt = tk.attempts
+		t.ResumeStep = step
+		w.job = t.Job
+		w.attempt = tk.attempts
+		w.leaseExpires = tk.leaseExpires
+		c.leasesGranted++
+		hdr = &pollHeader{Task: t, Lease: tk.lease}
+		blob, ok = state, true
+		onLease = c.hooks.OnLease
+		job, attempt, resumeStep = t.Job, tk.attempts, step
+	}
+	c.mu.Unlock()
+	if ok && onLease != nil {
+		onLease(job, workerID, attempt, resumeStep)
+	}
+	return hdr, blob, ok
+}
+
+// heartbeat processes one proof of life for a lease. valid=false means
+// the lease is gone (expired, reassigned, unknown) and the worker must
+// abandon the job; status "cancel" means the job was cancelled
+// coordinator-side and the worker should abandon it too (the task is
+// forgotten once the cancel has been delivered).
+func (c *Coordinator) heartbeat(job, workerID, lease string) (status string, valid bool) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorker(workerID, now)
+	tk := c.tasks[job]
+	if tk == nil || tk.worker != workerID || tk.lease != lease {
+		return "", false
+	}
+	c.heartbeats++
+	if tk.cancelled {
+		// Deliver the cancel exactly once, then forget the task; a
+		// re-delivery races to 410, which aborts the worker just the same.
+		delete(c.tasks, job)
+		if w.job == job {
+			w.job = ""
+		}
+		return "cancel", true
+	}
+	tk.leaseExpires = now.Add(c.cfg.Lease)
+	w.leaseExpires = tk.leaseExpires
+	return "ok", true
+}
+
+// leaseValidLocked checks an upload's credentials.
+func (c *Coordinator) leaseValidLocked(job, lease string) *task {
+	tk := c.tasks[job]
+	if tk == nil || tk.lease != lease || tk.cancelled {
+		return nil
+	}
+	return tk
+}
+
+// uploadCheckpoint records a flow-step checkpoint from a lease holder.
+// A checkpoint is also proof of life: it extends the lease like a
+// heartbeat would. Returns false when the lease is gone (the worker
+// must abandon the job — another worker may already own it).
+func (c *Coordinator) uploadCheckpoint(job, lease string, step int, digest string, aiger []byte) bool {
+	now := time.Now()
+	var onCkpt func(string, int, string, []byte)
+	c.mu.Lock()
+	tk := c.leaseValidLocked(job, lease)
+	if tk == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if w := c.workers[tk.worker]; w != nil {
+		w.lastSeen = now
+	}
+	tk.leaseExpires = now.Add(c.cfg.Lease)
+	if step >= tk.ckStep || tk.ckAIGER == nil {
+		tk.ckStep, tk.ckDigest, tk.ckAIGER = step, digest, aiger
+	}
+	c.checkpointsUploaded++
+	onCkpt = c.hooks.OnCheckpoint
+	c.mu.Unlock()
+	if onCkpt != nil {
+		onCkpt(job, step, digest, aiger)
+	}
+	return true
+}
+
+// uploadResult completes a job from its lease holder. Returns false
+// when the lease is gone — the result is discarded, because the job was
+// already re-assigned (or cancelled) and accepting a stale upload could
+// finish the job twice.
+func (c *Coordinator) uploadResult(job, lease string, hdr resultHeader, aiger []byte) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tk := c.leaseValidLocked(job, lease)
+	if tk == nil {
+		return false
+	}
+	if w := c.workers[tk.worker]; w != nil {
+		w.lastSeen = now
+		w.completed++
+		if w.job == job {
+			w.job = ""
+		}
+	}
+	c.completedRemote++
+	c.finishLocked(tk, &RemoteResult{
+		AIGER:   aiger,
+		Result:  hdr.Result,
+		Verify:  hdr.Verify,
+		Worker:  tk.worker,
+		Attempt: tk.attempts,
+	}, nil)
+	return true
+}
+
+// uploadFailure records a worker-reported job failure: the attempt is
+// burned and the job is re-dispatched, degraded, or terminally failed
+// by the shared requeue logic.
+func (c *Coordinator) uploadFailure(job, lease, msg string) bool {
+	now := time.Now()
+	var cbs []func()
+	c.mu.Lock()
+	tk := c.leaseValidLocked(job, lease)
+	if tk == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if w := c.workers[tk.worker]; w != nil {
+		w.lastSeen = now
+		w.failed++
+		if w.job == job {
+			w.job = ""
+		}
+	}
+	c.failedUploads++
+	tk.lastErr = fmt.Sprintf("worker %s: %s", tk.worker, msg)
+	cbs = c.requeueOrFinishLocked(tk, now)
+	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+	return true
+}
+
+// requeueOrFinishLocked is the shared failover decision after a lost
+// lease or a reported failure: terminal failure once the attempt budget
+// is gone, degrade to the caller when no live worker remains, otherwise
+// back on the queue (from the newest checkpoint). Returns the hook
+// invocations to run outside the lock.
+func (c *Coordinator) requeueOrFinishLocked(tk *task, now time.Time) []func() {
+	tk.worker, tk.lease = "", ""
+	if tk.cancelled {
+		// Dispatch already returned; nothing left to do but forget it.
+		delete(c.tasks, tk.t.Job)
+		return nil
+	}
+	if tk.attempts >= c.cfg.MaxAttempts {
+		c.attemptsExhausted++
+		c.finishLocked(tk, nil, &AttemptsExhaustedError{Job: tk.t.Job, Attempts: tk.attempts, LastErr: tk.lastErr})
+		return nil
+	}
+	if c.liveWorkersLocked(now) == 0 {
+		step, state := tk.resumePoint()
+		c.finishLocked(tk, nil, &WorkersLostError{Job: tk.t.Job, ResumeStep: step, State: state})
+		return nil
+	}
+	c.requeued++
+	c.pending = append(c.pending, tk)
+	c.wakeLocked()
+	if c.hooks.OnRequeue != nil {
+		job, attempt := tk.t.Job, tk.attempts
+		step, _ := tk.resumePoint()
+		return []func(){func() { c.hooks.OnRequeue(job, attempt, step) }}
+	}
+	return nil
+}
+
+// sweeper is the failure detector: on every tick it expires leases
+// whose holder went silent for a whole lease duration and degrades
+// pending work when the fleet is empty, so a queue can never stall
+// behind dead workers.
+func (c *Coordinator) sweeper() {
+	defer close(c.swept)
+	t := time.NewTicker(c.cfg.Sweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-t.C:
+		}
+		c.sweep(time.Now())
+	}
+}
+
+// sweep is one failure-detector pass (split out so tests can drive it
+// deterministically).
+func (c *Coordinator) sweep(now time.Time) {
+	var cbs []func()
+	c.mu.Lock()
+	for _, tk := range c.tasks {
+		if tk.worker == "" || now.Before(tk.leaseExpires) {
+			continue
+		}
+		c.leasesExpired++
+		worker, attempt := tk.worker, tk.attempts
+		if w := c.workers[worker]; w != nil {
+			if w.job == tk.t.Job {
+				w.job = ""
+			}
+			// Missed heartbeats are a failed liveness probe: stop counting
+			// the holder as live until it contacts the coordinator again,
+			// so a one-worker fleet degrades to local execution now rather
+			// than after the liveness window ages out.
+			w.lastSeen = now.Add(-c.cfg.LiveWindow - time.Second)
+		}
+		tk.lastErr = fmt.Sprintf("lease expired: worker %s missed heartbeats for %v (attempt %d)", worker, c.cfg.Lease, attempt)
+		if c.hooks.OnLeaseExpired != nil {
+			job := tk.t.Job
+			cbs = append(cbs, func() { c.hooks.OnLeaseExpired(job, worker, attempt) })
+		}
+		cbs = append(cbs, c.requeueOrFinishLocked(tk, now)...)
+	}
+	// A pending task with zero live workers would wait forever: degrade
+	// it to the caller instead of stalling the queue.
+	if c.liveWorkersLocked(now) == 0 {
+		for _, tk := range c.pending {
+			step, state := tk.resumePoint()
+			c.finishLocked(tk, nil, &WorkersLostError{Job: tk.t.Job, ResumeStep: step, State: state})
+		}
+		c.pending = c.pending[:0]
+	}
+	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// SchemaCluster identifies the cluster section of the process /metrics
+// payload.
+const SchemaCluster = "dacparad-cluster/v1"
+
+// WorkerRow is one worker's observability row.
+type WorkerRow struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // idle | busy | gone
+	// Job and Attempt describe the current lease (busy workers only).
+	Job     string `json:"job,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// LeaseExpiresInMs counts down to lease expiry (busy workers only;
+	// negative means the sweeper is about to reclaim it).
+	LeaseExpiresInMs int64 `json:"lease_expires_in_ms,omitempty"`
+	// LastHeartbeatAgeMs is the age of the worker's last contact
+	// (heartbeat, poll, or upload).
+	LastHeartbeatAgeMs int64 `json:"last_heartbeat_age_ms"`
+	Completed          int64 `json:"completed"`
+	Failed             int64 `json:"failed"`
+}
+
+// Metrics is the dacparad-cluster/v1 observability payload: per-worker
+// rows plus the failover counters.
+type Metrics struct {
+	Schema      string      `json:"schema"`
+	Workers     []WorkerRow `json:"workers"`
+	LiveWorkers int         `json:"live_workers"`
+	Pending     int         `json:"pending_tasks"`
+
+	LeasesGranted       int64 `json:"leases_granted"`
+	LeasesExpired       int64 `json:"leases_expired"`
+	Requeued            int64 `json:"requeued"`
+	AttemptsExhausted   int64 `json:"attempts_exhausted"`
+	CheckpointsUploaded int64 `json:"checkpoints_uploaded"`
+	Heartbeats          int64 `json:"heartbeats"`
+	CompletedRemote     int64 `json:"completed_remote"`
+	FailedUploads       int64 `json:"failed_uploads"`
+	// DegradedLocal counts jobs the owning service ran in-process
+	// because no live worker could (filled in by the service).
+	DegradedLocal int64 `json:"degraded_local"`
+}
+
+// Metrics snapshots the coordinator's counters and worker registry.
+func (c *Coordinator) Metrics() Metrics {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Metrics{
+		Schema:              SchemaCluster,
+		LiveWorkers:         c.liveWorkersLocked(now),
+		Pending:             len(c.pending),
+		LeasesGranted:       c.leasesGranted,
+		LeasesExpired:       c.leasesExpired,
+		Requeued:            c.requeued,
+		AttemptsExhausted:   c.attemptsExhausted,
+		CheckpointsUploaded: c.checkpointsUploaded,
+		Heartbeats:          c.heartbeats,
+		CompletedRemote:     c.completedRemote,
+		FailedUploads:       c.failedUploads,
+	}
+	m.Workers = make([]WorkerRow, 0, len(c.workers))
+	for _, w := range c.workers {
+		row := WorkerRow{
+			ID:                 w.id,
+			LastHeartbeatAgeMs: now.Sub(w.lastSeen).Milliseconds(),
+			Completed:          w.completed,
+			Failed:             w.failed,
+		}
+		switch {
+		case w.job != "":
+			row.State = "busy"
+			row.Job = w.job
+			row.Attempt = w.attempt
+			row.LeaseExpiresInMs = time.Until(w.leaseExpires).Milliseconds()
+		case now.Sub(w.lastSeen) > c.cfg.LiveWindow:
+			row.State = "gone"
+		default:
+			row.State = "idle"
+		}
+		m.Workers = append(m.Workers, row)
+	}
+	sort.Slice(m.Workers, func(i, j int) bool { return m.Workers[i].ID < m.Workers[j].ID })
+	return m
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RegisterRoutes mounts the worker-facing API on the coordinator's mux
+// (all under /cluster/):
+//
+//	POST /cluster/register    first contact; returns lease/heartbeat/poll parameters
+//	POST /cluster/poll        long-poll for work; 200 = framed task+input, 204 = none
+//	POST /cluster/heartbeat   proof of life for a lease; 410 = lease gone, abandon
+//	POST /cluster/checkpoint  flow-step checkpoint upload (raw AIGER body)
+//	POST /cluster/result      completed-job upload (framed result+AIGER body)
+//	POST /cluster/fail        worker-reported job failure (text body)
+//
+// Workers are trusted fleet members (the API carries no tenant data a
+// job submitter did not already upload); the lease token is what keeps
+// a stale or superseded worker from corrupting job state.
+func (c *Coordinator) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /cluster/poll", c.handlePoll)
+	mux.HandleFunc("POST /cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/checkpoint", c.handleCheckpoint)
+	mux.HandleFunc("POST /cluster/result", c.handleResult)
+	mux.HandleFunc("POST /cluster/fail", c.handleFail)
+}
+
+func clusterError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// workerParam extracts the mandatory worker identity.
+func workerParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.URL.Query().Get("worker")
+	if id == "" {
+		clusterError(w, http.StatusBadRequest, "missing worker")
+		return "", false
+	}
+	return id, true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&body); err != nil || body.Worker == "" {
+		clusterError(w, http.StatusBadRequest, "register body must be {\"worker\":\"<id>\"}")
+		return
+	}
+	reg := c.register(body.Worker)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reg)
+}
+
+// handlePoll is the long-poll work fetch: it answers immediately when a
+// task is pending, otherwise holds the request open for PollWait and
+// answers 204. The response body is framed: task header JSON, then the
+// raw AIGER starting state.
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	id, ok := workerParam(w, r)
+	if !ok {
+		return
+	}
+	deadline := time.NewTimer(c.cfg.PollWait)
+	defer deadline.Stop()
+	for {
+		hdr, blob, got := c.acquire(id)
+		if got {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			writeFramed(w, hdr, blob)
+			return
+		}
+		select {
+		case <-c.wake:
+			// Work may have arrived; loop and race the other pollers for it.
+		case <-deadline.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			return
+		case <-c.stopc:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, ok := workerParam(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	status, valid := c.heartbeat(q.Get("job"), id, q.Get("lease"))
+	if !valid {
+		clusterError(w, http.StatusGone, "lease gone")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(heartbeatReply{Status: status})
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	step, err := strconv.Atoi(q.Get("step"))
+	if err != nil || step < 0 {
+		clusterError(w, http.StatusBadRequest, "bad step")
+		return
+	}
+	aiger, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxBlobBytes+1))
+	if err != nil || int64(len(aiger)) > c.cfg.MaxBlobBytes {
+		clusterError(w, http.StatusBadRequest, "checkpoint body unreadable or too large")
+		return
+	}
+	if !c.uploadCheckpoint(q.Get("job"), q.Get("lease"), step, q.Get("digest"), aiger) {
+		clusterError(w, http.StatusGone, "lease gone")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var hdr resultHeader
+	aiger, err := readFramed(r.Body, &hdr, c.cfg.MaxBlobBytes)
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !c.uploadResult(q.Get("job"), q.Get("lease"), hdr, aiger) {
+		clusterError(w, http.StatusGone, "lease gone")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	msg, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, "unreadable body")
+		return
+	}
+	if len(msg) == 0 {
+		msg = []byte("worker reported failure without a message")
+	}
+	if !c.uploadFailure(q.Get("job"), q.Get("lease"), string(msg)) {
+		clusterError(w, http.StatusGone, "lease gone")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

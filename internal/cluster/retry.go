@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Retry is the shared backoff policy for every worker→coordinator RPC:
+// capped exponential backoff with jitter, an optional attempt cap, and
+// an optional per-attempt deadline. The zero value gets the documented
+// defaults.
+type Retry struct {
+	// Base is the first backoff delay (default 100ms).
+	Base time.Duration
+	// Cap bounds every backoff delay (default 5s): after enough failures
+	// the retry cadence flattens instead of growing without bound.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized (default
+	// 0.5): a delay d is drawn uniformly from [d*(1-Jitter), d], so a
+	// fleet of workers that failed together does not retry in lockstep.
+	Jitter float64
+	// Attempts caps the number of op invocations; 0 retries until the
+	// context ends.
+	Attempts int
+	// AttemptTimeout bounds each individual op invocation (0: none). The
+	// op's context is cancelled when it expires, so a hung RPC cannot
+	// stall the retry loop.
+	AttemptTimeout time.Duration
+
+	// rnd overrides the jitter source for tests (returns [0,1)).
+	rnd func() float64
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.Base <= 0 {
+		r.Base = 100 * time.Millisecond
+	}
+	if r.Cap <= 0 {
+		r.Cap = 5 * time.Second
+	}
+	if r.Factor < 1 {
+		r.Factor = 2
+	}
+	if r.Jitter < 0 || r.Jitter > 1 {
+		r.Jitter = 0.5
+	}
+	if r.rnd == nil {
+		r.rnd = rand.Float64
+	}
+	return r
+}
+
+// Backoff returns the jittered delay before attempt n's retry (n counts
+// from 0). The un-jittered delay is min(Cap, Base·Factorⁿ); the
+// returned value lies in [d·(1-Jitter), d].
+func (r Retry) Backoff(n int) time.Duration {
+	r = r.withDefaults()
+	d := float64(r.Base)
+	for i := 0; i < n; i++ {
+		d *= r.Factor
+		if d >= float64(r.Cap) {
+			d = float64(r.Cap)
+			break
+		}
+	}
+	if d > float64(r.Cap) {
+		d = float64(r.Cap)
+	}
+	// Jitter shrinks the delay, never grows it, so Cap stays a hard
+	// ceiling.
+	d -= d * r.Jitter * r.rnd()
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried (e.g. the
+// coordinator says the lease is gone: retrying cannot ever succeed).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry.Do returns it immediately instead of
+// retrying. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do runs op under the policy: each failure sleeps the jittered backoff
+// for that attempt and tries again, until op succeeds, returns a
+// Permanent error, the attempt cap is hit, or ctx ends. The returned
+// error is the last op error (unwrapped if Permanent), or the ctx error
+// if the context ended first.
+func (r Retry) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	r = r.withDefaults()
+	var last error
+	for attempt := 0; r.Attempts == 0 || attempt < r.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if r.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.AttemptTimeout)
+		}
+		err := op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if r.Attempts > 0 && attempt == r.Attempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(r.Backoff(attempt)):
+		}
+	}
+	if last == nil {
+		last = fmt.Errorf("cluster: retry: no attempts allowed")
+	}
+	return last
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsToCap(t *testing.T) {
+	r := Retry{Base: 100 * time.Millisecond, Cap: 1 * time.Second, Factor: 2, Jitter: 0.5,
+		rnd: func() float64 { return 0 }} // zero jitter draw: full delay
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1 * time.Second, 1 * time.Second,
+	}
+	for n, w := range want {
+		if got := r.Backoff(n); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// Sanity against overflow far past the cap.
+	if got := r.Backoff(200); got != time.Second {
+		t.Fatalf("Backoff(200) = %v, want cap %v", got, time.Second)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// With the default rand source, every draw must land in
+	// [d*(1-Jitter), d] and never exceed the cap: jitter shrinks delays,
+	// it never grows them past the ceiling.
+	r := Retry{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Factor: 2, Jitter: 0.5}
+	for n := 0; n < 8; n++ {
+		full := 50 * time.Millisecond << n
+		if full > 400*time.Millisecond {
+			full = 400 * time.Millisecond
+		}
+		lo := full / 2
+		for i := 0; i < 200; i++ {
+			d := r.Backoff(n)
+			if d < lo || d > full {
+				t.Fatalf("Backoff(%d) = %v outside [%v, %v]", n, d, lo, full)
+			}
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	r := Retry{Base: time.Millisecond, Cap: 2 * time.Millisecond}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoAttemptCap(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	r := Retry{Base: time.Millisecond, Cap: 2 * time.Millisecond, Attempts: 3}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want boom after exactly 3", err, calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	gone := errors.New("lease gone")
+	r := Retry{Base: time.Millisecond, Cap: 2 * time.Millisecond, Attempts: 5}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(gone)
+	})
+	if !errors.Is(err, gone) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want the permanent error after exactly 1", err, calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	r := Retry{Base: time.Hour, Cap: time.Hour} // backoff would block forever
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error {
+			calls++
+			return errors.New("transient")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+}
+
+func TestDoAttemptTimeoutUnsticksHungOp(t *testing.T) {
+	r := Retry{Base: time.Millisecond, Cap: time.Millisecond, Attempts: 2,
+		AttemptTimeout: 10 * time.Millisecond}
+	start := time.Now()
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		<-ctx.Done() // a hung RPC: only the per-attempt deadline frees it
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want the attempt deadline error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung op held Do for %v", elapsed)
+	}
+}

@@ -37,6 +37,13 @@ const (
 	OpFailed           Op = "failed"
 	OpCancelled        Op = "cancelled"
 	OpDeadlineExceeded Op = "deadline_exceeded"
+	// OpLeased records a cluster lease grant: the job left the coordinator
+	// for a worker. Non-terminal — a crash-recovered job whose last record
+	// is a lease is re-enqueued like any interrupted job.
+	OpLeased Op = "leased"
+	// OpLeaseExpired records a failed lease (missed heartbeats or a
+	// worker-reported error) and the re-enqueue that followed.
+	OpLeaseExpired Op = "lease_expired"
 )
 
 // Terminal reports whether the op ends a job's lifecycle; a job whose
@@ -91,6 +98,12 @@ type Record struct {
 	Err string `json:"err,omitempty"`
 	// Req is present on OpSubmitted only.
 	Req *Request `json:"req,omitempty"`
+	// Worker, on OpLeased/OpLeaseExpired, names the worker holding (or
+	// having held) the lease.
+	Worker string `json:"worker,omitempty"`
+	// Attempt, on OpLeased/OpLeaseExpired, is the 1-based lease count for
+	// the job.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // logMagic heads every journal file; a file that does not start with it

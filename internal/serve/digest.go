@@ -2,62 +2,19 @@
 // of the dacpara facade: a bounded job queue with admission control, a
 // scheduler that bounds concurrent engine runs and per-job worker
 // budgets, job lifecycle tracking with cooperative cancellation, a
-// structural-hash-keyed LRU result cache, and graceful drain. The HTTP
-// surface (cmd/dacparad) is a thin layer over this package.
+// structural-hash-keyed LRU result cache, graceful drain and — when a
+// cluster.Config is attached — the coordinator role of a fault-tolerant
+// worker fleet. The HTTP surface (cmd/dacparad) is a thin layer over
+// this package.
 package serve
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-
 	"dacpara/internal/aig"
 )
 
-// StructuralDigest returns a hex SHA-256 of the network's structure:
-// the PI/PO counts, every AND node's fanin literals and the PO literals,
-// all expressed over a dense renumbering in topological order. Two
-// networks that are identical up to node-ID assignment (the same circuit
-// uploaded twice, or parsed from ASCII vs binary AIGER) digest equally;
-// any structural difference — an extra inverter, a swapped fanin cone —
-// changes the digest. This is the input half of the result-cache key.
+// StructuralDigest is aig.StructuralDigest re-exported at the service
+// layer: the hex SHA-256 of the network's structure that keys the
+// result cache and integrity-checks recovered blobs.
 func StructuralDigest(a *aig.AIG) string {
-	h := sha256.New()
-	var buf [binary.MaxVarintLen64]byte
-	put := func(v int64) {
-		n := binary.PutVarint(buf[:], v)
-		h.Write(buf[:n])
-	}
-	put(int64(a.NumPIs()))
-	put(int64(a.NumPOs()))
-	// Dense renumbering: constant node 0 stays 0, PIs take 1..N in
-	// creation order (the order AIGER I/O preserves), ANDs follow in
-	// topological order.
-	ren := make([]int64, a.Capacity())
-	next := int64(1)
-	for _, pi := range a.PIs() {
-		ren[pi] = next
-		next++
-	}
-	renLit := func(l aig.Lit) int64 {
-		v := ren[l.Node()] << 1
-		if l.Compl() {
-			v |= 1
-		}
-		return v
-	}
-	for _, id := range a.TopoOrder(nil) {
-		n := a.N(id)
-		if !n.IsAnd() {
-			continue
-		}
-		ren[id] = next
-		next++
-		put(renLit(n.Fanin0()))
-		put(renLit(n.Fanin1()))
-	}
-	for _, po := range a.POs() {
-		put(renLit(po))
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return aig.StructuralDigest(a)
 }

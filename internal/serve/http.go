@@ -27,8 +27,15 @@ const DefaultMaxUploadBytes = 256 << 20
 //	POST   /jobs/{id}/cancel cancel (also DELETE /jobs/{id})
 //	GET    /jobs/{id}/result download the optimized circuit (AIGER binary, ?format=bench for BENCH)
 //	GET    /jobs/{id}/metrics the run's dacpara-metrics/v1 snapshot
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness (200 while the process is up, even when not admitting work)
+//	GET    /readyz           readiness (503 while draining; see Ready)
 //	GET    /metrics          process-level dacparad-process/v1 counters
+//	POST   /cluster/*        worker-fleet RPCs, mounted only on a cluster coordinator
+//
+// Every load-shedding rejection (429 queue_full, 503 overloaded, 503
+// draining) and the 410 result_lost reply carry a Retry-After header in
+// seconds, so well-behaved clients back off a sensible amount without
+// guessing.
 //
 // Submission query parameters: engine (abc|iccad18|dacpara|dac22|tcad23)
 // or flow (a whole synthesis script, e.g. "b; rw; rf -p; rs -p; b" —
@@ -49,7 +56,17 @@ func (s *Service) HandlerMaxUpload(maxBytes int64) http.Handler {
 func (s *Service) handler(maxUpload int64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: a draining or shedding process is still alive and
+		// must not be restarted by its supervisor.
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready, reason := s.Ready(); !ready {
+			setRetryAfter(w, retryAfterDraining)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
@@ -94,7 +111,10 @@ func (s *Service) handler(maxUpload int64) http.Handler {
 			if j.State() == StateDone {
 				// A done job without result bytes was restored from the
 				// journal after a restart: the record survived, the cached
-				// circuit did not.
+				// circuit did not. Retry-After tells the client when a
+				// resubmission of the original circuit is worth attempting
+				// (the service is healthy; only these bytes are gone).
+				setRetryAfter(w, retryAfterResultLost)
 				writeError(w, http.StatusGone, "result_lost",
 					fmt.Sprintf("job %s: %v", j.ID, ErrResultLost))
 				return
@@ -131,7 +151,50 @@ func (s *Service) handler(maxUpload int64) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, m)
 	})
+	if s.coord != nil {
+		s.coord.RegisterRoutes(mux)
+	}
 	return mux
+}
+
+// Ready reports whether the service is admitting work; the reason names
+// the gate when it is not. /readyz maps false to 503 so load balancers
+// stop routing before drain (or shutdown) starts refusing submissions —
+// the liveness probe stays green the whole time.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return false, "draining"
+	}
+	return true, "ready"
+}
+
+// The Retry-After advice, in seconds, for each backoff-worthy reply:
+// a full queue clears in roughly a scheduler slot (seconds), a memory
+// shed needs the heap to drop (longer), a drain means this process is
+// going away (longer still, enough for DNS/load-balancer failover), and
+// a lost result needs a resubmission round-trip by the caller.
+const (
+	retryAfterQueueFull  = 1
+	retryAfterOverloaded = 5
+	retryAfterDraining   = 10
+	retryAfterResultLost = 30
+	// retryAfterCap bounds every Retry-After this service emits; a
+	// misconfigured constant can suggest patience, never a day of it.
+	retryAfterCap = 300
+)
+
+// setRetryAfter sets a capped Retry-After header in whole seconds.
+func setRetryAfter(w http.ResponseWriter, seconds int) {
+	if seconds < 1 {
+		seconds = 1
+	}
+	if seconds > retryAfterCap {
+		seconds = retryAfterCap
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload int64) {
@@ -148,7 +211,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload
 		// Memory shedding: the watchdog saw the heap over the soft limit.
 		// Distinct from queue_full so clients can tell "submit slower"
 		// apart from "the machine is out of headroom".
-		w.Header().Set("Retry-After", "5")
+		setRetryAfter(w, retryAfterOverloaded)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error":      "overloaded",
 			"message":    err.Error(),
@@ -157,7 +220,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload
 		})
 		return
 	case errors.As(err, &full):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, retryAfterQueueFull)
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error":       "queue_full",
 			"message":     err.Error(),
@@ -165,6 +228,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, maxUpload
 		})
 		return
 	case errors.Is(err, ErrDraining):
+		setRetryAfter(w, retryAfterDraining)
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
 		return
 	case err != nil:

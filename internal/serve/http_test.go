@@ -434,4 +434,9 @@ func TestHTTPResultLost410(t *testing.T) {
 	if body.Error != "result_lost" {
 		t.Fatalf("error kind %q, want result_lost", body.Error)
 	}
+	// A lost result is worth retrying (resubmission recomputes it), but
+	// not instantly: the reply must say when.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("410 result_lost without Retry-After")
+	}
 }

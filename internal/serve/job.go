@@ -118,6 +118,8 @@ type Job struct {
 
 	mu         sync.Mutex
 	state      State
+	attempts   int    // cluster leases consumed (0: never dispatched remotely)
+	worker     string // worker currently (or last) holding the job's lease
 	submitted  time.Time
 	startedAt  time.Time
 	finished   time.Time
@@ -238,6 +240,47 @@ func (j *Job) markRunning() bool {
 	return true
 }
 
+// currentResumeStep reads the job's flow cursor under the lock (cluster
+// hooks advance it concurrently with the scheduler).
+func (j *Job) currentResumeStep() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumeStep
+}
+
+// noteLease records a cluster lease grant on the job record (status
+// observability only; the coordinator owns the authoritative state).
+func (j *Job) noteLease(worker string, attempt, resumeStep int) {
+	j.mu.Lock()
+	j.worker = worker
+	j.attempts = attempt
+	if resumeStep > j.resumeStep {
+		j.resumeStep = resumeStep
+	}
+	j.mu.Unlock()
+}
+
+// noteResumeStep advances the job's visible flow cursor as worker
+// checkpoints arrive.
+func (j *Job) noteResumeStep(step int) {
+	j.mu.Lock()
+	if step > j.resumeStep {
+		j.resumeStep = step
+	}
+	j.mu.Unlock()
+}
+
+// noteRequeue records a failover re-enqueue: the job is off its worker
+// and will resume at resumeStep on the next lease (or locally).
+func (j *Job) noteRequeue(resumeStep int) {
+	j.mu.Lock()
+	j.worker = ""
+	if resumeStep > j.resumeStep {
+		j.resumeStep = resumeStep
+	}
+	j.mu.Unlock()
+}
+
 func (j *Job) finish(state State, res *CachedResult, verify *VerifyStatus, cacheHit bool, errMsg string) {
 	j.mu.Lock()
 	j.state = state
@@ -271,9 +314,18 @@ type JobStatus struct {
 
 	// Resumed marks a job rebuilt by crash recovery; for a flow job,
 	// ResumeStep is the step index it resumed from (steps before it were
-	// restored from the checkpoint, not re-executed).
+	// restored from the checkpoint, not re-executed). On a cluster
+	// coordinator, ResumeStep also tracks the latest worker-uploaded
+	// checkpoint cursor, so a failed-over job shows where its survivor
+	// resumed.
 	Resumed    bool `json:"resumed,omitempty"`
 	ResumeStep int  `json:"resume_step,omitempty"`
+
+	// Attempts counts cluster leases consumed by the job (0: never
+	// dispatched to a worker); Worker names the lease holder while one
+	// has it.
+	Attempts int    `json:"attempts,omitempty"`
+	Worker   string `json:"worker,omitempty"`
 
 	// Digest is the input's structural digest (the cache key's input
 	// half).
@@ -311,6 +363,8 @@ func (j *Job) Status() JobStatus {
 		DeadlineNs:  j.req.Deadline.Nanoseconds(),
 		Resumed:     j.resumed,
 		ResumeStep:  j.resumeStep,
+		Attempts:    j.attempts,
+		Worker:      j.worker,
 		Digest:      j.digest,
 		Input:       j.input,
 		CacheHit:    j.cacheHit,

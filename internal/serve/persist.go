@@ -176,34 +176,63 @@ func (s *Service) persistTerminal(job *Job, state State, errMsg string) {
 // resume from an earlier point after a crash), so errors are counted
 // and swallowed rather than failing a healthy job.
 func (s *Service) checkpointFn(job *Job) dacpara.FlowCheckpoint {
-	d := s.dur
-	if d == nil {
+	if s.dur == nil {
 		return nil
 	}
 	return func(completed int, net *dacpara.Network) error {
-		if d.crashed.Load() {
+		if s.dur.crashed.Load() {
 			return nil
 		}
 		var buf bytes.Buffer
 		if err := net.WriteBinary(&buf); err != nil {
-			d.checkpointErrors.Add(1)
+			s.dur.checkpointErrors.Add(1)
 			return nil
 		}
-		digest := StructuralDigest(net)
-		ck := journal.Checkpoint{Job: job.ID, Step: completed, Digest: digest, AIGER: buf.Bytes()}
-		if err := d.store.SaveCheckpoint(ck); err != nil {
-			d.checkpointErrors.Add(1)
-			return nil
-		}
-		if err := d.log.Append(journal.Record{
-			Op: journal.OpCheckpoint, Job: job.ID, TimeNs: time.Now().UnixNano(),
-			Step: completed, Digest: digest,
-		}); err != nil {
-			d.journalErrors.Add(1)
-			return nil
-		}
-		d.checkpoints.Add(1)
+		s.persistCheckpoint(job.ID, completed, StructuralDigest(net), buf.Bytes())
 		return nil
+	}
+}
+
+// persistCheckpoint stores one flow-step snapshot and journals the
+// cursor advance. It serves both local flow runs (via checkpointFn) and
+// worker-uploaded cluster checkpoints (via the coordinator hooks), so a
+// coordinator crash-restarting mid-failover resumes from whichever
+// checkpoint arrived last, local or remote. No-op on an in-memory
+// service; errors are counted and swallowed (durability degrades, the
+// job runs on).
+func (s *Service) persistCheckpoint(jobID string, step int, digest string, aiger []byte) {
+	d := s.dur
+	if d == nil || d.crashed.Load() {
+		return
+	}
+	ck := journal.Checkpoint{Job: jobID, Step: step, Digest: digest, AIGER: aiger}
+	if err := d.store.SaveCheckpoint(ck); err != nil {
+		d.checkpointErrors.Add(1)
+		return
+	}
+	if err := d.log.Append(journal.Record{
+		Op: journal.OpCheckpoint, Job: jobID, TimeNs: time.Now().UnixNano(),
+		Step: step, Digest: digest,
+	}); err != nil {
+		d.journalErrors.Add(1)
+		return
+	}
+	d.checkpoints.Add(1)
+}
+
+// journalLease records a cluster lease grant or expiry (op OpLeased or
+// OpLeaseExpired); both are non-terminal, so replay treats a job whose
+// last record is a lease event as interrupted, exactly right.
+func (s *Service) journalLease(op journal.Op, jobID, worker string, attempt int) {
+	d := s.dur
+	if d == nil || d.crashed.Load() {
+		return
+	}
+	if err := d.log.Append(journal.Record{
+		Op: op, Job: jobID, TimeNs: time.Now().UnixNano(),
+		Worker: worker, Attempt: attempt,
+	}); err != nil {
+		d.journalErrors.Add(1)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dacpara"
+	"dacpara/internal/cluster"
 )
 
 // Options configures a Service; the zero value gets the documented
@@ -60,6 +61,13 @@ type Options struct {
 	// WatchdogInterval is the memory sampling period (default 1s; only
 	// relevant when a mem limit is set).
 	WatchdogInterval time.Duration
+	// Cluster, when non-nil, runs the service as a cluster coordinator:
+	// jobs are handed to registered workers under time-bounded leases
+	// (see package cluster) and the service keeps admission, the journal,
+	// the result cache and the HTTP surface. With zero live workers —
+	// none ever joined, or the fleet died mid-job — the service degrades
+	// to local in-process execution instead of stalling the queue.
+	Cluster *cluster.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -153,7 +161,8 @@ func (e *ResourceLimitError) Error() string {
 type Service struct {
 	opts  Options
 	cache *resultCache
-	dur   *durability // nil: in-memory only
+	dur   *durability          // nil: in-memory only
+	coord *cluster.Coordinator // nil: standalone (no worker fleet)
 
 	start time.Time
 
@@ -177,6 +186,7 @@ type Service struct {
 	shedRecoveries atomic.Int64
 	shedRejected   atomic.Int64
 	memKilled      atomic.Int64
+	degradedLocal  atomic.Int64
 	stopc          chan struct{}
 	stopOnce       sync.Once
 
@@ -222,6 +232,9 @@ func Open(opts Options) (*Service, *Recovery, error) {
 			return nil, nil, err
 		}
 	}
+	if opts.Cluster != nil {
+		s.coord = cluster.NewCoordinator(*opts.Cluster, s.clusterHooks())
+	}
 	// Size the queue for the configured limit plus everything recovery
 	// re-enqueues, so a full-queue crash can still requeue every job.
 	s.queue = make(chan *Job, opts.QueueLimit+len(requeue))
@@ -241,6 +254,10 @@ func Open(opts Options) (*Service, *Recovery, error) {
 
 // Options returns the resolved configuration.
 func (s *Service) Options() Options { return s.opts }
+
+// Coordinator returns the cluster coordinator, nil on a standalone
+// service.
+func (s *Service) Coordinator() *cluster.Coordinator { return s.coord }
 
 // Submit validates and enqueues a job. The typed errors are
 // *QueueFullError (queue at limit), *OverloadedError (memory shed) and
@@ -376,6 +393,7 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 	if s.draining {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.closeCluster()
 		s.closeDurability()
 		return
 	}
@@ -401,6 +419,7 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 	}
 	select {
 	case <-finished:
+		s.closeCluster()
 		s.closeDurability()
 		return
 	case <-timer:
@@ -416,7 +435,16 @@ func (s *Service) Drain(gracePeriod time.Duration) {
 		}
 	}
 	<-finished
+	s.closeCluster()
 	s.closeDurability()
+}
+
+// closeCluster stops the coordinator's failure detector (idempotent;
+// no-op on a standalone service).
+func (s *Service) closeCluster() {
+	if s.coord != nil {
+		s.coord.Close()
+	}
 }
 
 // worker is one scheduler slot: it pulls queued jobs and runs them, at
@@ -441,37 +469,8 @@ func cacheKey(digest string, eng dacpara.Engine, flow string, cfg dacpara.Config
 		cfg.Passes, cfg.Workers, seed)
 }
 
-// summarizeFlow folds a flow's per-step results into one job-level
-// summary: the QoR spans first input to final output, the work counters
-// accumulate across steps, and the metrics snapshot is the last
-// instrumented step's.
-func summarizeFlow(steps []dacpara.Result, cfg dacpara.Config, final *dacpara.Network) dacpara.Result {
-	out := dacpara.Result{Engine: "flow", Threads: cfg.Workers, Passes: len(steps)}
-	if len(steps) > 0 {
-		out.InitialAnds = steps[0].InitialAnds
-		out.InitialDelay = steps[0].InitialDelay
-	}
-	st := final.Stats()
-	out.FinalAnds = st.Ands
-	out.FinalDelay = st.Delay
-	for _, r := range steps {
-		out.Replacements += r.Replacements
-		out.Attempts += r.Attempts
-		out.Stale += r.Stale
-		out.Commits += r.Commits
-		out.Aborts += r.Aborts
-		out.InjectedAborts += r.InjectedAborts
-		out.CommittedWork += r.CommittedWork
-		out.WastedWork += r.WastedWork
-		out.Duration += r.Duration
-		if r.Metrics != nil {
-			out.Metrics = r.Metrics
-		}
-	}
-	return out
-}
-
-// run executes one job to a terminal state.
+// run executes one job to a terminal state: remotely when a cluster
+// coordinator with live workers is attached, locally otherwise.
 func (s *Service) run(job *Job) {
 	s.journalStarted(job)
 	key := cacheKey(job.digest, job.req.Engine, job.req.Flow, job.req.Config, job.req.Seed)
@@ -480,16 +479,6 @@ func (s *Service) run(job *Job) {
 		job.finish(StateDone, res, nil, true, "")
 		s.persistTerminal(job, StateDone, "")
 		return
-	}
-
-	cfg := job.req.Config
-	cfg.Metrics = dacpara.NewMetrics()
-	var golden *dacpara.Network
-	if job.req.Verify {
-		// For a job resumed from a checkpoint the golden reference is the
-		// checkpoint state, so verification covers the re-executed steps
-		// (the checkpointed prefix was verified by digest at recovery).
-		golden = job.req.Network.Clone()
 	}
 
 	// The wall-clock deadline wraps the job context: expiry surfaces as
@@ -503,14 +492,33 @@ func (s *Service) run(job *Job) {
 		defer cancelDeadline()
 	}
 
-	net := job.req.Network
+	if s.coord != nil && s.runRemote(rctx, job, key) {
+		return
+	}
+	s.runLocal(rctx, job, key, job.req.Network, job.currentResumeStep())
+}
+
+// runLocal executes one job in-process, starting from net at resumeStep
+// (the submitted input at step 0 for a fresh job; a recovery or
+// failover checkpoint otherwise).
+func (s *Service) runLocal(rctx context.Context, job *Job, key string, net *dacpara.Network, resumeStep int) {
+	cfg := job.req.Config
+	cfg.Metrics = dacpara.NewMetrics()
+	var golden *dacpara.Network
+	if job.req.Verify {
+		// For a job resumed from a checkpoint the golden reference is the
+		// checkpoint state, so verification covers the re-executed steps
+		// (the checkpointed prefix was verified by digest at recovery).
+		golden = net.Clone()
+	}
+
 	var result dacpara.Result
 	var err error
 	if job.req.Flow != "" {
 		var stepResults []dacpara.Result
-		stepResults, net, err = dacpara.FlowResumeContext(rctx, net, job.req.Flow, cfg, job.resumeStep, s.checkpointFn(job))
+		stepResults, net, err = dacpara.FlowResumeContext(rctx, net, job.req.Flow, cfg, resumeStep, s.checkpointFn(job))
 		if err == nil {
-			result = summarizeFlow(stepResults, cfg, net)
+			result = dacpara.SummarizeFlow(stepResults, cfg, net)
 		}
 	} else {
 		result, err = dacpara.RewriteContext(rctx, net, job.req.Engine, cfg)
@@ -697,6 +705,10 @@ type ProcessMetrics struct {
 		Killed       int64 `json:"killed"`
 	} `json:"memory"`
 
+	// Cluster is the dacparad-cluster/v1 section: per-worker rows and
+	// failover counters. Absent on a standalone service.
+	Cluster *cluster.Metrics `json:"cluster,omitempty"`
+
 	// Durability reports the journal/checkpoint layer (zero values when
 	// the service runs without a DataDir).
 	Durability struct {
@@ -744,6 +756,11 @@ func (s *Service) Metrics() ProcessMetrics {
 	m.Memory.ShedRejected = s.shedRejected.Load()
 	m.Memory.Recoveries = s.shedRecoveries.Load()
 	m.Memory.Killed = s.memKilled.Load()
+	if s.coord != nil {
+		cm := s.coord.Metrics()
+		cm.DegradedLocal = s.degradedLocal.Load()
+		m.Cluster = &cm
+	}
 	if s.dur != nil {
 		m.Durability.Enabled = true
 		m.Durability.JournalRecords = s.dur.log.Records()

@@ -11,11 +11,15 @@ PORT="${1:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
+W1_PID=""
+W2_PID=""
 
 cleanup() {
-  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-    kill -9 "$DAEMON_PID" 2>/dev/null || true
-  fi
+  for pid in "$DAEMON_PID" "$W1_PID" "$W2_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -213,6 +217,109 @@ kill -TERM "$DAEMON_PID"
 for i in $(seq 1 100); do
   kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; break; }
   [[ $i -eq 100 ]] && fail "durable daemon did not exit on SIGTERM"
+  sleep 0.1
+done
+echo "smoke: clean durable SIGTERM drain"
+
+# --- cluster failover: coordinator + 2 workers, kill -9 the busy one -
+# The coordinator leases jobs to pull workers; a worker that stops
+# heartbeating loses its lease and its job resumes from the last
+# uploaded checkpoint on the survivor. This phase boots that topology,
+# submits a slow multi-step flow, kill -9s whichever worker holds the
+# lease once the first checkpoint lands, and requires the job to finish
+# on the other worker with resume_step >= 1.
+CDATA="$WORK/cdata"
+echo "smoke: booting coordinator on :$PORT with 2 workers"
+"$WORK/dacparad" -role coordinator -addr "127.0.0.1:$PORT" -max-jobs 1 -queue 8 \
+  -job-workers 2 -data-dir "$CDATA" -lease 2s -heartbeat 200ms &
+DAEMON_PID=$!
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "coordinator died during startup"
+  [[ $i -eq 100 ]] && fail "coordinator never became healthy"
+  sleep 0.1
+done
+"$WORK/dacparad" -role worker -join "$BASE" -worker-id w1 &
+W1_PID=$!
+"$WORK/dacparad" -role worker -join "$BASE" -worker-id w2 &
+W2_PID=$!
+
+for i in $(seq 1 100); do
+  curl -sf "$BASE/metrics" >"$WORK/cmetrics.json" || fail "coordinator metrics poll failed"
+  grep -q '"live_workers": *2' "$WORK/cmetrics.json" && break
+  [[ $i -eq 100 ]] && fail "both workers never registered: $(cat "$WORK/cmetrics.json")"
+  sleep 0.1
+done
+grep -q '"dacparad-cluster/v1"' "$WORK/cmetrics.json" || fail "no cluster section in /metrics: $(cat "$WORK/cmetrics.json")"
+echo "smoke: both workers registered"
+
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?flow=b%3B%20rw%20-z%3B%20b&workers=2&passes=2000" >"$WORK/cjob.json" \
+  || fail "cluster flow submission rejected"
+CJOB="$(json_field "$WORK/cjob.json" .id '"id": *"[^"]*"')"
+[[ "$CJOB" == j* ]] || fail "no job id in cluster submit response: $(cat "$WORK/cjob.json")"
+echo "smoke: submitted cluster flow job $CJOB"
+
+# Wait for the first worker-uploaded checkpoint to show in the cluster
+# metrics, then read which worker holds the lease.
+for i in $(seq 1 400); do
+  curl -sf "$BASE/metrics" >"$WORK/cmetrics.json"
+  grep -qE '"checkpoints_uploaded": *[1-9]' "$WORK/cmetrics.json" && break
+  STATE="$(curl -sf "$BASE/jobs/$CJOB" | grep -o '"state": *"[^"]*"' | head -1)"
+  case "$STATE" in
+    *done*|*failed*|*cancelled*) fail "cluster job ended ($STATE) before a checkpoint; kill window missed" ;;
+  esac
+  [[ $i -eq 400 ]] && fail "no cluster checkpoint uploaded: $(cat "$WORK/cmetrics.json")"
+  sleep 0.05
+done
+
+if command -v jq >/dev/null 2>&1; then
+  BUSY="$(jq -r '.cluster.workers[] | select(.state=="busy") | .id' "$WORK/cmetrics.json" | head -1)"
+  [[ -n "$BUSY" ]] || fail "checkpoint uploaded but no busy worker: $(cat "$WORK/cmetrics.json")"
+  case "$BUSY" in
+    w1) VICTIM_PID=$W1_PID ;;
+    w2) VICTIM_PID=$W2_PID ;;
+    *) fail "unknown busy worker '$BUSY'" ;;
+  esac
+  echo "smoke: kill -9 busy worker $BUSY"
+  kill -9 "$VICTIM_PID"
+  wait "$VICTIM_PID" 2>/dev/null || true
+  [[ "$BUSY" == w1 ]] && W1_PID="" || W2_PID=""
+else
+  echo "smoke: jq missing; skipping the worker kill (completion still checked)"
+fi
+
+STATE=""
+for i in $(seq 1 1800); do
+  curl -sf "$BASE/jobs/$CJOB" >"$WORK/cstat.json" || fail "cluster job status poll failed"
+  STATE="$(json_field "$WORK/cstat.json" .state '"state": *"[^"]*"')"
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled|deadline_exceeded) fail "cluster job ended $STATE: $(cat "$WORK/cstat.json")" ;;
+  esac
+  sleep 0.1
+done
+[[ "$STATE" == done ]] || fail "cluster job stuck in '$STATE'"
+if command -v jq >/dev/null 2>&1; then
+  grep -qE '"resume_step": *[1-9]' "$WORK/cstat.json" || fail "failed-over job restarted from step 0: $(cat "$WORK/cstat.json")"
+  grep -qE '"attempts": *[2-9]' "$WORK/cstat.json" || fail "failover did not consume a second lease: $(cat "$WORK/cstat.json")"
+  curl -sf "$BASE/metrics" >"$WORK/cmetrics.json"
+  jq -e '.cluster.leases_expired >= 1 and .cluster.requeued >= 1' "$WORK/cmetrics.json" >/dev/null \
+    || fail "failover counters missing: $(cat "$WORK/cmetrics.json")"
+fi
+curl -sf -o "$WORK/cluster.aig" "$BASE/jobs/$CJOB/result" || fail "cluster result download failed"
+head -c 3 "$WORK/cluster.aig" | grep -q '^aig' || fail "cluster result is not binary AIGER"
+echo "smoke: cluster failover ok"
+
+for pid in "$W1_PID" "$W2_PID"; do
+  [[ -n "$pid" ]] && kill -TERM "$pid" 2>/dev/null || true
+done
+W1_PID=""
+W2_PID=""
+kill -TERM "$DAEMON_PID"
+for i in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; break; }
+  [[ $i -eq 100 ]] && fail "coordinator did not exit on SIGTERM"
   sleep 0.1
 done
 echo "smoke: PASS"

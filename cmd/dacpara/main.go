@@ -27,6 +27,8 @@ func main() {
 		engine    = flag.String("engine", "dacpara", "engine: abc, iccad18, dacpara, dac22, tcad23")
 		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		passes    = flag.Int("passes", 1, "rewriting passes")
+		cutK      = flag.Int("k", 0, "rewriting cut width, 4..6 (0 = classic 4-input; 5/6 use the large-cut NPN library, see -rewlib)")
+		rewlibF   = flag.String("rewlib", "", "preload a dacpara-rewlib/v1 structure-library file (see cmd/rewlibgen); classes not in the file are synthesized on demand")
 		p1        = flag.Bool("p1", false, "use the paper's P1 configuration (8 cuts, 5 structures, 2 passes)")
 		p2        = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
 		zero      = flag.Bool("z", false, "also apply zero-gain rewrites")
@@ -73,6 +75,18 @@ func main() {
 	if *p2 {
 		cfg = dacpara.P2()
 		cfg.Workers = *threads
+	}
+	if *cutK != 0 && (*cutK < 4 || *cutK > dacpara.MaxCutWidth) {
+		fmt.Fprintf(os.Stderr, "dacpara: -k %d out of range 4..%d\n", *cutK, dacpara.MaxCutWidth)
+		os.Exit(2)
+	}
+	cfg.K = *cutK
+	if *rewlibF != "" {
+		loaded, rejected, err := dacpara.LoadRewlib(*rewlibF)
+		fatal(err)
+		if rejected > 0 {
+			fmt.Fprintf(os.Stderr, "dacpara: rewlib %s: %d corrupt classes rejected (%d loaded)\n", *rewlibF, rejected, loaded)
+		}
 	}
 	if *stats || *statsJSON != "" {
 		cfg.Metrics = dacpara.NewMetrics()

@@ -37,6 +37,7 @@ func main() {
 		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
 		passNames = flag.String("pass", "rewrite", "comma-separated passes to sweep: rewrite, refactor, resub (refactor/resub run their DACPara-style parallel executors)")
 		passes    = flag.Int("passes", 1, "rewriting passes per run")
+		cutKs     = flag.String("k", "4", "comma-separated rewriting cut widths for the rewrite pass (4..6; 5/6 use the large-cut NPN library)")
 		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
 		validate  = flag.String("validate", "", "validate an existing BENCH json against the schema and exit")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
@@ -62,6 +63,16 @@ func main() {
 	if len(workerCounts) == 0 {
 		fatal(fmt.Errorf("no worker counts"))
 	}
+	cutWidths, err := parseInts(*cutKs)
+	fatal(err)
+	if len(cutWidths) == 0 {
+		cutWidths = []int{4}
+	}
+	for _, k := range cutWidths {
+		if k < 4 || k > dacpara.MaxCutWidth {
+			fatal(fmt.Errorf("cut width %d outside 4..%d", k, dacpara.MaxCutWidth))
+		}
+	}
 
 	file := &metrics.BenchFile{
 		Schema:  metrics.SchemaBench,
@@ -77,7 +88,7 @@ func main() {
 	}
 
 	coll := dacpara.NewMetrics()
-	record := func(name, pass, eng string, w int, res dacpara.Result, runErr error) {
+	record := func(name, pass, eng string, w, k int, res dacpara.Result, runErr error) {
 		run := metrics.BenchRun{
 			Circuit: name,
 			Pass:    pass,
@@ -85,13 +96,16 @@ func main() {
 			Workers: w,
 			Metrics: res.Metrics,
 		}
+		if k > 4 {
+			run.K = k
+		}
 		if runErr != nil {
 			run.Error = runErr.Error()
 		}
 		file.Runs = append(file.Runs, run)
 		if !*quiet {
-			fmt.Printf("%-14s %-9s %-16s w=%-2d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
-				name, pass, eng, w, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
+			fmt.Printf("%-14s %-9s %-16s w=%-2d k=%d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
+				name, pass, eng, w, max(k, 4), res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
 				res.Aborts, 100*res.WastedFraction())
 		}
 	}
@@ -101,11 +115,16 @@ func main() {
 			case "rewrite":
 				for _, eng := range strings.Split(*engines, ",") {
 					for _, w := range workerCounts {
-						net, err := dacpara.Generate(name, sc)
-						fatal(err)
-						cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
-						res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
-						record(name, pass, eng, w, res, runErr)
+						for _, k := range cutWidths {
+							net, err := dacpara.Generate(name, sc)
+							fatal(err)
+							cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
+							if k > 4 {
+								cfg.K = k
+							}
+							res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
+							record(name, pass, eng, w, k, res, runErr)
+						}
 					}
 				}
 			case "refactor":
@@ -114,7 +133,7 @@ func main() {
 					fatal(err)
 					res, runErr := refactor.RunParallelCtx(context.Background(), net,
 						refactor.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, res, runErr)
+					record(name, pass, res.Engine, w, 4, res, runErr)
 				}
 			case "resub":
 				for _, w := range workerCounts {
@@ -122,7 +141,7 @@ func main() {
 					fatal(err)
 					res, runErr := resub.RunParallelCtx(context.Background(), net,
 						resub.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, res, runErr)
+					record(name, pass, res.Engine, w, 4, res, runErr)
 				}
 			default:
 				fatal(fmt.Errorf("unknown pass %q (want rewrite, refactor or resub)", pass))

@@ -1,0 +1,158 @@
+// Command rewlibgen builds dacpara-rewlib/v1 structure-library files for
+// large-cut rewriting: it harvests the 5/6-input cut functions that
+// actually occur on the generated benchmark suite, classifies them
+// semi-canonically, synthesizes a deterministic structure forest per
+// class, and writes the CRC-framed library file that `dacpara -rewlib`
+// (or $DACPARA_REWLIB) preloads.
+//
+// The whole pipeline is deterministic — circuits in suite order, nodes in
+// ID order, classes sorted by representative, synthesis seedless — so two
+// runs over the same suite produce byte-identical files; the printed
+// sha256 is the content address CI compares.
+//
+// Usage:
+//
+//	rewlibgen -k 5 -out rewlib_k5.bin
+//	rewlibgen -k 6 -scale tiny -circuits sin,sqrt -per-class 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dacpara"
+	"dacpara/internal/cut"
+	"dacpara/internal/npn"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/tt"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 6, "cut width to harvest, 5 or 6")
+		scale    = flag.String("scale", "tiny", "benchmark scale to harvest: tiny, small, full")
+		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		perClass = flag.Int("per-class", rewlib.DefaultBigPerClass, "structures kept per class")
+		maxCls   = flag.Int("max-classes", 0, "cap on emitted classes, most frequent first (0 = all harvested)")
+		out      = flag.String("out", "", "output file (default rewlib_k<k>.bin)")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if *k < 5 || *k > dacpara.MaxCutWidth {
+		fatal(fmt.Errorf("rewlibgen: -k %d out of range 5..%d", *k, dacpara.MaxCutWidth))
+	}
+
+	sc := parseScale(*scale)
+	names := dacpara.BenchmarkNames(sc)
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+
+	// Harvest: count every semi-canonical class of a wide (5+ leaf) cut
+	// across the suite. All iteration orders are deterministic.
+	freq := map[tt.Func64]int{}
+	cache := npn.NewSemiCache()
+	for _, name := range names {
+		net, err := dacpara.Generate(name, sc)
+		fatal(err)
+		cm := cut.NewManager(net, cut.Params{K: *k})
+		cm.Ensure(0, nil)
+		for _, pi := range net.PIs() {
+			cm.Ensure(pi, nil)
+		}
+		wide := 0
+		net.ForEachAnd(func(id int32) {
+			cuts, ok := cm.Ensure(id, nil)
+			if !ok {
+				return
+			}
+			for ci := range cuts {
+				if cuts[ci].Size < 5 {
+					continue
+				}
+				repr, _ := cache.Canon(cuts[ci].TT)
+				freq[repr]++
+				wide++
+			}
+		})
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%-14s %7d wide cuts, %6d classes so far\n", name, wide, len(freq))
+		}
+	}
+
+	reprs := make([]tt.Func64, 0, len(freq))
+	for r := range freq {
+		reprs = append(reprs, r)
+	}
+	sort.Slice(reprs, func(i, j int) bool { return reprs[i] < reprs[j] })
+	if *maxCls > 0 && len(reprs) > *maxCls {
+		// Keep the most frequent classes; ties break on the representative
+		// so the cap stays deterministic.
+		sort.Slice(reprs, func(i, j int) bool {
+			if freq[reprs[i]] != freq[reprs[j]] {
+				return freq[reprs[i]] > freq[reprs[j]]
+			}
+			return reprs[i] < reprs[j]
+		})
+		reprs = reprs[:*maxCls]
+		sort.Slice(reprs, func(i, j int) bool { return reprs[i] < reprs[j] })
+	}
+
+	// Synthesize every class's forest. Synthesis is per-class
+	// deterministic, so the parallel fan-out cannot affect the output.
+	big := rewlib.NewBigLibrary(*perClass)
+	classes := make([]rewlib.FileClass, len(reprs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, r := range reprs {
+		i, r := i, r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			classes[i] = rewlib.FileClass{Repr: r, Structs: big.ForRepr(r)}
+		}()
+	}
+	wg.Wait()
+	kept := classes[:0]
+	for _, c := range classes {
+		if len(c.Structs) > 0 {
+			kept = append(kept, c)
+		}
+	}
+
+	data, err := rewlib.EncodeLibrary(*k, kept)
+	fatal(err)
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("rewlib_k%d.bin", *k)
+	}
+	fatal(os.WriteFile(path, data, 0o644))
+	fmt.Printf("%s: k=%d classes=%d bytes=%d sha256=%s\n",
+		path, *k, len(kept), len(data), rewlib.ContentHash(data))
+}
+
+func parseScale(s string) dacpara.Scale {
+	switch s {
+	case "tiny":
+		return dacpara.ScaleTiny
+	case "small":
+		return dacpara.ScaleSmall
+	case "full":
+		return dacpara.ScaleFull
+	}
+	fatal(fmt.Errorf("rewlibgen: unknown scale %q", s))
+	panic("unreachable")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

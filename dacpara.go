@@ -23,12 +23,14 @@ package dacpara
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 
 	"dacpara/internal/aig"
 	"dacpara/internal/bench"
 	"dacpara/internal/cec"
 	"dacpara/internal/core"
+	"dacpara/internal/cut"
 	"dacpara/internal/guard"
 	"dacpara/internal/lockpar"
 	"dacpara/internal/metrics"
@@ -110,6 +112,16 @@ func P1() Config { return rewrite.P1() }
 // cuts/structures, one pass).
 func P2() Config { return rewrite.P2() }
 
+// MaxCutWidth is the largest supported rewriting cut width (Config.K).
+const MaxCutWidth = cut.MaxK
+
+// RewlibEnv names the environment variable that, when set, points at a
+// dacpara-rewlib/v1 file (see cmd/rewlibgen) used to preload the
+// large-cut structure forests. The file is purely an acceleration: every
+// class is re-verified functionally on load, missing or corrupt files
+// are ignored, and any class not in the file is synthesized on demand.
+const RewlibEnv = "DACPARA_REWLIB"
+
 var defaultLibrary = sync.OnceValues(func() (*Library, error) {
 	return rewlib.Build(npn.Shared(), rewlib.Params{})
 })
@@ -117,6 +129,34 @@ var defaultLibrary = sync.OnceValues(func() (*Library, error) {
 // DefaultLibrary returns the process-wide structure library, built on
 // first use (a few hundred milliseconds, then cached).
 func DefaultLibrary() (*Library, error) { return defaultLibrary() }
+
+var defaultBig = sync.OnceValue(func() *rewlib.BigLibrary {
+	b := rewlib.NewBigLibrary(rewlib.DefaultBigPerClass)
+	if path := os.Getenv(RewlibEnv); path != "" {
+		if f, err := rewlib.ReadLibraryFile(path); err == nil {
+			f.Preload(b)
+		}
+	}
+	return b
+})
+
+// BigLibrary returns the process-wide large-cut structure forest used by
+// rewriting with Config.K >= 5, preloaded from the $DACPARA_REWLIB file
+// when one is set and synthesizing any other class on demand.
+func BigLibrary() *rewlib.BigLibrary { return defaultBig() }
+
+// LoadRewlib decodes a dacpara-rewlib/v1 library file and preloads its
+// classes into the process-wide large-cut forest, returning how many
+// classes were installed and how many were rejected by functional
+// re-verification.
+func LoadRewlib(path string) (loaded, rejected int, err error) {
+	f, err := rewlib.ReadLibraryFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	loaded, rejected = f.Preload(defaultBig())
+	return loaded, rejected, nil
+}
 
 // Rewrite optimizes the network in place with the chosen engine and
 // returns the run statistics.
@@ -147,6 +187,14 @@ func RewriteWithLibrary(net *Network, engine Engine, cfg Config, lib *Library) (
 // RewriteWithLibraryContext is RewriteContext against a custom structure
 // library.
 func RewriteWithLibraryContext(ctx context.Context, net *Network, engine Engine, cfg Config, lib *Library) (Result, error) {
+	if cfg.K > MaxCutWidth {
+		return Result{}, fmt.Errorf("dacpara: cut width %d beyond the supported maximum %d", cfg.K, MaxCutWidth)
+	}
+	if cfg.K >= 5 && lib.Big == nil {
+		// Large-cut rewriting needs the 5/6-input forests; attach the
+		// process-wide one unless the caller brought their own.
+		lib = lib.WithBig(defaultBig())
+	}
 	switch engine {
 	case EngineSerial:
 		return rewrite.SerialCtx(ctx, net, lib, cfg)
@@ -195,6 +243,12 @@ func RewriteGuardedContext(ctx context.Context, net *Network, engine Engine, cfg
 	lib, err := DefaultLibrary()
 	if err != nil {
 		return Result{}, nil, err
+	}
+	if cfg.K > MaxCutWidth {
+		return Result{}, nil, fmt.Errorf("dacpara: cut width %d beyond the supported maximum %d", cfg.K, MaxCutWidth)
+	}
+	if cfg.K >= 5 && lib.Big == nil {
+		lib = lib.WithBig(defaultBig())
 	}
 	if len(opts.Ladder) == 0 {
 		opts.Engine = guard.Engine(engine)

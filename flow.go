@@ -93,6 +93,9 @@ type FlowStep struct {
 	// Workers is the per-step worker override from -w=N (0: use the
 	// flow Config's Workers).
 	Workers int
+	// K is the cut-width override from -k=N on rewriting commands
+	// (0: use the flow Config's K).
+	K int
 	// Engine is non-empty for rewriting commands (rewrite and the engine
 	// names), empty for the other transforms.
 	Engine Engine
@@ -122,7 +125,8 @@ func ParseFlow(script string) ([]FlowStep, error) {
 		if canon, ok := flowAliases[st.Cmd]; ok {
 			st.Cmd = canon
 		}
-		for _, f := range fields[1:] {
+		for fi := 1; fi < len(fields); fi++ {
+			f := fields[fi]
 			switch {
 			case f == "-z":
 				st.ZeroGain = true
@@ -134,18 +138,36 @@ func ParseFlow(script string) ([]FlowStep, error) {
 					return nil, fmt.Errorf("dacpara: flow command %q: bad worker count %q", st.Cmd, f)
 				}
 				st.Workers = n
+			case f == "-k" || strings.HasPrefix(f, "-k="):
+				// Both "-k 6" and "-k=6" are accepted.
+				arg := strings.TrimPrefix(f, "-k=")
+				if f == "-k" {
+					if fi+1 >= len(fields) {
+						return nil, fmt.Errorf("dacpara: flow command %q: -k needs a cut width", st.Cmd)
+					}
+					fi++
+					arg = fields[fi]
+				}
+				n, err := strconv.Atoi(arg)
+				if err != nil || n < 4 || n > MaxCutWidth {
+					return nil, fmt.Errorf("dacpara: flow command %q: bad cut width %q (want 4..%d)", st.Cmd, arg, MaxCutWidth)
+				}
+				st.K = n
 			default:
 				return nil, fmt.Errorf("dacpara: flow command %q: unknown flag %q", st.Cmd, f)
 			}
 		}
 		switch st.Cmd {
 		case "balance", "fraig":
-			if st.ZeroGain || st.Parallel || st.Workers != 0 {
+			if st.ZeroGain || st.Parallel || st.Workers != 0 || st.K != 0 {
 				return nil, fmt.Errorf("dacpara: flow command %q does not accept flags", st.Cmd)
 			}
 		case "refactor", "resub":
 			if st.Workers != 0 && !st.Parallel {
 				return nil, fmt.Errorf("dacpara: flow command %q: -w= requires -p", st.Cmd)
+			}
+			if st.K != 0 {
+				return nil, fmt.Errorf("dacpara: flow command %q: -k= applies to rewriting commands only", st.Cmd)
 			}
 		case "rewrite":
 			if st.Parallel {
@@ -185,9 +207,12 @@ func ParseFlow(script string) ([]FlowStep, error) {
 // Flags: rewrite, refactor and resub accept -z (zero-gain commits);
 // refactor and resub accept -p to run through the DACPara pass engine
 // (level-parallel evaluation with serial revalidating commits) and, with
-// -p, a per-step -w=N worker override:
+// -p, a per-step -w=N worker override; rewriting commands accept a
+// per-step -k=N cut-width override (4..6, see Config.K):
 //
-//	"b; rw; rf -p; rs -p -w=8; b"
+//	"b; rw -k 6; rf -p; rs -p -w=8; b"
+//
+// ("-k 6" and "-k=6" are both accepted).
 //
 // The whole script is parsed and validated before the first command
 // runs. Flow returns the per-command results and the final network
@@ -349,6 +374,9 @@ func runFlowStep(ctx context.Context, net *Network, st FlowStep, cfg Config, gua
 	c := cfg
 	c.ZeroGain = st.ZeroGain
 	c.Workers = stepWorkers
+	if st.K > 0 {
+		c.K = st.K
+	}
 	if guard == nil {
 		res, err := RewriteContext(ctx, net, st.Engine, c)
 		return res, net, err

@@ -222,6 +222,7 @@ func requestConfig(jr journal.Request) dacpara.Config {
 	var cfg dacpara.Config
 	cfg.Workers = jr.Workers
 	cfg.Passes = jr.Passes
+	cfg.K = jr.K
 	cfg.MaxCuts = jr.MaxCuts
 	cfg.MaxStructs = jr.MaxStructs
 	cfg.NumClasses = jr.Classes

@@ -1,4 +1,4 @@
-// Package cut implements k-feasible cut enumeration (k = 4) with truth
+// Package cut implements k-feasible cut enumeration (k <= 6) with truth
 // table computation — the first stage of DAG-aware rewriting.
 //
 // A cut of node n is a set of nodes ("leaves") covering every path from
@@ -7,6 +7,13 @@
 // trivial cut {n}. Each cut carries the Boolean function of n expressed
 // over its leaves, which the evaluation stage canonicalizes into an NPN
 // class.
+//
+// The cut width k is a runtime parameter (Params.K). Classic rewriting
+// uses k=4; large-cut rewriting raises it to 5 or 6, trading enumeration
+// cost for reach. Functions are always stored as 6-variable tables
+// (tt.Func64): a cut of Size s never depends on variables >= s, so a
+// narrow cut's table is exactly the widened form of its 4-variable table
+// and every k=4 comparison is preserved bit for bit.
 package cut
 
 import (
@@ -18,26 +25,31 @@ import (
 	"dacpara/internal/tt"
 )
 
-// K is the cut width used throughout: the paper's rewriting (like ABC's)
-// is 4-input cut rewriting.
+// K is the classic cut width: the paper's rewriting (like ABC's) is
+// 4-input cut rewriting, and it remains the default when Params.K is
+// unset.
 const K = 4
 
-// Cut is a set of at most K leaves together with the function of the root
-// node over those leaves. Leaves are sorted ascending; variable i of TT
-// corresponds to Leaves[i]. LeafVer records each leaf's incarnation
+// MaxK is the widest supported cut — the 6-variable ceiling of a
+// tt.Func64 table.
+const MaxK = tt.MaxVars64
+
+// Cut is a set of at most MaxK leaves together with the function of the
+// root node over those leaves. Leaves are sorted ascending; variable i of
+// TT corresponds to Leaves[i]. LeafVer records each leaf's incarnation
 // version at enumeration time: a cut is stale — and must not be trusted —
 // once any leaf's version has moved (the leaf was deleted, and possibly
 // its ID reused for new logic, the paper's Fig. 3 hazard).
 type Cut struct {
-	Leaves  [K]int32
-	LeafVer [K]uint32
+	Leaves  [MaxK]int32
+	LeafVer [MaxK]uint32
 	Size    uint8
-	TT      tt.Func16
+	TT      tt.Func64
 	sig     uint64
 }
 
 // NewCut builds a cut from a sorted leaf slice and its function.
-func NewCut(leaves []int32, f tt.Func16) Cut {
+func NewCut(leaves []int32, f tt.Func64) Cut {
 	var c Cut
 	c.Size = uint8(len(leaves))
 	copy(c.Leaves[:], leaves)
@@ -113,18 +125,50 @@ func (c *Cut) dominates(d *Cut) bool {
 
 // Params configure enumeration.
 type Params struct {
-	// MaxCuts bounds the number of cuts stored per node (the trivial cut
-	// is always kept and does not count). The paper's P1 configuration
-	// uses 8; 0 means DefaultMaxCuts.
+	// K is the cut width, 4..MaxK. 0 means the classic 4-input width.
+	K int
+
+	// MaxCuts is the cut limit: it bounds the number of cuts stored per
+	// node (the trivial cut is always kept and does not count). The
+	// paper's P1 configuration uses 8; 0 means DefaultCutLimit(K).
 	MaxCuts int
 }
 
-// DefaultMaxCuts matches ABC's practical per-node cut budget.
+// DefaultMaxCuts matches ABC's practical per-node cut budget for 4-input
+// cuts. It equals DefaultCutLimit(4).
 const DefaultMaxCuts = 54
 
+// DefaultCutLimit returns the default per-node cut budget for width k.
+// Wider cuts multiply merge work per pair, so the budget shrinks as k
+// grows: 54 matches ABC's 4-input practice, 12 matches mockturtle's
+// cut_limit default for k=6.
+func DefaultCutLimit(k int) int {
+	switch {
+	case k <= 4:
+		return 54
+	case k == 5:
+		return 24
+	default:
+		return 12
+	}
+}
+
+func (p Params) k() int {
+	if p.K <= 0 {
+		return K
+	}
+	if p.K > MaxK {
+		return MaxK
+	}
+	return p.K
+}
+
+// maxCuts resolves the cut limit: the configured value when set,
+// otherwise the width-dependent default. The limit is config-driven, not
+// derived from K, so callers can trade memory for quality at any width.
 func (p Params) maxCuts() int {
 	if p.MaxCuts <= 0 {
-		return DefaultMaxCuts
+		return DefaultCutLimit(p.k())
 	}
 	return p.MaxCuts
 }
@@ -166,6 +210,9 @@ func NewManager(a *aig.AIG, params Params) *Manager {
 	m.ensure(a.Capacity())
 	return m
 }
+
+// K returns the resolved cut width the manager enumerates with.
+func (m *Manager) K() int { return m.params.k() }
 
 func (m *Manager) ensure(n int32) {
 	for {
@@ -215,13 +262,13 @@ func (m *Manager) Clear(id int32) {
 
 // trivial returns the unit cut of a node.
 func (m *Manager) trivial(id int32) Cut {
-	c := NewCut([]int32{id}, tt.Var0)
+	c := NewCut([]int32{id}, tt.Var64(0))
 	c.Stamp(m.a)
 	return c
 }
 
 // constCut is the empty cut of the constant node.
-func constCut() Cut { return NewCut(nil, tt.False) }
+func constCut() Cut { return NewCut(nil, tt.False64) }
 
 // Visitor is called by Ensure for every node whose cut entry it reads or
 // writes, before the access. Parallel operators acquire the node's
@@ -286,6 +333,7 @@ func (m *Manager) Refresh(id int32, visit Visitor) ([]Cut, bool) {
 // skipping stale fanin cuts (whose leaves were deleted or reused by
 // rewriting since they were enumerated).
 func (m *Manager) merge(id int32, f0, f1 aig.Lit, s0, s1 []Cut) []Cut {
+	k := m.params.k()
 	maxCuts := m.params.maxCuts()
 	out := make([]Cut, 0, min(maxCuts+1, len(s0)*len(s1)+1))
 	out = append(out, m.trivial(id))
@@ -297,7 +345,7 @@ func (m *Manager) merge(id int32, f0, f1 aig.Lit, s0, s1 []Cut) []Cut {
 			if !s1[j].Fresh(m.a) {
 				continue
 			}
-			c, ok := mergeCuts(&s0[i], &s1[j], f0.Compl(), f1.Compl())
+			c, ok := mergeCuts(&s0[i], &s1[j], f0.Compl(), f1.Compl(), k)
 			if !ok {
 				continue
 			}
@@ -340,15 +388,15 @@ func addCut(out *[]Cut, c Cut, maxCuts int) bool {
 
 // mergeCuts unions two fanin cuts into a cut of the AND node, computing
 // the conjunction of the (possibly complemented) fanin functions over the
-// union leaf set. It fails when the union exceeds K leaves.
-func mergeCuts(c0, c1 *Cut, n0, n1 bool) (Cut, bool) {
+// union leaf set. It fails when the union exceeds k leaves.
+func mergeCuts(c0, c1 *Cut, n0, n1 bool, k int) (Cut, bool) {
 	// Quick reject: the signature ORs bits (id mod 64), so distinct set
-	// bits never exceed the true union size; more than K bits set proves
+	// bits never exceed the true union size; more than k bits set proves
 	// the union is infeasible.
-	if c0.Size+c1.Size > K && bits.OnesCount64(c0.sig|c1.sig) > K {
+	if int(c0.Size)+int(c1.Size) > k && bits.OnesCount64(c0.sig|c1.sig) > k {
 		return Cut{}, false
 	}
-	var leaves [2 * K]int32
+	var leaves [2 * MaxK]int32
 	i, j, n := uint8(0), uint8(0), 0
 	for i < c0.Size && j < c1.Size {
 		a, b := c0.Leaves[i], c1.Leaves[j]
@@ -373,7 +421,7 @@ func mergeCuts(c0, c1 *Cut, n0, n1 bool) (Cut, bool) {
 		leaves[n] = c1.Leaves[j]
 		n++
 	}
-	if n > K {
+	if n > k {
 		return Cut{}, false
 	}
 	t0 := expand(c0.TT, c0.LeafSlice(), leaves[:n])
@@ -388,13 +436,15 @@ func mergeCuts(c0, c1 *Cut, n0, n1 bool) (Cut, bool) {
 }
 
 // expand re-expresses a function over oldLeaves in terms of the superset
-// newLeaves (both sorted ascending).
-func expand(f tt.Func16, oldLeaves, newLeaves []int32) tt.Func16 {
+// newLeaves (both sorted ascending). Because the function never depends
+// on variables at or above len(oldLeaves), the 64-row remap preserves the
+// narrow-table replication invariant.
+func expand(f tt.Func64, oldLeaves, newLeaves []int32) tt.Func64 {
 	if len(oldLeaves) == len(newLeaves) {
 		return f
 	}
 	// position of each old leaf within the new leaf list
-	var pos [K]int
+	var pos [MaxK]int
 	j := 0
 	for i, l := range oldLeaves {
 		for newLeaves[j] != l {
@@ -402,13 +452,13 @@ func expand(f tt.Func16, oldLeaves, newLeaves []int32) tt.Func16 {
 		}
 		pos[i] = j
 	}
-	var out tt.Func16
-	for row := uint(0); row < 16; row++ {
+	var out tt.Func64
+	for row := uint(0); row < 64; row++ {
 		src := uint(0)
 		for i := range oldLeaves {
 			src |= (row >> uint(pos[i]) & 1) << uint(i)
 		}
-		out |= tt.Func16(uint16(f)>>src&1) << row
+		out |= tt.Func64(uint64(f)>>src&1) << row
 	}
 	return out
 }

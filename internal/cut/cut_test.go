@@ -14,11 +14,11 @@ func TestTrivialCutsOfSources(t *testing.T) {
 	x := a.AddPI()
 	m := NewManager(a, Params{})
 	cuts, ok := m.Ensure(0, nil)
-	if !ok || len(cuts) != 1 || cuts[0].Size != 0 || cuts[0].TT != tt.False {
+	if !ok || len(cuts) != 1 || cuts[0].Size != 0 || cuts[0].TT != tt.False64 {
 		t.Fatalf("constant cut set wrong: %+v", cuts)
 	}
 	cuts, ok = m.Ensure(x.Node(), nil)
-	if !ok || len(cuts) != 1 || cuts[0].Size != 1 || cuts[0].TT != tt.Var0 {
+	if !ok || len(cuts) != 1 || cuts[0].Size != 1 || cuts[0].TT != tt.Var64(0) {
 		t.Fatalf("PI cut set wrong: %+v", cuts)
 	}
 }
@@ -45,7 +45,7 @@ func TestCutEnumerationKnownTree(t *testing.T) {
 		if int(c.Size) == 4 && equalLeaves(c.LeafSlice(), want4) {
 			found = true
 			// Verify the function: AND of all four leaves in leaf order.
-			want := tt.Var(0).And(tt.Var(1)).And(tt.Var(2)).And(tt.Var(3))
+			want := tt.Var64(0).And(tt.Var64(1)).And(tt.Var64(2)).And(tt.Var64(3))
 			if c.TT != want {
 				t.Fatalf("AND4 cut function %v, want %v", c.TT, want)
 			}

@@ -156,7 +156,7 @@ func BenchmarkMergeCuts(b *testing.B) {
 		for _, p := range pairs {
 			for j := range p.s0 {
 				for k := range p.s1 {
-					mergeCuts(&p.s0[j], &p.s1[k], p.n0, p.n1)
+					mergeCuts(&p.s0[j], &p.s1[k], p.n0, p.n1, K)
 				}
 			}
 		}

@@ -65,6 +65,7 @@ type Request struct {
 	Engine        string `json:"engine,omitempty"`
 	Flow          string `json:"flow,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
+	K             int    `json:"k,omitempty"`
 	Passes        int    `json:"passes,omitempty"`
 	MaxCuts       int    `json:"max_cuts,omitempty"`
 	MaxStructs    int    `json:"max_structs,omitempty"`

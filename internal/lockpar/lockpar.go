@@ -66,7 +66,7 @@ type fusedPass struct {
 var _ engine.FusedPass = (*fusedPass)(nil)
 
 func (p *fusedPass) Begin(slots int, env engine.Env) {
-	p.cm = cut.NewManager(p.a, cut.Params{MaxCuts: p.cfg.MaxCuts})
+	p.cm = cut.NewManager(p.a, cut.Params{K: p.cfg.K, MaxCuts: p.cfg.MaxCuts})
 	p.evs = make([]*rewrite.Evaluator, slots)
 	for w := range p.evs {
 		p.evs[w] = rewrite.NewEvaluator(p.a, p.lib, p.cfg)

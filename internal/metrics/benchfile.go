@@ -39,6 +39,9 @@ type BenchRun struct {
 	Pass    string `json:"pass,omitempty"`
 	Engine  string `json:"engine"`
 	Workers int    `json:"workers"`
+	// K is the rewriting cut width of a rewrite run (0 or absent means
+	// the classic 4-input width; 5 and 6 use the large-cut library).
+	K int `json:"k,omitempty"`
 	// Error is the engine's error string for runs that ended incomplete
 	// (the metrics still cover the work done up to that point).
 	Error   string    `json:"error,omitempty"`
@@ -76,6 +79,12 @@ func (f *BenchFile) Validate() error {
 		}
 		if r.Workers < 1 {
 			return fmt.Errorf("%s: workers %d < 1", where, r.Workers)
+		}
+		if r.K != 0 && (r.K < 4 || r.K > 6) {
+			return fmt.Errorf("%s: cut width %d outside 4..6", where, r.K)
+		}
+		if r.K != 0 && r.Pass != "" && r.Pass != "rewrite" {
+			return fmt.Errorf("%s: cut width on non-rewrite pass %q", where, r.Pass)
 		}
 		m := r.Metrics
 		if m == nil {

@@ -1,0 +1,157 @@
+package rewlib
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dacpara/internal/npn"
+	"dacpara/internal/tt"
+)
+
+// TestSynthesizeAll64Correct checks the synthesizer on random 5- and
+// 6-variable functions: every emitted structure implements the function,
+// the forest is deduplicated, sorted by node count, and capped.
+func TestSynthesizeAll64Correct(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	var in [MaxInputs]tt.Func64
+	for v := range in {
+		in[v] = tt.Var64(v)
+	}
+	for iter := 0; iter < 60; iter++ {
+		f := tt.Func64(rng.Uint64())
+		if iter%2 == 0 {
+			f = f.Cofactor0(5)
+		}
+		const cap = 6
+		structs := synthesizeAll64(f, MaxInputs, cap)
+		if len(structs) == 0 {
+			t.Fatalf("no structure for %v", f)
+		}
+		if len(structs) > cap {
+			t.Fatalf("forest of %d exceeds cap %d", len(structs), cap)
+		}
+		seen := map[string]bool{}
+		for si := range structs {
+			s := &structs[si]
+			if got := s.Eval64(in); got != f {
+				t.Fatalf("structure %d computes %v, want %v", si, got, f)
+			}
+			if si > 0 && structs[si-1].NumNodes() > s.NumNodes() {
+				t.Fatalf("forest not sorted by size at %d", si)
+			}
+			key := structKey(s)
+			if seen[key] {
+				t.Fatalf("duplicate structure %d", si)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func structKey(s *Structure) string {
+	b := make([]byte, 0, 4*len(s.Nodes)+2)
+	for _, n := range s.Nodes {
+		b = append(b, byte(n.In0), byte(n.In0>>8), byte(n.In1), byte(n.In1>>8))
+	}
+	return string(append(b, byte(s.Out), byte(s.Out>>8)))
+}
+
+// TestSynthesizeAll64Deterministic: two independent synthesis runs of the
+// same representative must produce identical forests — the foundation of
+// the generator's reproducibility guarantee.
+func TestSynthesizeAll64Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for iter := 0; iter < 40; iter++ {
+		f := tt.Func64(rng.Uint64())
+		a := synthesizeAll64(f, MaxInputs, DefaultBigPerClass)
+		b := synthesizeAll64(f, MaxInputs, DefaultBigPerClass)
+		if len(a) != len(b) {
+			t.Fatalf("forest sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if structKey(&a[i]) != structKey(&b[i]) {
+				t.Fatalf("structure %d differs between runs", i)
+			}
+		}
+	}
+}
+
+// TestBigLibraryOnDemand: ForRepr synthesizes missing classes, caches
+// them, and stays consistent under concurrent lookups.
+func TestBigLibraryOnDemand(t *testing.T) {
+	b := NewBigLibrary(4)
+	rng := rand.New(rand.NewSource(149))
+	var reprs []tt.Func64
+	for len(reprs) < 8 {
+		r, _ := npn.SemiCanon(tt.Func64(rng.Uint64()))
+		reprs = append(reprs, r)
+	}
+	var wg sync.WaitGroup
+	results := make([][]Structure, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = b.ForRepr(reprs[g%len(reprs)])
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < 16; g++ {
+		want := b.ForRepr(reprs[g%len(reprs)])
+		if len(results[g]) != len(want) || len(want) == 0 || len(want) > 4 {
+			t.Fatalf("goroutine %d saw %d structures, steady state %d", g, len(results[g]), len(want))
+		}
+	}
+	if b.Len() != len(uniqueReprs(reprs)) {
+		t.Fatalf("library holds %d classes, want %d", b.Len(), len(uniqueReprs(reprs)))
+	}
+	cls := b.Classes()
+	for i := 1; i < len(cls); i++ {
+		if cls[i-1] >= cls[i] {
+			t.Fatal("Classes() not sorted")
+		}
+	}
+}
+
+func uniqueReprs(rs []tt.Func64) []tt.Func64 {
+	seen := map[tt.Func64]bool{}
+	var out []tt.Func64
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestBigLibraryPreloadPriority: a preloaded forest wins over on-demand
+// synthesis for its class; a wrong-function forest is rejected and leaves
+// the class untouched.
+func TestBigLibraryPreloadPriority(t *testing.T) {
+	repr, _ := npn.SemiCanon(tt.Func64(0x123456789abcdef0))
+	good := synthesizeAll64(repr, MaxInputs, 8)
+	if len(good) < 2 {
+		t.Fatalf("need at least two structures, have %d", len(good))
+	}
+	b := NewBigLibrary(8)
+	if !b.Preload(repr, good[:1]) {
+		t.Fatal("valid preload rejected")
+	}
+	if got := b.ForRepr(repr); len(got) != 1 || structKey(&got[0]) != structKey(&good[0]) {
+		t.Fatalf("preloaded forest not served: %d structures", len(got))
+	}
+	// Wrong function: must be rejected, and the installed forest stays.
+	other, _ := npn.SemiCanon(tt.Func64(0x00ff00ff00ff00f1))
+	if other == repr {
+		t.Skip("collision between probe classes")
+	}
+	if b.Preload(other, good[:1]) {
+		t.Fatal("wrong-function preload accepted")
+	}
+	if got := b.ForRepr(repr); len(got) != 1 {
+		t.Fatalf("rejection disturbed installed class: %d structures", len(got))
+	}
+}

@@ -51,7 +51,7 @@ func (b *sbuilder) and(l0, l1 SLit) SLit {
 		return l
 	}
 	b.nodes = append(b.nodes, SNode{In0: l0, In1: l1})
-	l := SLit(2 * (5 + len(b.nodes) - 1))
+	l := sAnd(len(b.nodes) - 1)
 	b.strash[key] = l
 	return l
 }
@@ -94,7 +94,7 @@ func (b *sbuilder) finish(out SLit) Structure {
 			continue
 		}
 		packed = append(packed, SNode{In0: fix(n.In0), In1: fix(n.In1)})
-		remap[k] = SLit(2 * (5 + len(packed) - 1))
+		remap[k] = sAnd(len(packed) - 1)
 	}
 	return Structure{Nodes: packed, Out: fix(out)}
 }

@@ -1,0 +1,366 @@
+package rewlib
+
+import (
+	"sort"
+
+	"dacpara/internal/tt"
+)
+
+// builder64 is the 6-variable counterpart of sbuilder: it constructs one
+// Structure over Func64 tables with builder-local structural hashing and
+// function memoization. The 4-input builder is kept separate and
+// untouched so the classic library stays bit-identical; this mirror only
+// serves the large-cut classes.
+type builder64 struct {
+	nodes  []SNode
+	strash map[uint32]SLit
+	memo   map[tt.Func64]SLit
+	nv     int
+}
+
+func newBuilder64(nv int) *builder64 {
+	b := &builder64{strash: map[uint32]SLit{}, memo: map[tt.Func64]SLit{}, nv: nv}
+	b.memo[tt.False64] = SConstFalse
+	for v := 0; v < nv; v++ {
+		b.memo[tt.Var64(v)] = SInput(v)
+	}
+	return b
+}
+
+func (b *builder64) lookupMemo(f tt.Func64) (SLit, bool) {
+	if l, ok := b.memo[f]; ok {
+		return l, true
+	}
+	if l, ok := b.memo[f.Not()]; ok {
+		return l.not(), true
+	}
+	return 0, false
+}
+
+func (b *builder64) and(l0, l1 SLit) SLit {
+	switch {
+	case l0 == SConstFalse || l1 == SConstFalse:
+		return SConstFalse
+	case l0 == SConstTrue:
+		return l1
+	case l1 == SConstTrue:
+		return l0
+	case l0 == l1:
+		return l0
+	case l0 == l1.not():
+		return SConstFalse
+	}
+	if l0 > l1 {
+		l0, l1 = l1, l0
+	}
+	key := uint32(l0)<<16 | uint32(l1)
+	if l, ok := b.strash[key]; ok {
+		return l
+	}
+	b.nodes = append(b.nodes, SNode{In0: l0, In1: l1})
+	l := sAnd(len(b.nodes) - 1)
+	b.strash[key] = l
+	return l
+}
+
+func (b *builder64) or(l0, l1 SLit) SLit { return b.and(l0.not(), l1.not()).not() }
+func (b *builder64) xor(l0, l1 SLit) SLit {
+	return b.or(b.and(l0, l1.not()), b.and(l0.not(), l1))
+}
+func (b *builder64) mux(s, t, e SLit) SLit {
+	return b.or(b.and(s, t), b.and(s.not(), e))
+}
+
+// finish packages the builder state into a Structure rooted at out,
+// garbage-collecting unreachable gates.
+func (b *builder64) finish(out SLit) Structure {
+	used := make([]bool, len(b.nodes))
+	var mark func(SLit)
+	mark = func(l SLit) {
+		k := l.AndIndex()
+		if k < 0 || used[k] {
+			return
+		}
+		used[k] = true
+		mark(b.nodes[k].In0)
+		mark(b.nodes[k].In1)
+	}
+	mark(out)
+	remap := make([]SLit, len(b.nodes))
+	var packed []SNode
+	fix := func(l SLit) SLit {
+		if k := l.AndIndex(); k >= 0 {
+			return remap[k].Compl(l.compl())
+		}
+		return l
+	}
+	for k, n := range b.nodes {
+		if !used[k] {
+			continue
+		}
+		packed = append(packed, SNode{In0: fix(n.In0), In1: fix(n.In1)})
+		remap[k] = sAnd(len(packed) - 1)
+	}
+	return Structure{Nodes: packed, Out: fix(out)}
+}
+
+// policy64 mirrors policy for the 6-variable decomposer.
+type policy64 struct {
+	order    []int
+	xorFirst bool
+	complOut bool
+}
+
+// maxGates64 bounds one large structure; 6-input cones are legitimately
+// bigger than 4-input ones.
+const maxGates64 = 64
+
+// synthesize64 builds one structure for f under the given policy.
+func synthesize64(f tt.Func64, nv int, p policy64) (Structure, bool) {
+	b := newBuilder64(nv)
+	target := f
+	if p.complOut {
+		target = f.Not()
+	}
+	out, ok := b.synth(target, p, 0)
+	if !ok {
+		return Structure{}, false
+	}
+	if p.complOut {
+		out = out.not()
+	}
+	return b.finish(out), true
+}
+
+// synth recursively decomposes f: single-literal AND/OR extraction, then
+// XOR extraction, then Shannon/MUX expansion — the same ladder as the
+// 4-input builder with a deeper recursion allowance.
+func (b *builder64) synth(f tt.Func64, p policy64, depth int) (SLit, bool) {
+	if l, ok := b.lookupMemo(f); ok {
+		return l, true
+	}
+	if len(b.nodes) > maxGates64 || depth > 12 {
+		return 0, false
+	}
+	rec := func(g tt.Func64) (SLit, bool) { return b.synth(g, p, depth+1) }
+
+	for _, v := range p.order {
+		if !f.DependsOn(v) {
+			continue
+		}
+		c0, c1 := f.Cofactor0(v), f.Cofactor1(v)
+		x := SInput(v)
+		switch {
+		case c0 == tt.False64: // f = x & c1
+			g, ok := rec(c1)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.and(x, g)), true
+		case c1 == tt.False64: // f = !x & c0
+			g, ok := rec(c0)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.and(x.not(), g)), true
+		case c0 == tt.True64: // f = !x | c1
+			g, ok := rec(c1)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.or(x.not(), g)), true
+		case c1 == tt.True64: // f = x | c0
+			g, ok := rec(c0)
+			if !ok {
+				return 0, false
+			}
+			return b.memoize(f, b.or(x, g)), true
+		}
+	}
+	if p.xorFirst {
+		for _, v := range p.order {
+			if g, ok := f.IsXorDecomposable(v); ok && f.DependsOn(v) {
+				gl, ok := rec(g)
+				if !ok {
+					return 0, false
+				}
+				return b.memoize(f, b.xor(SInput(v), gl)), true
+			}
+		}
+	}
+	for _, v := range p.order {
+		if !f.DependsOn(v) {
+			continue
+		}
+		t, ok := rec(f.Cofactor1(v))
+		if !ok {
+			return 0, false
+		}
+		e, ok := rec(f.Cofactor0(v))
+		if !ok {
+			return 0, false
+		}
+		return b.memoize(f, b.mux(SInput(v), t, e)), true
+	}
+	if f == tt.True64 {
+		return SConstTrue, true
+	}
+	return SConstFalse, true
+}
+
+func (b *builder64) memoize(f tt.Func64, l SLit) SLit {
+	b.memo[f] = l
+	return l
+}
+
+// factorISOP64 builds a structure by algebraically factoring an
+// irredundant cover of f (or of its complement with the output inverted).
+func factorISOP64(f tt.Func64, nv int, compl bool) (Structure, bool) {
+	target := f
+	if compl {
+		target = f.Not()
+	}
+	cover, table := tt.ISOP64(target, tt.False64, nv)
+	if table != target {
+		return Structure{}, false
+	}
+	b := newBuilder64(nv)
+	out := b.factor(cover)
+	if compl {
+		out = out.not()
+	}
+	s := b.finish(out)
+	if s.Func64() != f {
+		return Structure{}, false
+	}
+	return s, true
+}
+
+// factor recursively divides a cover by its most frequent literal.
+func (b *builder64) factor(cover []tt.Cube64) SLit {
+	if len(cover) == 0 {
+		return SConstFalse
+	}
+	if len(cover) == 1 {
+		return b.cubeAnd(cover[0])
+	}
+	var count [MaxInputs][2]int
+	for _, c := range cover {
+		for v := 0; v < MaxInputs; v++ {
+			if c.Lits>>uint(v)&1 == 1 {
+				count[v][c.Phase>>uint(v)&1]++
+			}
+		}
+	}
+	bestV, bestP, bestN := -1, 0, 1
+	for v := 0; v < MaxInputs; v++ {
+		for p := 0; p < 2; p++ {
+			if count[v][p] > bestN {
+				bestV, bestP, bestN = v, p, count[v][p]
+			}
+		}
+	}
+	if bestV < 0 {
+		mid := len(cover) / 2
+		return b.or(b.factor(cover[:mid]), b.factor(cover[mid:]))
+	}
+	var quotient, remainder []tt.Cube64
+	for _, c := range cover {
+		if c.Lits>>uint(bestV)&1 == 1 && int(c.Phase>>uint(bestV)&1) == bestP {
+			q := c
+			q.Lits &^= 1 << uint(bestV)
+			q.Phase &^= 1 << uint(bestV)
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	lit := SInput(bestV).Compl(bestP == 0)
+	qf := b.and(lit, b.factor(quotient))
+	if len(remainder) == 0 {
+		return qf
+	}
+	return b.or(qf, b.factor(remainder))
+}
+
+func (b *builder64) cubeAnd(c tt.Cube64) SLit {
+	out := SConstTrue
+	for v := 0; v < MaxInputs; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		out = b.and(out, SInput(v).Compl(c.Phase>>uint(v)&1 == 0))
+	}
+	return out
+}
+
+// varOrders64 returns the deterministic set of variable preference orders
+// the large-cut policies explore: rotations of four base interleavings of
+// the first nv variables. Full permutation enumeration (720 orders at
+// nv=6) buys little over this spread and costs 30x the synthesis time.
+func varOrders64(nv int) [][]int {
+	bases := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{0, 2, 4, 1, 3, 5},
+		{1, 4, 0, 3, 5, 2},
+	}
+	seen := map[string]bool{}
+	var out [][]int
+	for _, base := range bases {
+		var proj []int
+		for _, v := range base {
+			if v < nv {
+				proj = append(proj, v)
+			}
+		}
+		for r := 0; r < nv; r++ {
+			ord := make([]int, nv)
+			for i := range ord {
+				ord[i] = proj[(i+r)%nv]
+			}
+			k := ""
+			for _, v := range ord {
+				k += string(rune('0' + v))
+			}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ord)
+			}
+		}
+	}
+	return out
+}
+
+// synthesizeAll64 runs every 6-variable policy on f and returns the
+// deduplicated, verified forest ranked by size. Structures that fail
+// functional verification against f are dropped (they cannot occur absent
+// a builder bug, but the forest must never propagate one).
+func synthesizeAll64(f tt.Func64, nv, maxPerClass int) []Structure {
+	var all []Structure
+	seen := map[string]bool{}
+	add := func(s Structure, ok bool) {
+		if !ok || s.Func64() != f {
+			return
+		}
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			all = append(all, s)
+		}
+	}
+	for _, order := range varOrders64(nv) {
+		for _, xorFirst := range [2]bool{true, false} {
+			for _, complOut := range [2]bool{false, true} {
+				add(synthesize64(f, nv, policy64{order: order, xorFirst: xorFirst, complOut: complOut}))
+			}
+		}
+	}
+	add(factorISOP64(f, nv, false))
+	add(factorISOP64(f, nv, true))
+	sort.SliceStable(all, func(i, j int) bool { return len(all[i].Nodes) < len(all[j].Nodes) })
+	if maxPerClass > 0 && len(all) > maxPerClass {
+		all = all[:maxPerClass]
+	}
+	return all
+}

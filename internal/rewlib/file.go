@@ -1,0 +1,294 @@
+package rewlib
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"dacpara/internal/tt"
+)
+
+// The dacpara-rewlib/v1 on-disk format holds the large-cut structure
+// forests keyed by semi-canonical representative. The layout is flat,
+// little-endian, 2-byte aligned, and CRC-framed:
+//
+//	magic     "dacpara-rewlib/v1\n"            18 bytes
+//	k         u8                                cut width (4..6)
+//	reserved  u8 (must be zero)                 pads the header to 20 bytes
+//	classes   u32                               class count
+//	per class:
+//	  repr    u64                               semi-canonical table
+//	  structs u16                               forest size (>= 1)
+//	  per structure:
+//	    nodes u16                               AND-gate count
+//	    per node: In0 u16, In1 u16              SLit fanins
+//	    out   u16                               SLit output
+//	crc       u32                               CRC-32 (IEEE) of all prior bytes
+//
+// Classes are sorted by strictly increasing representative and every
+// structure literal is topologically validated on decode, so a file has
+// exactly one valid encoding: DecodeLibrary(EncodeLibrary(f)) == f and
+// re-encoding a decoded file reproduces it byte for byte. Functional
+// correctness of the structures (Eval64 == repr) is deliberately NOT part
+// of decoding — BigLibrary.Preload re-verifies every structure against
+// its representative, so a corrupt-but-well-framed file can never inject
+// wrong logic into rewriting.
+
+// FileMagic is the versioned magic string opening every library file.
+const FileMagic = "dacpara-rewlib/v1\n"
+
+// fileMagicPrefix identifies the format family across versions.
+const fileMagicPrefix = "dacpara-rewlib/"
+
+const fileHeaderLen = len(FileMagic) + 1 + 1 + 4 // magic + k + reserved + classes
+
+// Typed decode failures, matched with errors.Is.
+var (
+	ErrBadMagic   = errors.New("rewlib: not a dacpara-rewlib file")
+	ErrBadVersion = errors.New("rewlib: unsupported dacpara-rewlib version")
+	ErrBadCRC     = errors.New("rewlib: checksum mismatch")
+	ErrTruncated  = errors.New("rewlib: truncated file")
+	ErrMalformed  = errors.New("rewlib: malformed library")
+)
+
+// FileClass is one class entry of a library file: a semi-canonical
+// representative and its structure forest.
+type FileClass struct {
+	Repr    tt.Func64
+	Structs []Structure
+}
+
+// File is a fully decoded library file.
+type File struct {
+	K       int
+	Classes []FileClass
+	// Hash is the hex sha256 of the encoded bytes — the content address
+	// used by the CI determinism check and artifact caching.
+	Hash string
+}
+
+// EncodeLibrary serializes a library in the canonical v1 framing. Classes
+// may arrive in any order (they are sorted by representative); empty
+// classes and invalid structures are rejected.
+func EncodeLibrary(k int, classes []FileClass) ([]byte, error) {
+	if k < 4 || k > MaxInputs {
+		return nil, fmt.Errorf("%w: width %d outside 4..%d", ErrMalformed, k, MaxInputs)
+	}
+	sorted := append([]FileClass(nil), classes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Repr < sorted[j].Repr })
+	var buf bytes.Buffer
+	buf.WriteString(FileMagic)
+	buf.WriteByte(byte(k))
+	buf.WriteByte(0)
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(sorted)))
+	buf.Write(u32[:])
+	put16 := func(v int) error {
+		if v < 0 || v > 0xFFFF {
+			return fmt.Errorf("%w: value %d overflows u16", ErrMalformed, v)
+		}
+		binary.LittleEndian.PutUint16(u16[:], uint16(v))
+		buf.Write(u16[:])
+		return nil
+	}
+	for i, c := range sorted {
+		if i > 0 && sorted[i-1].Repr >= c.Repr {
+			return nil, fmt.Errorf("%w: duplicate class %v", ErrMalformed, c.Repr)
+		}
+		if len(c.Structs) == 0 {
+			return nil, fmt.Errorf("%w: class %v has no structures", ErrMalformed, c.Repr)
+		}
+		binary.LittleEndian.PutUint64(u64[:], uint64(c.Repr))
+		buf.Write(u64[:])
+		if err := put16(len(c.Structs)); err != nil {
+			return nil, err
+		}
+		for si := range c.Structs {
+			s := &c.Structs[si]
+			if err := validStructure(s); err != nil {
+				return nil, fmt.Errorf("class %v structure %d: %w", c.Repr, si, err)
+			}
+			if err := put16(len(s.Nodes)); err != nil {
+				return nil, err
+			}
+			for _, n := range s.Nodes {
+				if err := put16(int(n.In0)); err != nil {
+					return nil, err
+				}
+				if err := put16(int(n.In1)); err != nil {
+					return nil, err
+				}
+			}
+			if err := put16(int(s.Out)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(u32[:])
+	return buf.Bytes(), nil
+}
+
+// validStructure checks the SLit topology of a structure: fanins
+// reference only the constant, the six inputs, or earlier AND gates, and
+// the output is within range. The header width is harvest metadata, not
+// an input bound — semi-canonical positions are chosen by one-count, so a
+// five-leaf class may legitimately occupy any of the six input slots and
+// the instantiation transform routes each used input back to a real leaf.
+func validStructure(s *Structure) error {
+	check := func(l SLit, before int) error {
+		i := l.index()
+		switch {
+		case i <= MaxInputs:
+			return nil
+		case i-sAndBase < before:
+			return nil
+		}
+		return fmt.Errorf("%w: literal %d breaks topological order", ErrMalformed, l)
+	}
+	for ni, n := range s.Nodes {
+		if err := check(n.In0, ni); err != nil {
+			return err
+		}
+		if err := check(n.In1, ni); err != nil {
+			return err
+		}
+	}
+	return check(s.Out, len(s.Nodes))
+}
+
+// DecodeLibrary parses and validates a v1 library file. The input must be
+// a complete file image; every framing violation maps to one of the typed
+// errors above.
+func DecodeLibrary(data []byte) (*File, error) {
+	if !bytes.HasPrefix(data, []byte(fileMagicPrefix)) {
+		if len(data) < len(fileMagicPrefix) && bytes.HasPrefix([]byte(fileMagicPrefix), data) {
+			return nil, ErrTruncated
+		}
+		return nil, ErrBadMagic
+	}
+	if !bytes.HasPrefix(data, []byte(FileMagic)) {
+		if len(data) < len(FileMagic) && bytes.HasPrefix([]byte(FileMagic), data) {
+			return nil, ErrTruncated
+		}
+		return nil, ErrBadVersion
+	}
+	if len(data) < fileHeaderLen+4 {
+		return nil, ErrTruncated
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrBadCRC
+	}
+	k := int(data[len(FileMagic)])
+	if k < 4 || k > MaxInputs {
+		return nil, fmt.Errorf("%w: width %d outside 4..%d", ErrMalformed, k, MaxInputs)
+	}
+	if data[len(FileMagic)+1] != 0 {
+		return nil, fmt.Errorf("%w: reserved byte set", ErrMalformed)
+	}
+	nClasses := int(binary.LittleEndian.Uint32(data[len(FileMagic)+2:]))
+	body := payload[fileHeaderLen:]
+	// The smallest class is 14 bytes (repr + count + one empty structure);
+	// a count beyond that bound proves the frame is lying before any
+	// allocation happens.
+	if nClasses > len(body)/14 {
+		return nil, ErrTruncated
+	}
+	pos := 0
+	need := func(n int) error {
+		if len(body)-pos < n {
+			return ErrTruncated
+		}
+		return nil
+	}
+	f := &File{K: k, Classes: make([]FileClass, 0, nClasses)}
+	for ci := 0; ci < nClasses; ci++ {
+		if err := need(10); err != nil {
+			return nil, err
+		}
+		repr := tt.Func64(binary.LittleEndian.Uint64(body[pos:]))
+		nStructs := int(binary.LittleEndian.Uint16(body[pos+8:]))
+		pos += 10
+		if ci > 0 && f.Classes[ci-1].Repr >= repr {
+			return nil, fmt.Errorf("%w: classes not strictly sorted", ErrMalformed)
+		}
+		if nStructs == 0 {
+			return nil, fmt.Errorf("%w: class %v has no structures", ErrMalformed, repr)
+		}
+		if nStructs > (len(body)-pos)/4 {
+			return nil, ErrTruncated
+		}
+		cls := FileClass{Repr: repr, Structs: make([]Structure, 0, nStructs)}
+		for si := 0; si < nStructs; si++ {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			nNodes := int(binary.LittleEndian.Uint16(body[pos:]))
+			pos += 2
+			if err := need(4*nNodes + 2); err != nil {
+				return nil, err
+			}
+			s := Structure{Nodes: make([]SNode, nNodes)}
+			for ni := 0; ni < nNodes; ni++ {
+				s.Nodes[ni] = SNode{
+					In0: SLit(binary.LittleEndian.Uint16(body[pos:])),
+					In1: SLit(binary.LittleEndian.Uint16(body[pos+2:])),
+				}
+				pos += 4
+			}
+			s.Out = SLit(binary.LittleEndian.Uint16(body[pos:]))
+			pos += 2
+			if err := validStructure(&s); err != nil {
+				return nil, fmt.Errorf("class %v structure %d: %w", repr, si, err)
+			}
+			cls.Structs = append(cls.Structs, s)
+		}
+		f.Classes = append(f.Classes, cls)
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(body)-pos)
+	}
+	sum := sha256.Sum256(data)
+	f.Hash = hex.EncodeToString(sum[:])
+	return f, nil
+}
+
+// ContentHash returns the hex sha256 of a file image — the content
+// address the generator prints and CI compares.
+func ContentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Preload installs every class of the file into the forest, re-verifying
+// each structure's function against its representative (corrupt classes
+// are counted, not installed).
+func (f *File) Preload(b *BigLibrary) (loaded, rejected int) {
+	for _, c := range f.Classes {
+		if b.Preload(c.Repr, c.Structs) {
+			loaded++
+		} else {
+			rejected++
+		}
+	}
+	return loaded, rejected
+}
+
+// ReadLibraryFile loads and decodes a library file, memory-mapping it
+// when the platform supports it.
+func ReadLibraryFile(path string) (*File, error) {
+	data, done, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return DecodeLibrary(data)
+}

@@ -1,0 +1,34 @@
+//go:build linux
+
+package rewlib
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps a library file read-only for decoding; the returned
+// cleanup unmaps it. Mapping failures (unusual filesystems, empty files)
+// fall back to a plain read so loading never depends on mmap support.
+func mapFile(path string) ([]byte, func(), error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if size := st.Size(); size > 0 && size <= math.MaxInt32 {
+		if data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE); err == nil {
+			return data, func() { syscall.Munmap(data) }, nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

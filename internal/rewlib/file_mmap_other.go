@@ -1,0 +1,15 @@
+//go:build !linux
+
+package rewlib
+
+import "os"
+
+// mapFile reads a library file wholesale on platforms without the mmap
+// fast path.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -22,8 +22,16 @@ import (
 )
 
 // SLit is a literal inside a Structure: 2*index + complement, where index
-// 0 is constant false, 1..4 are the inputs x0..x3, and 5+k is AND node k.
+// 0 is constant false, 1..6 are the inputs x0..x5, and 7+k is AND node k.
+// The input band is sized for the 6-variable ceiling of large-cut
+// rewriting; 4-input structures simply never reference x4 or x5.
 type SLit uint16
+
+// MaxInputs is the input capacity of a structure (the large-cut ceiling).
+const MaxInputs = 6
+
+// sAndBase is the node index of the first AND gate.
+const sAndBase = 1 + MaxInputs
 
 // Structure literal constants for the constant node and inputs.
 const (
@@ -31,15 +39,15 @@ const (
 	SConstTrue  SLit = 1
 )
 
-// SInput returns the structure literal of input variable v (0..3).
+// SInput returns the structure literal of input variable v (0..5).
 func SInput(v int) SLit { return SLit(2 * (1 + v)) }
 
 func (l SLit) index() int    { return int(l >> 1) }
 func (l SLit) compl() bool   { return l&1 == 1 }
 func (l SLit) not() SLit     { return l ^ 1 }
-func (l SLit) isInput() bool { i := l.index(); return i >= 1 && i <= 4 }
+func (l SLit) isInput() bool { i := l.index(); return i >= 1 && i <= MaxInputs }
 
-// IsInput reports whether the literal refers to one of the four inputs,
+// IsInput reports whether the literal refers to one of the inputs,
 // returning the variable number.
 func (l SLit) IsInput() (int, bool) {
 	if l.isInput() {
@@ -58,11 +66,14 @@ func (l SLit) IsConst() (bool, bool) {
 
 // AndIndex returns the AND-node index of an internal literal, or -1.
 func (l SLit) AndIndex() int {
-	if i := l.index(); i >= 5 {
-		return i - 5
+	if i := l.index(); i >= sAndBase {
+		return i - sAndBase
 	}
 	return -1
 }
+
+// sAnd returns the literal of AND node k.
+func sAnd(k int) SLit { return SLit(2 * (sAndBase + k)) }
 
 // Compl returns the literal with phase conditionally flipped.
 func (l SLit) Compl(c bool) SLit {
@@ -77,9 +88,9 @@ type SNode struct {
 	In0, In1 SLit
 }
 
-// Structure is a DAG of AND gates over the four inputs, with a designated
-// output literal. Nodes are topologically ordered: fanins of Nodes[k]
-// refer only to inputs, constants, or Nodes[<k].
+// Structure is a DAG of AND gates over at most six inputs, with a
+// designated output literal. Nodes are topologically ordered: fanins of
+// Nodes[k] refer only to inputs, constants, or Nodes[<k].
 type Structure struct {
 	Nodes []SNode
 	Out   SLit
@@ -89,17 +100,28 @@ type Structure struct {
 func (s *Structure) NumNodes() int { return len(s.Nodes) }
 
 // Eval computes the structure's function when input v carries table in[v].
+// Only structures confined to the first four inputs may use it.
 func (s *Structure) Eval(in [4]tt.Func16) tt.Func16 {
-	vals := make([]tt.Func16, len(s.Nodes))
-	fetch := func(l SLit) tt.Func16 {
-		var v tt.Func16
+	var wide [MaxInputs]tt.Func64
+	for v := range in {
+		wide[v] = in[v].Wide()
+	}
+	return s.Eval64(wide).Narrow16()
+}
+
+// Eval64 computes the structure's function when input v carries table
+// in[v], over the 6-variable domain.
+func (s *Structure) Eval64(in [MaxInputs]tt.Func64) tt.Func64 {
+	vals := make([]tt.Func64, len(s.Nodes))
+	fetch := func(l SLit) tt.Func64 {
+		var v tt.Func64
 		switch {
 		case l.index() == 0:
-			v = tt.False
+			v = tt.False64
 		case l.isInput():
 			v = in[l.index()-1]
 		default:
-			v = vals[l.index()-5]
+			v = vals[l.index()-sAndBase]
 		}
 		if l.compl() {
 			v = v.Not()
@@ -112,9 +134,20 @@ func (s *Structure) Eval(in [4]tt.Func16) tt.Func16 {
 	return fetch(s.Out)
 }
 
-// Func returns the structure's function over the plain variables.
+// Func returns the function of a 4-input structure over the plain
+// variables.
 func (s *Structure) Func() tt.Func16 {
-	return s.Eval([4]tt.Func16{tt.Var0, tt.Var1, tt.Var2, tt.Var3})
+	return s.Func64().Narrow16()
+}
+
+// Func64 returns the structure's function over the plain variables of the
+// 6-variable domain.
+func (s *Structure) Func64() tt.Func64 {
+	var in [MaxInputs]tt.Func64
+	for v := range in {
+		in[v] = tt.Var64(v)
+	}
+	return s.Eval64(in)
 }
 
 // key serializes the structure for deduplication.
@@ -128,10 +161,24 @@ func (s *Structure) key() string {
 }
 
 // Library is the per-class structure forest. It is immutable after Build
-// and safe for concurrent use.
+// (except for the optional Big attachment) and safe for concurrent use.
 type Library struct {
 	npn     *npn.Manager
 	structs [][]Structure // by class index
+
+	// Big, when non-nil, provides the large-cut (5/6-input) forest keyed
+	// by semi-canonical representative. The classic 4-input classes above
+	// are untouched by it.
+	Big *BigLibrary
+}
+
+// WithBig returns a copy of the library with the large-cut forest
+// attached. The receiver is not modified, so a shared 4-input library can
+// be specialized per configuration without races.
+func (l *Library) WithBig(b *BigLibrary) *Library {
+	cp := *l
+	cp.Big = b
+	return &cp
 }
 
 // Params configure library construction.

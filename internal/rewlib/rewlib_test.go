@@ -168,7 +168,7 @@ func TestSLitHelpers(t *testing.T) {
 	if SInput(0).AndIndex() != -1 {
 		t.Fatal("input literal must not have an AND index")
 	}
-	l := SLit(2 * 5) // first gate
+	l := SLit(2 * 7) // first gate (inputs occupy indices 1..6)
 	if l.AndIndex() != 0 {
 		t.Fatalf("first gate index %d", l.AndIndex())
 	}

@@ -123,10 +123,10 @@ func (e *Evaluator) Execute(cm *cut.Manager, cand *Candidate, lock Locker) (gain
 	var buildStruct func(tryLock func(int32) bool) aig.Lit
 	switch cand.Kind {
 	case CandConst:
-		if curTT != tt.False && curTT != tt.True {
+		if curTT != tt.False64 && curTT != tt.True64 {
 			return 0, StatusStale
 		}
-		out = aig.LitFalse.XorCompl(curTT == tt.True)
+		out = aig.LitFalse.XorCompl(curTT == tt.True64)
 	case CandWire:
 		wc := c
 		wc.TT = curTT
@@ -136,13 +136,12 @@ func (e *Evaluator) Execute(cm *cut.Manager, cand *Candidate, lock Locker) (gain
 		}
 		out = aig.MakeLit(leaf, phase)
 	case CandStruct:
-		cls, structs, inv := e.Lib.ForFunc(curTT)
-		if cls != cand.Class || cand.Struct >= len(structs) {
+		st, inv, okStruct := e.resolveStruct(cand, &c, curTT)
+		if !okStruct {
 			// The NPN class of the stored equivalent structure no longer
 			// matches the cut's truth table (Section 4.4).
 			return 0, StatusStale
 		}
-		st := &structs[cand.Struct]
 		conflicted := false
 		var lockFn func(int32) bool
 		if lock != nil {
@@ -230,24 +229,34 @@ func refreshCuts(cm *cut.Manager, root int32, lock Locker) ([]cut.Cut, bool) {
 // coneTT recomputes the function of root over the cut's leaves by walking
 // the cone on the current graph, locking every inner node. ok is false
 // when the leaf set no longer covers the cone (a path escapes to a PI,
-// the constant, or past the traversal budget).
-func (e *Evaluator) coneTT(root int32, c *cut.Cut, lock Locker) (f tt.Func16, ok, conflict bool) {
+// the constant, or past the traversal budget). The budget is 64 nodes for
+// classic 4-input cuts (matching the hardwired-K engine exactly) and
+// wider for large cuts, whose cones are legitimately bigger.
+func (e *Evaluator) coneTT(root int32, c *cut.Cut, lock Locker) (f tt.Func64, ok, conflict bool) {
 	a := e.A
 	leaves := c.LeafSlice()
-	memo := e.Scratch.delta // reuse the map as id -> tt storage
+	memo := e.Scratch.cone
+	if memo == nil {
+		memo = make(map[int32]tt.Func64, 64)
+		e.Scratch.cone = memo
+	}
 	clear(memo)
+	budget := 64
+	if c.Size > 4 {
+		budget = 512
+	}
 	count := 0
-	var rec func(id int32) (tt.Func16, bool, bool)
-	rec = func(id int32) (tt.Func16, bool, bool) {
+	var rec func(id int32) (tt.Func64, bool, bool)
+	rec = func(id int32) (tt.Func64, bool, bool) {
 		for i, l := range leaves {
 			if l == id {
-				return tt.Var(i), true, false
+				return tt.Var64(i), true, false
 			}
 		}
 		if v, hit := memo[id]; hit {
-			return tt.Func16(v), true, false
+			return v, true, false
 		}
-		if count++; count > 64 {
+		if count++; count > budget {
 			return 0, false, false
 		}
 		if lock != nil && !lock(id) {
@@ -272,7 +281,7 @@ func (e *Evaluator) coneTT(root int32, c *cut.Cut, lock Locker) (f tt.Func16, ok
 			t1 = t1.Not()
 		}
 		t := t0.And(t1)
-		memo[id] = int32(t)
+		memo[id] = t
 		return t, true, false
 	}
 	f, ok, conflict = rec(root)

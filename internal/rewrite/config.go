@@ -25,7 +25,12 @@ const Common134 = 134
 // is the `rewrite`-like default configuration; the paper's Table 3
 // parameterizations are P1() and P2().
 type Config struct {
-	// MaxCuts bounds stored cuts per node (0: cut.DefaultMaxCuts).
+	// K is the cut width, 4..cut.MaxK (0: classic 4-input rewriting).
+	// Widths above 4 require a library with a large-cut forest attached
+	// (rewlib.Library.Big); without one, 5/6-input cuts enumerate but
+	// yield no structural candidates.
+	K int
+	// MaxCuts bounds stored cuts per node (0: cut.DefaultCutLimit(K)).
 	MaxCuts int
 	// MaxStructs bounds the structures evaluated per NPN class
 	// (0: evaluate the whole forest).

@@ -35,6 +35,11 @@ type Candidate struct {
 	Class   int
 	Struct  int // index into the class forest (CandStruct)
 
+	// Repr is the semi-canonical representative for large-cut candidates
+	// (Class == rewlib.BigClass); commit revalidates the recomputed cone
+	// function against it.
+	Repr tt.Func64
+
 	// ConstVal is the replacement value for CandConst; WireLeaf/WirePhase
 	// identify the leaf literal for CandWire.
 	ConstVal  bool
@@ -54,6 +59,7 @@ func (c *Candidate) Ok() bool { return c.Kind != CandNone }
 // thread-local copies of MFFC bookkeeping).
 type Scratch struct {
 	delta map[int32]int32
+	cone  map[int32]tt.Func64
 	vals  []aig.Lit
 	virt  []bool
 	lvls  []int32
@@ -113,7 +119,7 @@ func (s *Scratch) coneSavings(a *aig.AIG, root int32, c *cut.Cut) int {
 // A structure that resolves any gate to root itself is rejected: reusing
 // the node under replacement would cycle the graph (it is also the
 // "nothing changes" case when it is the output).
-func (s *Scratch) instantiate(a *aig.AIG, st *rewlib.Structure, inv npn.Transform,
+func (s *Scratch) instantiate(a *aig.AIG, st *rewlib.Structure, inv npn.Transform6,
 	leaves []int32, root int32, lock func(int32) bool, build bool,
 	tryLock func(int32) bool, refs *[]aig.Lit) (out aig.Lit, outNew bool, nNew int, ok bool) {
 	out, outNew, nNew, _, ok = s.instantiateLevels(a, st, inv, leaves, root, lock, build, tryLock, refs)
@@ -124,7 +130,7 @@ func (s *Scratch) instantiate(a *aig.AIG, st *rewlib.Structure, inv npn.Transfor
 // (depth) the structure's output will have, for delay-preserving mode.
 // Levels of existing nodes may be slightly stale after rewriting; the
 // estimate is a heuristic bound, like ABC's update-level option.
-func (s *Scratch) instantiateLevels(a *aig.AIG, st *rewlib.Structure, inv npn.Transform,
+func (s *Scratch) instantiateLevels(a *aig.AIG, st *rewlib.Structure, inv npn.Transform6,
 	leaves []int32, root int32, lock func(int32) bool, build bool,
 	tryLock func(int32) bool, refs *[]aig.Lit) (out aig.Lit, outNew bool, nNew int, outLevel int32, ok bool) {
 
@@ -262,6 +268,17 @@ type Evaluator struct {
 	TrustStoredGain bool
 
 	mask []bool
+	semi *npn.SemiCache
+}
+
+// semiCache returns the evaluator's semi-canonicalization memo,
+// allocating it on first use (only large-cut configurations ever need
+// one).
+func (e *Evaluator) semiCache() *npn.SemiCache {
+	if e.semi == nil {
+		e.semi = npn.NewSemiCache()
+	}
+	return e.semi
 }
 
 // NewEvaluator builds a per-worker evaluator.
@@ -314,9 +331,9 @@ func (e *Evaluator) EvaluateLocked(root int32, cuts []cut.Cut, lock Locker) (_ C
 			continue // even deleting everything cannot reach the bar
 		}
 		// Collapsing cases: the cut function is constant or a single leaf.
-		if c.TT == tt.False || c.TT == tt.True {
+		if c.TT == tt.False64 || c.TT == tt.True64 {
 			if best.Kind == CandNone || saved > best.Gain {
-				best = Candidate{Root: root, RootVer: best.RootVer, Kind: CandConst, Cut: *c, ConstVal: c.TT == tt.True, Gain: saved}
+				best = Candidate{Root: root, RootVer: best.RootVer, Kind: CandConst, Cut: *c, ConstVal: c.TT == tt.True64, Gain: saved}
 			}
 			continue
 		}
@@ -329,10 +346,19 @@ func (e *Evaluator) EvaluateLocked(root int32, cuts []cut.Cut, lock Locker) (_ C
 		if c.Size < 3 {
 			continue
 		}
-		cls, structs, inv := e.Lib.ForFunc(c.TT)
+		if c.Size > 4 {
+			if e.evaluateBig(root, c, saved, minGain, &best, lockFn) {
+				return best, true
+			}
+			continue
+		}
+		// A cut of Size <= 4 never depends on the upper variables, so the
+		// narrow table is exact and the classic 4-input library applies.
+		cls, structs, inv4 := e.Lib.ForFunc(c.TT.Narrow16())
 		if !e.mask[cls] {
 			continue
 		}
+		inv := inv4.Wide6()
 		nStr := e.Cfg.maxStructs(len(structs))
 		for si := 0; si < nStr; si++ {
 			_, _, nNew, ok := e.Scratch.instantiate(a, &structs[si], inv, c.LeafSlice(), root, lockFn, false, nil, nil)
@@ -358,10 +384,10 @@ func (e *Evaluator) EvaluateLocked(root int32, cuts []cut.Cut, lock Locker) (_ C
 // (possibly complemented), returning that leaf.
 func wireFunc(c *cut.Cut) (leaf int32, phase bool, ok bool) {
 	for v := 0; v < int(c.Size); v++ {
-		if c.TT == tt.Var(v) {
+		if c.TT == tt.Var64(v) {
 			return c.Leaves[v], false, true
 		}
-		if c.TT == tt.Var(v).Not() {
+		if c.TT == tt.Var64(v).Not() {
 			return c.Leaves[v], true, true
 		}
 	}

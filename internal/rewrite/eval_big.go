@@ -1,0 +1,85 @@
+package rewrite
+
+import (
+	"dacpara/internal/cut"
+	"dacpara/internal/npn"
+	"dacpara/internal/rewlib"
+	"dacpara/internal/tt"
+)
+
+// evaluateBig scores the library structures for a 5/6-input cut and folds
+// the best one into best. Large cuts are classified semi-canonically
+// (npn.SemiCanon, memoized per worker) and their forests come from the
+// attached BigLibrary; a configuration without one simply skips large
+// cuts. The return value reports a lock conflict, on which the caller
+// must abort the activity.
+func (e *Evaluator) evaluateBig(root int32, c *cut.Cut, saved, minGain int, best *Candidate, lockFn func(int32) bool) (conflict bool) {
+	big := e.Lib.Big
+	if big == nil {
+		return false
+	}
+	repr, tr := e.semiCache().Canon(c.TT)
+	structs := big.ForRepr(repr)
+	if len(structs) == 0 {
+		return false
+	}
+	inv := tr.Inverse()
+	conflicted := false
+	var lf func(int32) bool
+	if lockFn != nil {
+		lf = func(id int32) bool {
+			if !lockFn(id) {
+				conflicted = true
+				return false
+			}
+			return true
+		}
+	}
+	nStr := e.Cfg.maxStructs(len(structs))
+	for si := 0; si < nStr; si++ {
+		_, _, nNew, ok := e.Scratch.instantiate(e.A, &structs[si], inv, c.LeafSlice(), root, lf, false, nil, nil)
+		if conflicted {
+			return true
+		}
+		if !ok {
+			continue
+		}
+		gain := saved - nNew
+		if gain < minGain {
+			continue
+		}
+		if best.Kind == CandNone || gain > best.Gain {
+			*best = Candidate{Root: root, RootVer: best.RootVer, Kind: CandStruct, Cut: *c,
+				Class: rewlib.BigClass, Struct: si, Repr: repr, Gain: gain}
+		}
+	}
+	return false
+}
+
+// resolveStruct re-resolves the stored structure of a CandStruct
+// candidate against the authoritative cut function recomputed on the
+// latest graph — the commit-time NPN revalidation. Classic candidates go
+// through the dense 4-input classification; large-cut candidates compare
+// semi-canonical representatives.
+func (e *Evaluator) resolveStruct(cand *Candidate, c *cut.Cut, curTT tt.Func64) (*rewlib.Structure, npn.Transform6, bool) {
+	if cand.Class == rewlib.BigClass {
+		big := e.Lib.Big
+		if big == nil {
+			return nil, npn.Identity6, false
+		}
+		repr, tr := e.semiCache().Canon(curTT)
+		if repr != cand.Repr {
+			return nil, npn.Identity6, false
+		}
+		structs := big.ForRepr(repr)
+		if cand.Struct >= len(structs) {
+			return nil, npn.Identity6, false
+		}
+		return &structs[cand.Struct], tr.Inverse(), true
+	}
+	cls, structs, inv := e.Lib.ForFunc(curTT.Narrow16())
+	if cls != cand.Class || cand.Struct >= len(structs) {
+		return nil, npn.Identity6, false
+	}
+	return &structs[cand.Struct], inv.Wide6(), true
+}

@@ -230,7 +230,7 @@ func TestTrustStoredGainCommitsNegative(t *testing.T) {
 	if c == nil {
 		t.Fatal("no 3-cut")
 	}
-	cls, structs, _ := lib.ForFunc(c.TT)
+	cls, structs, _ := lib.ForFunc(c.TT.Narrow16())
 	if len(structs) == 0 {
 		t.Fatal("no structures")
 	}

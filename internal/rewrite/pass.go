@@ -38,7 +38,7 @@ type Pass struct {
 var _ engine.Pass = (*Pass)(nil)
 
 func (p *Pass) Begin(slots int, env engine.Env) {
-	p.cm = cut.NewManager(p.A, cut.Params{MaxCuts: p.Cfg.MaxCuts})
+	p.cm = cut.NewManager(p.A, cut.Params{K: p.Cfg.K, MaxCuts: p.Cfg.MaxCuts})
 	p.evs = make([]*Evaluator, slots)
 	for w := range p.evs {
 		p.evs[w] = NewEvaluator(p.A, p.Lib, p.Cfg)
@@ -112,7 +112,7 @@ type serialPass struct {
 var _ engine.FusedPass = (*serialPass)(nil)
 
 func (p *serialPass) Begin(_ int, env engine.Env) {
-	p.cm = cut.NewManager(p.a, cut.Params{MaxCuts: p.cfg.MaxCuts})
+	p.cm = cut.NewManager(p.a, cut.Params{K: p.cfg.K, MaxCuts: p.cfg.MaxCuts})
 	p.ev = NewEvaluator(p.a, p.lib, p.cfg)
 	p.env = env
 }

@@ -294,6 +294,7 @@ func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
 		dst  *int
 	}{
 		{"workers", &req.Config.Workers},
+		{"k", &req.Config.K},
 		{"passes", &req.Config.Passes},
 		{"max_cuts", &req.Config.MaxCuts},
 		{"max_structs", &req.Config.MaxStructs},
@@ -302,6 +303,9 @@ func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
 		if err := intParam(p.name, p.dst); err != nil {
 			return req, err
 		}
+	}
+	if req.Config.K != 0 && (req.Config.K < 4 || req.Config.K > dacpara.MaxCutWidth) {
+		return req, fmt.Errorf("bad k %d (want 4..%d)", req.Config.K, dacpara.MaxCutWidth)
 	}
 	if err := boolParam("zero_gain", &req.Config.ZeroGain); err != nil {
 		return req, err

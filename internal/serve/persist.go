@@ -65,6 +65,7 @@ func toJournalRequest(req JobRequest, digest string) *journal.Request {
 		Flow:          req.Flow,
 		Workers:       req.Config.Workers,
 		Passes:        req.Config.Passes,
+		K:             req.Config.K,
 		MaxCuts:       req.Config.MaxCuts,
 		MaxStructs:    req.Config.MaxStructs,
 		Classes:       req.Config.NumClasses,
@@ -84,6 +85,7 @@ func fromJournalRequest(jr *journal.Request) JobRequest {
 	req.Flow = jr.Flow
 	req.Config.Workers = jr.Workers
 	req.Config.Passes = jr.Passes
+	req.Config.K = jr.K
 	req.Config.MaxCuts = jr.MaxCuts
 	req.Config.MaxStructs = jr.MaxStructs
 	req.Config.NumClasses = jr.Classes

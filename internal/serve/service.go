@@ -464,8 +464,8 @@ func (s *Service) worker() {
 // cacheKey is the full result-cache key: input structure + engine (or
 // flow script) + every result-affecting config knob + seed.
 func cacheKey(digest string, eng dacpara.Engine, flow string, cfg dacpara.Config, seed int64) string {
-	return fmt.Sprintf("%s|%s|flow=%q|cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
-		digest, eng, flow, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
+	return fmt.Sprintf("%s|%s|flow=%q|k=%d,cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
+		digest, eng, flow, cfg.K, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
 		cfg.Passes, cfg.Workers, seed)
 }
 

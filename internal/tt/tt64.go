@@ -1,0 +1,232 @@
+// Func64 widens the package's function domain from the 4-variable cut
+// space of classic rewriting to the 6-variable space of large-cut
+// rewriting: one 64-bit word holds the complete truth table of a
+// function over x0..x5. A function of fewer variables is stored over the
+// same 64-row domain and simply does not depend on the upper variables,
+// so a Func16 widens by replication and every connective stays a single
+// word operation. This is the function type carried by parameterized
+// cuts (internal/cut) and classified by semi-canonical NPN matching
+// (internal/npn).
+
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxVars64 is the variable capacity of a Func64 — the ceiling of
+// large-cut rewriting (k <= 6).
+const MaxVars64 = 6
+
+// Func64 is a complete truth table over the six variables x0..x5: bit i
+// holds f(x5,...,x0) where i = x5<<5 | ... | x0.
+type Func64 uint64
+
+// Truth tables of the six variables and the constants.
+const (
+	False64 Func64 = 0
+	True64  Func64 = ^Func64(0)
+)
+
+// Vars64 lists the variable truth tables indexed by variable number.
+var Vars64 = [6]Func64{
+	0xAAAAAAAAAAAAAAAA, // x0
+	0xCCCCCCCCCCCCCCCC, // x1
+	0xF0F0F0F0F0F0F0F0, // x2
+	0xFF00FF00FF00FF00, // x3
+	0xFFFF0000FFFF0000, // x4
+	0xFFFFFFFF00000000, // x5
+}
+
+// Var64 returns the truth table of variable v (0..5). It panics if v is
+// out of range; callers index cuts whose width is already validated.
+func Var64(v int) Func64 { return Vars64[v] }
+
+// Wide widens a 4-variable table to the 6-variable domain: the result
+// computes the same function and does not depend on x4 or x5.
+func (f Func16) Wide() Func64 {
+	w := uint64(f)
+	return Func64(w | w<<16 | w<<32 | w<<48)
+}
+
+// Narrow16 projects a table back to the 4-variable domain. It is exact
+// only when f does not depend on x4 and x5 (the invariant every table
+// built from Var64(0..3) maintains).
+func (f Func64) Narrow16() Func16 { return Func16(f) }
+
+// Not returns the complement of f.
+func (f Func64) Not() Func64 { return ^f }
+
+// And returns the conjunction of f and g.
+func (f Func64) And(g Func64) Func64 { return f & g }
+
+// Or returns the disjunction of f and g.
+func (f Func64) Or(g Func64) Func64 { return f | g }
+
+// Xor returns the exclusive-or of f and g.
+func (f Func64) Xor(g Func64) Func64 { return f ^ g }
+
+// Ones reports the number of satisfying assignments over the 64-row
+// domain. For a function of k < 6 variables the count is scaled by
+// 2^(6-k) — consistently for every table, so comparisons stay valid.
+func (f Func64) Ones() int { return bits.OnesCount64(uint64(f)) }
+
+// IsConst reports whether f is constant true or false.
+func (f Func64) IsConst() bool { return f == False64 || f == True64 }
+
+var cofShift64 = [6]uint{1, 2, 4, 8, 16, 32}
+
+// Cofactor0 returns the negative cofactor of f with respect to variable
+// v, expanded back over the full domain so that it no longer depends on
+// v.
+func (f Func64) Cofactor0(v int) Func64 {
+	low := f &^ Vars64[v]
+	return low | low<<cofShift64[v]
+}
+
+// Cofactor1 returns the positive cofactor of f with respect to variable
+// v.
+func (f Func64) Cofactor1(v int) Func64 {
+	high := f & Vars64[v]
+	return high | high>>cofShift64[v]
+}
+
+// DependsOn reports whether f depends on variable v.
+func (f Func64) DependsOn(v int) bool { return f.Cofactor0(v) != f.Cofactor1(v) }
+
+// Support returns a bitmask of the variables f depends on.
+func (f Func64) Support() uint {
+	var s uint
+	for v := 0; v < MaxVars64; v++ {
+		if f.DependsOn(v) {
+			s |= 1 << uint(v)
+		}
+	}
+	return s
+}
+
+// SupportSize returns the number of variables f depends on.
+func (f Func64) SupportSize() int { return bits.OnesCount(f.Support()) }
+
+// FlipVar returns f with variable v complemented.
+func (f Func64) FlipVar(v int) Func64 {
+	low := f &^ Vars64[v]
+	high := f & Vars64[v]
+	return low<<cofShift64[v] | high>>cofShift64[v]
+}
+
+// PermuteVars returns f with its variables renamed according to perm:
+// variable v of the result behaves as variable perm[v] of f. perm must
+// be a permutation of {0..5}.
+func (f Func64) PermuteVars(perm [6]int) Func64 {
+	var out Func64
+	for row := uint(0); row < 64; row++ {
+		src := uint(0)
+		for v := 0; v < MaxVars64; v++ {
+			src |= (row >> uint(v) & 1) << uint(perm[v])
+		}
+		out |= Func64(uint64(f)>>src&1) << row
+	}
+	return out
+}
+
+// Eval evaluates f on the assignment encoded in the low six bits of in.
+func (f Func64) Eval(in uint) bool { return f>>(in&63)&1 == 1 }
+
+// String renders f as a 16-digit hexadecimal constant.
+func (f Func64) String() string { return fmt.Sprintf("0x%016X", uint64(f)) }
+
+// IsXorDecomposable reports whether f = x_v XOR g for some g independent
+// of v, returning g.
+func (f Func64) IsXorDecomposable(v int) (Func64, bool) {
+	c0 := f.Cofactor0(v)
+	c1 := f.Cofactor1(v)
+	if c0 == c1.Not() {
+		return c0, true
+	}
+	return 0, false
+}
+
+// Cube64 is a product term over x0..x5: Lits is a mask of participating
+// variables and Phase gives the polarity of each participating variable
+// (bit set means positive literal).
+type Cube64 struct {
+	Lits  uint8
+	Phase uint8
+}
+
+// Table returns the truth table of the cube.
+func (c Cube64) Table() Func64 {
+	t := True64
+	for v := 0; v < MaxVars64; v++ {
+		if c.Lits>>uint(v)&1 == 0 {
+			continue
+		}
+		if c.Phase>>uint(v)&1 == 1 {
+			t &= Vars64[v]
+		} else {
+			t &= ^Vars64[v]
+		}
+	}
+	return t
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube64) NumLits() int { return bits.OnesCount8(c.Lits) }
+
+// ISOP64 computes an irredundant sum-of-products cover of any function g
+// with on ⊆ g ⊆ on∪dc over variables < nv, using the Minato–Morreale
+// interval algorithm (the Func64 counterpart of ISOP). It returns the
+// cover and its exact truth table.
+func ISOP64(on, dc Func64, nv int) ([]Cube64, Func64) {
+	return isop64(on, on|dc, nv)
+}
+
+func isop64(lower, upper Func64, nv int) ([]Cube64, Func64) {
+	if lower == False64 {
+		return nil, False64
+	}
+	if upper == True64 {
+		return []Cube64{{}}, True64
+	}
+	v := nv - 1
+	for v >= 0 && !lower.DependsOn(v) && !upper.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		return []Cube64{{}}, True64
+	}
+	l0, l1 := lower.Cofactor0(v), lower.Cofactor1(v)
+	u0, u1 := upper.Cofactor0(v), upper.Cofactor1(v)
+
+	cs0, t0 := isop64(l0&^u1, u0, v)
+	cs1, t1 := isop64(l1&^u0, u1, v)
+	lnew := (l0 &^ t0) | (l1 &^ t1)
+	cs2, t2 := isop64(lnew, u0&u1, v)
+
+	var out []Cube64
+	table := t2
+	for _, c := range cs0 {
+		c.Lits |= 1 << uint(v)
+		out = append(out, c)
+		table |= c.Table()
+	}
+	for _, c := range cs1 {
+		c.Lits |= 1 << uint(v)
+		c.Phase |= 1 << uint(v)
+		out = append(out, c)
+		table |= c.Table()
+	}
+	out = append(out, cs2...)
+	return out, table
+}
+
+// CoverTable64 returns the truth table of a cube cover.
+func CoverTable64(cover []Cube64) Func64 {
+	t := False64
+	for _, c := range cover {
+		t |= c.Table()
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package dacpara
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dacpara/internal/aig"
+)
+
+// goldenK4Entry is one row of testdata/golden_k4.json: the structural
+// digest and final AND count an engine produced on a tiny-suite circuit
+// BEFORE cut enumeration was parameterized over K. The file pins every
+// deterministic (circuit, engine, workers) configuration; iccad18 at 4
+// workers is run-to-run nondeterministic (its lock-based speculation
+// commits in arrival order) and is deliberately absent.
+type goldenK4Entry struct {
+	Circuit string `json:"circuit"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	Digest  string `json:"digest"`
+	Ands    int    `json:"ands"`
+}
+
+func loadGoldenK4(t *testing.T) []goldenK4Entry {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_k4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []goldenK4Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty golden file")
+	}
+	return entries
+}
+
+// TestGoldenK4ByteIdentity is the backward differential pin of the
+// large-cut work: running every engine with an explicit K=4 through the
+// parameterized cut/truth-table/NPN stack must reproduce, node for node,
+// the structural digests recorded by the pre-parameterization code. Any
+// behavioural drift in the widened path — truth-table widening, cut
+// budgets, library lookups, commit revalidation — shows up here as a
+// digest mismatch on a named configuration.
+func TestGoldenK4ByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	entries := loadGoldenK4(t)
+	byCircuit := map[string][]goldenK4Entry{}
+	for _, e := range entries {
+		byCircuit[e.Circuit] = append(byCircuit[e.Circuit], e)
+	}
+	for circuit, rows := range byCircuit {
+		circuit, rows := circuit, rows
+		t.Run(circuit, func(t *testing.T) {
+			t.Parallel()
+			golden, err := Generate(circuit, ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range rows {
+				e := e
+				t.Run(fmt.Sprintf("%s-w%d", e.Engine, e.Workers), func(t *testing.T) {
+					net := golden.Clone()
+					res, err := Rewrite(net, Engine(e.Engine), Config{K: 4, Workers: e.Workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.FinalAnds != e.Ands {
+						t.Errorf("final ANDs %d, golden %d", res.FinalAnds, e.Ands)
+					}
+					if got := aig.StructuralDigest(net); got != e.Digest {
+						t.Errorf("structural digest %s, golden %s", got, e.Digest)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLargeCutQoRAndEquivalence is the forward differential pass: every
+// tiny-suite circuit rewritten at k=5 must stay equivalent to the input
+// (SAT-proved within the budget, simulation-screened beyond it) and end
+// at no more AND gates than the k=4 run of the same engine — wider cuts
+// strictly extend the search space, and the narrower default budgets must
+// not squander that advantage. k=6 runs are checked for equivalence only;
+// its much smaller cut budget may trade a few gates away.
+func TestLargeCutQoRAndEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range BenchmarkNames(ScaleTiny) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			golden, err := Generate(name, ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small := golden.Stats().Ands <= cecBudgetAnds
+			check := func(net *Network) {
+				t.Helper()
+				if err := net.Check(aig.CheckOptions{AllowDuplicates: true}); err != nil {
+					t.Fatalf("structural check: %v", err)
+				}
+				var eq bool
+				var err error
+				if small {
+					eq, err = Equivalent(golden, net)
+				} else {
+					eq, err = EquivalentFast(golden, net)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eq {
+					t.Fatal("equivalence disproved")
+				}
+			}
+			finals := map[int]int{}
+			for _, k := range []int{4, 5, 6} {
+				net := golden.Clone()
+				res, err := Rewrite(net, EngineDACPara, Config{K: k, Workers: 4})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				check(net)
+				finals[k] = res.FinalAnds
+			}
+			if finals[5] > finals[4] {
+				t.Errorf("k=5 ended at %d ANDs, worse than k=4's %d", finals[5], finals[4])
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"dacpara"
 )
@@ -33,6 +34,7 @@ func main() {
 		p2        = flag.Bool("p2", false, "use the paper's P2 configuration (unlimited, 1 pass)")
 		zero      = flag.Bool("z", false, "also apply zero-gain rewrites")
 		level     = flag.Bool("l", false, "preserve levels: reject depth-increasing rewrites")
+		partN     = flag.Int("partition", 0, "split the circuit into N shards along low-coupling frontiers, rewrite each shard independently on local goroutines, CEC-verify per shard and whole, and stitch (0 = whole-circuit run)")
 		guard     = flag.Bool("guard", false, "guarded execution: verify each engine run on a scratch copy and degrade dacpara -> iccad18 -> abc on failure")
 		deadln    = flag.Duration("guard-deadline", 0, "with -guard: per-attempt wall-clock deadline (0 = none)")
 		verify    = flag.Bool("verify", false, "equivalence-check the result against the input")
@@ -92,6 +94,14 @@ func main() {
 		cfg.Metrics = dacpara.NewMetrics()
 		cfg.Metrics.TraceConflicts(*traceConf)
 	}
+	if *partN != 0 && (*partN < 2 || *partN > dacpara.MaxPartitionShards) {
+		fmt.Fprintf(os.Stderr, "dacpara: -partition %d out of range 2..%d\n", *partN, dacpara.MaxPartitionShards)
+		os.Exit(2)
+	}
+	if *partN >= 2 && *guard {
+		fmt.Fprintln(os.Stderr, "dacpara: -partition and -guard are mutually exclusive (partitioned runs verify every shard already)")
+		os.Exit(2)
+	}
 
 	if *pprofPfx != "" {
 		f, err := os.Create(*pprofPfx + ".cpu.pprof")
@@ -122,30 +132,23 @@ func main() {
 		case "resyn2rs":
 			text = dacpara.Resyn2rs
 		}
-		var results []dacpara.Result
-		var final *dacpara.Network
-		if *guard {
-			var reports []*dacpara.GuardReport
-			results, reports, final, err = dacpara.FlowGuarded(net, text, cfg, dacpara.GuardOptions{Deadline: *deadln})
-			for _, rep := range reports {
-				printReport(rep)
+		if *partN >= 2 {
+			res, err := dacpara.FlowPartitioned(net, text, cfg, *partN)
+			fatal(err)
+			printPartitioned(res)
+			if res.Metrics != nil {
+				snapshots = append(snapshots, res.Metrics)
 			}
 		} else {
-			results, final, err = dacpara.Flow(net, text, cfg)
+			runFlow(&net, text, cfg, *guard, *deadln, before.Ands, before.Delay, &snapshots)
 		}
+	} else if *partN >= 2 {
+		res, err := dacpara.RewritePartitioned(net, dacpara.Engine(*engine), cfg, *partN)
 		fatal(err)
-		net = final
-		for _, r := range results {
-			fmt.Printf("%-16s area %7d -> %7d  delay %5d -> %5d  %8.3fs\n",
-				r.Engine, r.InitialAnds, r.FinalAnds, r.InitialDelay, r.FinalDelay,
-				r.Duration.Seconds())
-			if r.Metrics != nil {
-				snapshots = append(snapshots, r.Metrics)
-			}
+		printPartitioned(res)
+		if res.Metrics != nil {
+			snapshots = append(snapshots, res.Metrics)
 		}
-		after := net.Stats()
-		fmt.Printf("flow total: area %d -> %d, delay %d -> %d\n",
-			before.Ands, after.Ands, before.Delay, after.Delay)
 	} else {
 		var res dacpara.Result
 		var err error
@@ -201,6 +204,53 @@ func main() {
 
 	if *out != "" {
 		fatal(net.WriteFile(*out))
+	}
+}
+
+// runFlow executes the flow script whole-circuit (the non-partitioned
+// path), prints the per-step table and total, and replaces *netp with
+// the final network.
+func runFlow(netp **dacpara.Network, text string, cfg dacpara.Config, guard bool, deadln time.Duration, beforeAnds int, beforeDelay int32, snapshots *[]*dacpara.MetricsSnapshot) {
+	var results []dacpara.Result
+	var final *dacpara.Network
+	var err error
+	if guard {
+		var reports []*dacpara.GuardReport
+		results, reports, final, err = dacpara.FlowGuarded(*netp, text, cfg, dacpara.GuardOptions{Deadline: deadln})
+		for _, rep := range reports {
+			printReport(rep)
+		}
+	} else {
+		results, final, err = dacpara.Flow(*netp, text, cfg)
+	}
+	fatal(err)
+	*netp = final
+	for _, r := range results {
+		fmt.Printf("%-16s area %7d -> %7d  delay %5d -> %5d  %8.3fs\n",
+			r.Engine, r.InitialAnds, r.FinalAnds, r.InitialDelay, r.FinalDelay,
+			r.Duration.Seconds())
+		if r.Metrics != nil {
+			*snapshots = append(*snapshots, r.Metrics)
+		}
+	}
+	after := (*netp).Stats()
+	fmt.Printf("flow total: area %d -> %d, delay %d -> %d\n",
+		beforeAnds, after.Ands, beforeDelay, after.Delay)
+}
+
+// printPartitioned reports a partitioned run: overall QoR from the
+// summary Result plus the split shape when metrics were collected.
+func printPartitioned(res dacpara.Result) {
+	fmt.Printf("engine=%s threads=%d time=%.3fs\n", res.Engine, res.Threads, res.Duration.Seconds())
+	fmt.Printf("area  %d -> %d (reduction %d, %.2f%%)\n", res.InitialAnds, res.FinalAnds,
+		res.AreaReduction(), 100*float64(res.AreaReduction())/float64(max(res.InitialAnds, 1)))
+	fmt.Printf("delay %d -> %d\n", res.InitialDelay, res.FinalDelay)
+	fmt.Printf("replacements=%d attempts=%d stale=%d commits=%d aborts=%d\n",
+		res.Replacements, res.Attempts, res.Stale, res.Commits, res.Aborts)
+	if res.Metrics != nil && res.Metrics.Partition != nil {
+		p := res.Metrics.Partition
+		fmt.Printf("partition: shards=%d crossing=%d balance=%.2f rejected=%d\n",
+			p.Shards, p.CrossingEdges, p.Balance, p.Rejected)
 	}
 }
 

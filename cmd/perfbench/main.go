@@ -10,6 +10,7 @@
 //	perfbench -scale tiny -workers 1,4                 # full sweep
 //	perfbench -circuits sin,mult -engines dacpara,abc  # focused sweep
 //	perfbench -pass rewrite,refactor,resub             # cross-pass sweep
+//	perfbench -partition 0,4 -engines dacpara          # whole vs partitioned
 //	perfbench -validate BENCH_2026-08-06.json          # schema check
 package main
 
@@ -38,6 +39,7 @@ func main() {
 		passNames = flag.String("pass", "rewrite", "comma-separated passes to sweep: rewrite, refactor, resub (refactor/resub run their DACPara-style parallel executors)")
 		passes    = flag.Int("passes", 1, "rewriting passes per run")
 		cutKs     = flag.String("k", "4", "comma-separated rewriting cut widths for the rewrite pass (4..6; 5/6 use the large-cut NPN library)")
+		parts     = flag.String("partition", "0", "comma-separated shard counts for the rewrite pass (0 = whole-circuit; N>=2 runs RewritePartitioned and records the partition section)")
 		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
 		validate  = flag.String("validate", "", "validate an existing BENCH json against the schema and exit")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
@@ -73,6 +75,11 @@ func main() {
 			fatal(fmt.Errorf("cut width %d outside 4..%d", k, dacpara.MaxCutWidth))
 		}
 	}
+	shardCounts, err := parseShards(*parts)
+	fatal(err)
+	if len(shardCounts) == 0 {
+		shardCounts = []int{0}
+	}
 
 	file := &metrics.BenchFile{
 		Schema:  metrics.SchemaBench,
@@ -88,13 +95,14 @@ func main() {
 	}
 
 	coll := dacpara.NewMetrics()
-	record := func(name, pass, eng string, w, k int, res dacpara.Result, runErr error) {
+	record := func(name, pass, eng string, w, k, part int, res dacpara.Result, runErr error) {
 		run := metrics.BenchRun{
-			Circuit: name,
-			Pass:    pass,
-			Engine:  eng,
-			Workers: w,
-			Metrics: res.Metrics,
+			Circuit:   name,
+			Pass:      pass,
+			Engine:    eng,
+			Workers:   w,
+			Partition: part,
+			Metrics:   res.Metrics,
 		}
 		if k > 4 {
 			run.K = k
@@ -104,8 +112,8 @@ func main() {
 		}
 		file.Runs = append(file.Runs, run)
 		if !*quiet {
-			fmt.Printf("%-14s %-9s %-16s w=%-2d k=%d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
-				name, pass, eng, w, max(k, 4), res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
+			fmt.Printf("%-14s %-9s %-16s w=%-2d k=%d p=%d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
+				name, pass, eng, w, max(k, 4), part, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
 				res.Aborts, 100*res.WastedFraction())
 		}
 	}
@@ -116,14 +124,22 @@ func main() {
 				for _, eng := range strings.Split(*engines, ",") {
 					for _, w := range workerCounts {
 						for _, k := range cutWidths {
-							net, err := dacpara.Generate(name, sc)
-							fatal(err)
-							cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
-							if k > 4 {
-								cfg.K = k
+							for _, part := range shardCounts {
+								net, err := dacpara.Generate(name, sc)
+								fatal(err)
+								cfg := dacpara.Config{Workers: w, Passes: *passes, Metrics: coll}
+								if k > 4 {
+									cfg.K = k
+								}
+								var res dacpara.Result
+								var runErr error
+								if part >= 2 {
+									res, runErr = dacpara.RewritePartitioned(net, dacpara.Engine(eng), cfg, part)
+								} else {
+									res, runErr = dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
+								}
+								record(name, pass, eng, w, k, part, res, runErr)
 							}
-							res, runErr := dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
-							record(name, pass, eng, w, k, res, runErr)
 						}
 					}
 				}
@@ -133,7 +149,7 @@ func main() {
 					fatal(err)
 					res, runErr := refactor.RunParallelCtx(context.Background(), net,
 						refactor.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, 4, res, runErr)
+					record(name, pass, res.Engine, w, 4, 0, res, runErr)
 				}
 			case "resub":
 				for _, w := range workerCounts {
@@ -141,7 +157,7 @@ func main() {
 					fatal(err)
 					res, runErr := resub.RunParallelCtx(context.Background(), net,
 						resub.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, 4, res, runErr)
+					record(name, pass, res.Engine, w, 4, 0, res, runErr)
 				}
 			default:
 				fatal(fmt.Errorf("unknown pass %q (want rewrite, refactor or resub)", pass))
@@ -186,6 +202,24 @@ func parseInts(csv string) ([]int, error) {
 		n, err := strconv.Atoi(f)
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseShards parses the -partition list: 0 means whole-circuit, any
+// other value must be a legal shard count.
+func parseShards(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 || n == 1 || n > dacpara.MaxPartitionShards {
+			return nil, fmt.Errorf("bad shard count %q (want 0 or 2..%d)", f, dacpara.MaxPartitionShards)
 		}
 		out = append(out, n)
 	}

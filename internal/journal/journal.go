@@ -44,6 +44,12 @@ const (
 	// OpLeaseExpired records a failed lease (missed heartbeats or a
 	// worker-reported error) and the re-enqueue that followed.
 	OpLeaseExpired Op = "lease_expired"
+	// OpShardDone records one shard of a partitioned job finishing: Step
+	// is the shard index, Digest the optimized shard's structural digest
+	// (matching the shard blob in the checkpoint store), Worker who ran
+	// it. Non-terminal — recovery re-runs only the shards without such a
+	// record and resumes at the stitch step.
+	OpShardDone Op = "shard_done"
 )
 
 // Terminal reports whether the op ends a job's lifecycle; a job whose
@@ -76,6 +82,9 @@ type Request struct {
 	Verify        bool   `json:"verify,omitempty"`
 	VerifyBudget  int64  `json:"verify_budget,omitempty"`
 	DeadlineNs    int64  `json:"deadline_ns,omitempty"`
+	// Partition, when ≥ 2, runs the job partitioned: the circuit is cut
+	// into that many shards, each rewritten as its own (sub-)job.
+	Partition int `json:"partition,omitempty"`
 	// InputDigest is the structural digest of the submitted circuit; the
 	// recovered input blob must re-digest to it or the job is not re-run.
 	InputDigest string `json:"input_digest"`

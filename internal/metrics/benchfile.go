@@ -42,6 +42,10 @@ type BenchRun struct {
 	// K is the rewriting cut width of a rewrite run (0 or absent means
 	// the classic 4-input width; 5 and 6 use the large-cut library).
 	K int `json:"k,omitempty"`
+	// Partition is the shard count of a partitioned rewrite run (0 or
+	// absent: whole-circuit run). Partitioned rows carry the partition
+	// section in their metrics snapshot.
+	Partition int `json:"partition,omitempty"`
 	// Error is the engine's error string for runs that ended incomplete
 	// (the metrics still cover the work done up to that point).
 	Error   string    `json:"error,omitempty"`
@@ -85,6 +89,17 @@ func (f *BenchFile) Validate() error {
 		}
 		if r.K != 0 && r.Pass != "" && r.Pass != "rewrite" {
 			return fmt.Errorf("%s: cut width on non-rewrite pass %q", where, r.Pass)
+		}
+		if r.Partition != 0 {
+			if r.Partition < 2 || r.Partition > 64 {
+				return fmt.Errorf("%s: partition %d outside 2..64", where, r.Partition)
+			}
+			if r.Pass != "" && r.Pass != "rewrite" {
+				return fmt.Errorf("%s: partition on non-rewrite pass %q", where, r.Pass)
+			}
+			if r.Metrics != nil && r.Metrics.Partition == nil {
+				return fmt.Errorf("%s: partitioned run missing partition section", where)
+			}
 		}
 		m := r.Metrics
 		if m == nil {

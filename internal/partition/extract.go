@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"fmt"
+
+	"dacpara/internal/aig"
+)
+
+// Shard is one self-contained slice of the parent AIG. Its Sub graph
+// computes exactly the shard's cones: every value entering the shard
+// from outside (a parent PI, or an AND owned by an earlier shard) is a
+// PI of Sub, and every value the shard exports (tapped by a parent PO
+// or by an AND in a later shard) is a PO of Sub. Inputs and Outputs are
+// the boundary map back to parent node ids, index-aligned with Sub's
+// PIs and POs.
+type Shard struct {
+	Index int
+	Sub   *aig.AIG
+	// Inputs[k] is the parent node id feeding Sub's k-th PI, in
+	// first-use order of the extraction walk.
+	Inputs []int32
+	// Outputs[k] is the parent node id whose (positive-phase) function
+	// Sub's k-th PO computes.
+	Outputs []int32
+}
+
+// Split is the result of Extract: the parent, the plan it was cut by,
+// and one Shard per plan shard. The parent graph is never mutated by
+// any partition operation — Stitch builds a fresh graph.
+type Split struct {
+	Parent *aig.AIG
+	Plan   *Plan
+	Shards []*Shard
+}
+
+// Extract materializes every shard of the plan as a self-contained
+// sub-AIG in one topological walk of the parent. Frontier values become
+// PIs/POs of the sub-graphs with the parent-id boundary map recorded on
+// each Shard, so Stitch can re-substitute optimized shards.
+func Extract(a *aig.AIG, plan *Plan) (*Split, error) {
+	if plan == nil || plan.Shards < 1 {
+		return nil, fmt.Errorf("partition: extract: empty plan")
+	}
+	if int32(len(plan.Assign)) < a.Capacity() {
+		return nil, fmt.Errorf("partition: extract: plan covers %d ids, graph has %d", len(plan.Assign), a.Capacity())
+	}
+	n := plan.Shards
+	sp := &Split{Parent: a, Plan: plan, Shards: make([]*Shard, n)}
+	inputLit := make([]map[int32]aig.Lit, n)
+	for s := 0; s < n; s++ {
+		sp.Shards[s] = &Shard{
+			Index: s,
+			Sub:   aig.New(aig.Options{CapacityHint: plan.Sizes[s] + 16}),
+		}
+		inputLit[s] = make(map[int32]aig.Lit)
+	}
+
+	// own[id] is the literal computing parent node id inside its own
+	// shard's sub-graph (valid only for AND ids the walk has reached).
+	own := make([]aig.Lit, a.Capacity())
+	mapFanin := func(s int, f aig.Lit) aig.Lit {
+		fid := f.Node()
+		if fid == 0 {
+			return f // constants share their encoding across graphs
+		}
+		if a.N(fid).IsAnd() && plan.Assign[fid] == int16(s) {
+			return own[fid].XorCompl(f.Compl())
+		}
+		// Boundary value: a parent PI or an AND owned by another shard.
+		sh := sp.Shards[s]
+		pi, ok := inputLit[s][fid]
+		if !ok {
+			pi = sh.Sub.AddPI()
+			inputLit[s][fid] = pi
+			sh.Inputs = append(sh.Inputs, fid)
+		}
+		return pi.XorCompl(f.Compl())
+	}
+
+	for _, id := range a.TopoOrder(nil) {
+		node := a.N(id)
+		if !node.IsAnd() {
+			continue
+		}
+		s := int(plan.Assign[id])
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("partition: extract: AND %d unassigned", id)
+		}
+		sh := sp.Shards[s]
+		own[id] = sh.Sub.And(mapFanin(s, node.Fanin0()), mapFanin(s, node.Fanin1()))
+		// Export the node if anything outside the shard taps it: a
+		// parent PO, or an AND owned by a different (always later) shard.
+		export := false
+		for _, e := range node.Fanouts() {
+			if _, isPO := aig.IsPOFanout(e); isPO {
+				export = true
+			} else if plan.Assign[e] != int16(s) {
+				export = true
+			}
+			if export {
+				break
+			}
+		}
+		if export {
+			sh.Sub.AddPO(own[id])
+			sh.Outputs = append(sh.Outputs, id)
+		}
+	}
+	return sp, nil
+}

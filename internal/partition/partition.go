@@ -1,0 +1,543 @@
+// Package partition slices one large AIG into self-contained shards so
+// a single huge circuit can be rewritten across many workers — the open
+// half of the cluster work: DACPara's divide-and-conquer applied one
+// level up, across machines instead of across goroutines.
+//
+// The pipeline has three mechanical stages plus an orchestrator:
+//
+//   - Select sweeps level windows for low-coupling cut frontiers
+//     (few AND→AND edges crossing a boundary, balanced shard sizes) and
+//     refines the windows with bounded node moves — a cheap min-cut pass
+//     over the fanout-sparse regions the sweep found.
+//   - Extract materializes each shard as a self-contained sub-AIG:
+//     frontier nodes entering a shard become its PIs, frontier nodes it
+//     exports become its POs, with the parent-node boundary map recorded.
+//   - Stitch composes optimized shards back into one graph, re-strashing
+//     as it builds, and the Run orchestrator guards every substitution
+//     with a per-shard CEC check (a shard that fails verification is
+//     rejected and its original cone kept) plus an optional whole-circuit
+//     equivalence check.
+//
+// Shards only ever depend on earlier shards — the selector maintains the
+// invariant shard(u) ≤ shard(v) for every AND edge u→v — so cross-shard
+// conflicts are structurally impossible and shards can be optimized in
+// any order, on any worker, with no coordination.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"dacpara/internal/aig"
+)
+
+// MaxShards bounds the shard count of a plan; more shards than this buys
+// nothing (the per-shard stitch/verify overhead dominates) and the serve
+// layer rejects larger requests outright.
+const MaxShards = 64
+
+// Options configures Select.
+type Options struct {
+	// Shards is the requested shard count (≥ 2). Select may return fewer
+	// shards than requested when the circuit is too shallow or too small
+	// to support the split (each shard is guaranteed non-empty).
+	Shards int
+	// MaxImbalance caps any shard's AND count at MaxImbalance × (total /
+	// shards); 0 defaults to 1.5. Values below 1 are rejected.
+	MaxImbalance float64
+	// RefinePasses is the number of bounded node-move refinement sweeps
+	// run after the level-window split (0: 2; negative: none).
+	RefinePasses int
+}
+
+func (o Options) imbalance() float64 {
+	if o.MaxImbalance == 0 {
+		return 1.5
+	}
+	return o.MaxImbalance
+}
+
+func (o Options) refinePasses() int {
+	if o.RefinePasses == 0 {
+		return 2
+	}
+	if o.RefinePasses < 0 {
+		return 0
+	}
+	return o.RefinePasses
+}
+
+// Plan is a complete shard assignment: every AND node of the parent is
+// owned by exactly one shard, and for every AND→AND edge u→v,
+// shard(u) ≤ shard(v).
+type Plan struct {
+	// Shards is the effective shard count (≤ the requested count).
+	Shards int
+	// Assign maps parent node id → shard index; -1 for non-AND nodes
+	// (const, PIs, free slots).
+	Assign []int16
+	// Sizes is the AND count per shard.
+	Sizes []int
+	// CrossingEdges counts AND→AND edges whose endpoints live in
+	// different shards — the coupling the selector minimizes. Edges from
+	// PIs are free (PIs are never rewritten) and PO taps do not cross.
+	CrossingEdges int
+	// Balance is max(Sizes) / (total/Shards); 1.0 is a perfect split.
+	Balance float64
+	// Boundaries are the level boundaries chosen by the window sweep
+	// (before node-move refinement), for observability: shard k initially
+	// covered levels (Boundaries[k-1], Boundaries[k]].
+	Boundaries []int32
+}
+
+// Frontier is one candidate cut boundary from the level sweep: the
+// horizontal cut after Level, with Crossing AND→AND edges spanning it
+// and Below/Above AND nodes on each side.
+type Frontier struct {
+	Level    int32 `json:"level"`
+	Crossing int   `json:"crossing"`
+	Below    int   `json:"below"`
+	Above    int   `json:"above"`
+}
+
+// levelProfile computes, per boundary level B (cut after level B), the
+// number of AND→AND edges u→v with level(u) ≤ B < level(v), plus the
+// per-level AND counts. Levels must be fresh (call Levelize first).
+func levelProfile(a *aig.AIG) (crossing []int, andsAt []int, maxLevel int32) {
+	a.Levelize() // returns the max PO level; dangling cones can sit deeper
+	a.ForEachAnd(func(id int32) {
+		if l := a.N(id).Level(); l > maxLevel {
+			maxLevel = l
+		}
+	})
+	crossing = make([]int, maxLevel+2)
+	andsAt = make([]int, maxLevel+2)
+	a.ForEachAnd(func(id int32) {
+		n := a.N(id)
+		lu := n.Level()
+		andsAt[lu]++
+		// An edge u→v crosses every boundary B in [level(u), level(v)-1]:
+		// record it with a difference array and prefix-sum below.
+		for _, e := range n.Fanouts() {
+			if _, isPO := aig.IsPOFanout(e); isPO {
+				continue
+			}
+			lv := a.N(e).Level()
+			if lv > lu {
+				crossing[lu]++
+				crossing[lv]--
+			}
+		}
+	})
+	for b := int32(1); b <= maxLevel; b++ {
+		crossing[b] += crossing[b-1]
+	}
+	return crossing, andsAt, maxLevel
+}
+
+// SweepFrontiers returns every candidate horizontal cut of the circuit,
+// sorted by ascending crossing-edge count (ties: ascending level). This
+// is the raw material of Select's window sweep, exposed for offline
+// inspection via `aigstat -frontiers`.
+func SweepFrontiers(a *aig.AIG) []Frontier {
+	crossing, andsAt, maxLevel := levelProfile(a)
+	if maxLevel < 2 {
+		return nil
+	}
+	below := 0
+	total := a.NumAnds()
+	out := make([]Frontier, 0, maxLevel-1)
+	for b := int32(1); b < maxLevel; b++ {
+		below += andsAt[b]
+		out = append(out, Frontier{Level: b, Crossing: crossing[b], Below: below, Above: total - below})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Crossing != out[j].Crossing {
+			return out[i].Crossing < out[j].Crossing
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
+// maxBoundaryCandidates caps the DP over boundary levels on very deep
+// graphs; beyond it candidate levels are thinned evenly.
+const maxBoundaryCandidates = 2048
+
+// Select plans a partition of a into opts.Shards shards. It sweeps all
+// horizontal cuts with a dynamic program that minimizes total crossing
+// edges under the balance cap, then runs bounded node-move refinement.
+// The effective shard count can be lower than requested on shallow or
+// tiny circuits; it is never zero and the plan always covers every AND.
+func Select(a *aig.AIG, opts Options) (*Plan, error) {
+	if opts.Shards < 2 {
+		return nil, fmt.Errorf("partition: shard count %d, want >= 2", opts.Shards)
+	}
+	if opts.Shards > MaxShards {
+		return nil, fmt.Errorf("partition: shard count %d exceeds max %d", opts.Shards, MaxShards)
+	}
+	if opts.imbalance() < 1 {
+		return nil, fmt.Errorf("partition: max imbalance %.2f, want >= 1", opts.MaxImbalance)
+	}
+	total := a.NumAnds()
+	crossing, andsAt, maxLevel := levelProfile(a)
+
+	// Each shard's initial window needs at least one populated level, so
+	// the effective shard count is bounded by the number of populated
+	// levels (and by the AND count).
+	populated := 0
+	for l := int32(1); l <= maxLevel; l++ {
+		if andsAt[l] > 0 {
+			populated++
+		}
+	}
+	n := opts.Shards
+	if n > populated {
+		n = populated
+	}
+	if n > total {
+		n = total
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	plan := &Plan{
+		Shards: n,
+		Assign: make([]int16, a.Capacity()),
+		Sizes:  make([]int, n),
+	}
+	for i := range plan.Assign {
+		plan.Assign[i] = -1
+	}
+	if n == 1 {
+		a.ForEachAnd(func(id int32) { plan.Assign[id] = 0 })
+		plan.Sizes[0] = total
+		plan.Balance = 1
+		return plan, nil
+	}
+
+	boundaries := chooseBoundaries(crossing, andsAt, maxLevel, total, n, opts.imbalance())
+	plan.Boundaries = boundaries
+
+	// Materialize the window split as an explicit per-node assignment.
+	a.ForEachAnd(func(id int32) {
+		l := a.N(id).Level()
+		s := sort.Search(len(boundaries), func(i int) bool { return boundaries[i] >= l })
+		if s >= n {
+			s = n - 1
+		}
+		plan.Assign[id] = int16(s)
+		plan.Sizes[s]++
+	})
+	plan.compact()
+	n = plan.Shards
+
+	cap := balanceCap(total, n, opts.imbalance())
+	for pass := 0; pass < opts.refinePasses(); pass++ {
+		if refinePass(a, plan, cap) == 0 {
+			break
+		}
+	}
+
+	plan.CrossingEdges = countCrossing(a, plan.Assign)
+	plan.Balance = balanceOf(plan.Sizes, total, n)
+	return plan, nil
+}
+
+// compact drops empty shards (possible when a fallback boundary list is
+// shorter than requested) and renumbers the survivors, preserving order
+// so the shard(u) ≤ shard(v) edge invariant is untouched.
+func (p *Plan) compact() {
+	remap := make([]int16, len(p.Sizes))
+	next := int16(0)
+	for i, sz := range p.Sizes {
+		if sz > 0 {
+			remap[i] = next
+			next++
+		} else {
+			remap[i] = -1
+		}
+	}
+	if int(next) == len(p.Sizes) {
+		return
+	}
+	sizes := make([]int, next)
+	for i, sz := range p.Sizes {
+		if sz > 0 {
+			sizes[remap[i]] = sz
+		}
+	}
+	for id, s := range p.Assign {
+		if s >= 0 {
+			p.Assign[id] = remap[s]
+		}
+	}
+	p.Shards = int(next)
+	p.Sizes = sizes
+}
+
+func balanceCap(total, n int, imbalance float64) int {
+	c := int(imbalance * float64(total) / float64(n))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func balanceOf(sizes []int, total, n int) float64 {
+	maxSz := 0
+	for _, s := range sizes {
+		if s > maxSz {
+			maxSz = s
+		}
+	}
+	ideal := float64(total) / float64(n)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(maxSz) / ideal
+}
+
+// chooseBoundaries picks n-1 ascending boundary levels minimizing the
+// summed crossing-edge count subject to every window's AND count staying
+// within the balance cap. Infeasible caps are relaxed geometrically; the
+// final fallback is an equal-count greedy split, which is always
+// feasible because n never exceeds the populated level count.
+func chooseBoundaries(crossing, andsAt []int, maxLevel int32, total, n int, imbalance float64) []int32 {
+	// Candidate boundary levels: after each level 1..maxLevel-1, thinned
+	// on very deep graphs. Always keep levels where the population
+	// changes so the equal-count fallback stays exact enough.
+	cands := make([]int32, 0, maxLevel)
+	step := int32(1)
+	if int(maxLevel) > maxBoundaryCandidates {
+		step = (maxLevel + maxBoundaryCandidates - 1) / maxBoundaryCandidates
+	}
+	for b := int32(1); b < maxLevel; b += step {
+		cands = append(cands, b)
+	}
+	prefix := make([]int, maxLevel+1) // prefix[b] = ANDs at levels <= b
+	for b := int32(1); b <= maxLevel; b++ {
+		prefix[b] = prefix[b-1] + andsAt[b]
+	}
+
+	for cap := balanceCap(total, n, imbalance); ; cap += cap/2 + 1 {
+		if b := boundaryDP(crossing, prefix, cands, maxLevel, n, cap); b != nil {
+			return b
+		}
+		if cap >= total {
+			break
+		}
+	}
+	return equalCountBoundaries(andsAt, maxLevel, total, n)
+}
+
+// boundaryDP solves the windowed min-crossing split exactly over the
+// candidate levels: dp[k][i] = best cost of covering levels 1..cands[i]
+// with k windows, boundary k at cands[i]. Returns nil if infeasible
+// under the cap.
+func boundaryDP(crossing, prefix []int, cands []int32, maxLevel int32, n, cap int) []int32 {
+	const inf = int(^uint(0) >> 1)
+	m := len(cands)
+	if m < n-1 {
+		return nil
+	}
+	dp := make([][]int, n)     // dp[k][i], k boundaries placed, last at cands[i]
+	parent := make([][]int, n) // predecessor candidate index
+	for k := 1; k < n; k++ {
+		dp[k] = make([]int, m)
+		parent[k] = make([]int, m)
+		for i := range dp[k] {
+			dp[k][i] = inf
+			parent[k][i] = -1
+		}
+	}
+	for i, b := range cands {
+		if prefix[b] <= cap {
+			dp[1][i] = crossing[b]
+		}
+	}
+	for k := 2; k < n; k++ {
+		for i, b := range cands {
+			best, bestJ := inf, -1
+			for j := 0; j < i; j++ {
+				if dp[k-1][j] == inf {
+					continue
+				}
+				if prefix[b]-prefix[cands[j]] > cap {
+					continue
+				}
+				if c := dp[k-1][j] + crossing[b]; c < best {
+					best, bestJ = c, j
+				}
+			}
+			dp[k][i], parent[k][i] = best, bestJ
+		}
+	}
+	// Close with the final window (levels after the last boundary).
+	best, bestI := inf, -1
+	for i, b := range cands {
+		if dp[n-1][i] == inf {
+			continue
+		}
+		if prefix[maxLevel]-prefix[b] > cap || prefix[maxLevel]-prefix[b] < 1 {
+			continue
+		}
+		if dp[n-1][i] < best {
+			best, bestI = dp[n-1][i], i
+		}
+	}
+	if bestI < 0 {
+		return nil
+	}
+	out := make([]int32, n-1)
+	for k, i := n-1, bestI; k >= 1; k-- {
+		out[k-1] = cands[i]
+		i = parent[k][i]
+	}
+	// Reject degenerate plans with an empty window (possible when two
+	// chosen boundaries sit in an unpopulated gap).
+	last := 0
+	for _, b := range out {
+		if prefix[b]-last < 1 {
+			return nil
+		}
+		last = prefix[b]
+	}
+	return out
+}
+
+// equalCountBoundaries is the always-feasible fallback: walk levels
+// accumulating ANDs and cut whenever the running window reaches
+// total/n, leaving enough populated levels for the remaining shards.
+func equalCountBoundaries(andsAt []int, maxLevel int32, total, n int) []int32 {
+	out := make([]int32, 0, n-1)
+	target := total / n
+	if target < 1 {
+		target = 1
+	}
+	run := 0
+	populatedLeft := 0
+	for l := int32(1); l <= maxLevel; l++ {
+		if andsAt[l] > 0 {
+			populatedLeft++
+		}
+	}
+	for l := int32(1); l < maxLevel && len(out) < n-1; l++ {
+		run += andsAt[l]
+		if andsAt[l] > 0 {
+			populatedLeft--
+		}
+		remainingShards := n - 1 - len(out)
+		if run >= target || populatedLeft <= remainingShards {
+			if run > 0 {
+				out = append(out, l)
+				run = 0
+			}
+		}
+	}
+	return out
+}
+
+// countCrossing counts AND→AND edges whose endpoints are assigned to
+// different shards.
+func countCrossing(a *aig.AIG, assign []int16) int {
+	c := 0
+	a.ForEachAnd(func(id int32) {
+		n := a.N(id)
+		if f := n.Fanin0().Node(); assign[f] >= 0 && assign[f] != assign[id] {
+			c++
+		}
+		if f := n.Fanin1().Node(); assign[f] >= 0 && assign[f] != assign[id] {
+			c++
+		}
+	})
+	return c
+}
+
+// refinePass is one sweep of bounded node moves: every AND node, in
+// ascending id order for determinism, may move one shard up or down when
+// the move is legal (the shard(u) ≤ shard(v) edge invariant holds),
+// keeps every shard non-empty and within the balance cap, and strictly
+// reduces the crossing-edge count. Returns the number of moves applied.
+func refinePass(a *aig.AIG, plan *Plan, cap int) int {
+	moves := 0
+	assign := plan.Assign
+	a.ForEachAnd(func(id int32) {
+		n := a.N(id)
+		s := assign[id]
+		bestDelta, bestTo := 0, int16(-1)
+		for _, to := range [2]int16{s - 1, s + 1} {
+			if to < 0 || int(to) >= plan.Shards {
+				continue
+			}
+			if plan.Sizes[to]+1 > cap || plan.Sizes[s] <= 1 {
+				continue
+			}
+			if !moveLegal(a, n, assign, s, to) {
+				continue
+			}
+			if d := moveDelta(a, n, assign, s, to); d < bestDelta {
+				bestDelta, bestTo = d, to
+			}
+		}
+		if bestTo >= 0 {
+			plan.Sizes[s]--
+			plan.Sizes[bestTo]++
+			assign[id] = bestTo
+			moves++
+		}
+	})
+	return moves
+}
+
+// moveLegal reports whether moving node n from shard s to shard to keeps
+// every incident AND edge ordered (fanins in ≤, fanouts in ≥ shards).
+func moveLegal(a *aig.AIG, n *aig.Node, assign []int16, s, to int16) bool {
+	if to < s {
+		// Moving down: both AND fanins must already live strictly below s.
+		if f := n.Fanin0().Node(); assign[f] >= 0 && assign[f] > to {
+			return false
+		}
+		if f := n.Fanin1().Node(); assign[f] >= 0 && assign[f] > to {
+			return false
+		}
+		return true
+	}
+	// Moving up: every AND fanout must live at or above the target.
+	for _, e := range n.Fanouts() {
+		if _, isPO := aig.IsPOFanout(e); isPO {
+			continue
+		}
+		if assign[e] < to {
+			return false
+		}
+	}
+	return true
+}
+
+// moveDelta is the exact crossing-edge count change of moving n from s
+// to to.
+func moveDelta(a *aig.AIG, n *aig.Node, assign []int16, s, to int16) int {
+	d := 0
+	count := func(peer int32) {
+		if assign[peer] < 0 {
+			return
+		}
+		if assign[peer] != s {
+			d-- // edge was crossing
+		}
+		if assign[peer] != to {
+			d++ // edge will be crossing
+		}
+	}
+	count(n.Fanin0().Node())
+	count(n.Fanin1().Node())
+	for _, e := range n.Fanouts() {
+		if _, isPO := aig.IsPOFanout(e); isPO {
+			continue
+		}
+		count(e)
+	}
+	return d
+}

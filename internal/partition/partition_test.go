@@ -1,0 +1,262 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/bench"
+	"dacpara/internal/cec"
+)
+
+func tinySuite(t *testing.T) map[string]*aig.AIG {
+	t.Helper()
+	out := map[string]*aig.AIG{}
+	for _, c := range bench.Suite(bench.ScaleTiny) {
+		out[c.Name] = c.Instantiate(bench.ScaleTiny)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty tiny suite")
+	}
+	return out
+}
+
+// checkPlan asserts the structural invariants every plan must satisfy:
+// total coverage, non-empty shards, and the shard(u) ≤ shard(v) edge
+// ordering that makes cross-shard conflicts impossible.
+func checkPlan(t *testing.T, a *aig.AIG, p *Plan) {
+	t.Helper()
+	if p.Shards < 1 || p.Shards > MaxShards {
+		t.Fatalf("plan has %d shards", p.Shards)
+	}
+	total := 0
+	for s, sz := range p.Sizes {
+		if sz < 1 {
+			t.Fatalf("shard %d empty", s)
+		}
+		total += sz
+	}
+	if total != a.NumAnds() {
+		t.Fatalf("sizes sum %d, graph has %d ANDs", total, a.NumAnds())
+	}
+	counted := make([]int, p.Shards)
+	crossing := 0
+	a.ForEachAnd(func(id int32) {
+		s := p.Assign[id]
+		if s < 0 || int(s) >= p.Shards {
+			t.Fatalf("AND %d assigned to shard %d of %d", id, s, p.Shards)
+		}
+		counted[s]++
+		n := a.N(id)
+		for _, f := range [2]aig.Lit{n.Fanin0(), n.Fanin1()} {
+			fs := p.Assign[f.Node()]
+			if fs < 0 {
+				continue // PI or const: free
+			}
+			if fs > s {
+				t.Fatalf("edge %d(shard %d) -> %d(shard %d) violates ordering", f.Node(), fs, id, s)
+			}
+			if fs != s {
+				crossing++
+			}
+		}
+	})
+	for s, c := range counted {
+		if c != p.Sizes[s] {
+			t.Fatalf("shard %d: counted %d ANDs, Sizes says %d", s, c, p.Sizes[s])
+		}
+	}
+	if crossing != p.CrossingEdges {
+		t.Fatalf("counted %d crossing edges, plan says %d", crossing, p.CrossingEdges)
+	}
+}
+
+func TestSelectInvariantsAndDeterminism(t *testing.T) {
+	for name, a := range tinySuite(t) {
+		for shards := 2; shards <= 8; shards++ {
+			p1, err := Select(a, Options{Shards: shards})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, shards, err)
+			}
+			checkPlan(t, a, p1)
+			p2, err := Select(a, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range p1.Assign {
+				if p1.Assign[id] != p2.Assign[id] {
+					t.Fatalf("%s/%d: nondeterministic assignment at node %d", name, shards, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepFrontiers(t *testing.T) {
+	for name, a := range tinySuite(t) {
+		fs := SweepFrontiers(a)
+		if len(fs) == 0 {
+			t.Fatalf("%s: no frontiers", name)
+		}
+		for i, f := range fs {
+			if f.Below+f.Above != a.NumAnds() {
+				t.Fatalf("%s: frontier %v does not cover the graph (%d ANDs)", name, f, a.NumAnds())
+			}
+			if i > 0 && f.Crossing < fs[i-1].Crossing {
+				t.Fatalf("%s: frontiers not sorted by crossing", name)
+			}
+		}
+	}
+}
+
+// TestIdentityStitchByteIdentical pins the round-trip contract: cutting
+// a circuit apart and stitching it back with no optimization at all
+// must reproduce the input byte for byte (same structural digest), for
+// every tiny-suite circuit across shard counts 2–8.
+func TestIdentityStitchByteIdentical(t *testing.T) {
+	for name, a := range tinySuite(t) {
+		want := aig.StructuralDigest(a)
+		for shards := 2; shards <= 8; shards++ {
+			plan, err := Select(a, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := Extract(a, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := sp.Stitch(make([]*aig.AIG, plan.Shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := aig.StructuralDigest(out); got != want {
+				t.Fatalf("%s/%d shards: identity round-trip digest %s, want %s", name, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestRebuildStitchEquivalent exercises the full composition path: the
+// extracted sub-AIGs themselves are substituted back as if they were
+// optimizer output, forcing the shard-major rebuild. The result must be
+// equivalent to the parent and the same size (the suite has no
+// duplicate or dangling nodes for the rebuild to collapse).
+func TestRebuildStitchEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for name, a := range tinySuite(t) {
+		name, a := name, a
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for shards := 2; shards <= 8; shards += 2 {
+				plan, err := Select(a, Options{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, err := Extract(a, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs := make([]*aig.AIG, plan.Shards)
+				for i, sh := range sp.Shards {
+					subs[i] = sh.Sub
+				}
+				out, err := sp.Stitch(subs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.NumAnds() != a.NumAnds() {
+					t.Fatalf("%d shards: rebuild has %d ANDs, parent %d", shards, out.NumAnds(), a.NumAnds())
+				}
+				res, err := cec.Check(a, out, cec.Options{SimOnly: a.NumAnds() > 6000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Equivalent {
+					t.Fatalf("%d shards: rebuild disproved equivalent (output %d)", shards, res.FailingOutput)
+				}
+			}
+		})
+	}
+}
+
+// TestRunRejectsBadShard drives Run with an adversarial optimizer that
+// corrupts one shard (complements its POs): the per-shard CEC check
+// must reject exactly that shard, keep its original cone, and the
+// whole-circuit check must still pass.
+func TestRunRejectsBadShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	suite := tinySuite(t)
+	a, ok := suite["sin"]
+	if !ok {
+		for _, g := range suite {
+			a = g
+			break
+		}
+	}
+	want := aig.StructuralDigest(a)
+	out, st, err := Run(context.Background(), a, RunOptions{
+		Shards:      4,
+		WholeVerify: true,
+		Optimize: func(ctx context.Context, shard int, sub *aig.AIG) (*aig.AIG, string, error) {
+			if shard != 1 {
+				return nil, "", nil // unchanged
+			}
+			for k := 0; k < sub.NumPOs(); k++ {
+				sub.ReplacePO(k, sub.PO(k).Not())
+			}
+			return sub, "evil", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 1 || !st.PerShard[1].Rejected {
+		t.Fatalf("rejected=%d per-shard=%+v, want shard 1 rejected", st.Rejected, st.PerShard)
+	}
+	if !st.Equivalent {
+		t.Fatal("whole-circuit check did not pass after rejection")
+	}
+	if got := aig.StructuralDigest(a); got != want {
+		t.Fatal("Run mutated its input graph")
+	}
+	if out == nil || out.NumAnds() != a.NumAnds() {
+		t.Fatalf("unexpected result size")
+	}
+}
+
+// TestRunIdentity checks the orchestrator end to end with no optimizer:
+// stats populated, byte-identical output, no verification spend.
+func TestRunIdentity(t *testing.T) {
+	for name, a := range tinySuite(t) {
+		out, st, err := Run(context.Background(), a, RunOptions{Shards: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := aig.StructuralDigest(out), aig.StructuralDigest(a); got != want {
+			t.Fatalf("%s: identity run digest %s, want %s", name, got, want)
+		}
+		if st.Shards < 1 || len(st.PerShard) != st.Shards {
+			t.Fatalf("%s: malformed stats %+v", name, st)
+		}
+		snap := st.Snapshot()
+		if snap.Shards != st.Shards || len(snap.PerShard) != st.Shards {
+			t.Fatalf("%s: snapshot mismatch", name)
+		}
+	}
+}
+
+func ExampleSelect() {
+	a := aig.New()
+	x, y, z := a.AddPI(), a.AddPI(), a.AddPI()
+	u := a.And(x, y)
+	v := a.And(u, z)
+	a.AddPO(v)
+	p, _ := Select(a, Options{Shards: 2})
+	fmt.Println(p.Shards, p.Sizes)
+	// Output: 2 [1 1]
+}

@@ -1,0 +1,283 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dacpara/internal/aig"
+	"dacpara/internal/cec"
+	"dacpara/internal/metrics"
+)
+
+// DefaultVerifyBudget is the SAT conflict budget per output used by the
+// per-shard and whole-circuit equivalence checks when the caller leaves
+// the budget zero — matching the serve layer's default.
+const DefaultVerifyBudget = 50_000
+
+// Optimize rewrites one shard. It receives a private clone of the
+// shard's sub-AIG that it may mutate freely (engines rewrite in place)
+// and returns the optimized graph — conventionally the same pointer —
+// plus an optional tag naming who did the work (a cluster worker id,
+// "local", ...). Returning a nil graph marks the shard unchanged.
+//
+// An error aborts the whole run: Optimize implementations that can fail
+// over (remote dispatch falling back to local execution) handle that
+// internally and only return errors that are genuinely terminal.
+type Optimize func(ctx context.Context, shard int, sub *aig.AIG) (*aig.AIG, string, error)
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// Shards is the requested shard count (≥ 2); see Options.Shards.
+	Shards int
+	// MaxImbalance and RefinePasses pass through to Select.
+	MaxImbalance float64
+	RefinePasses int
+	// Parallel bounds concurrent Optimize calls (0: all shards at once).
+	Parallel int
+	// Optimize rewrites one shard; nil leaves every shard unchanged
+	// (the identity run used by property tests).
+	Optimize Optimize
+	// ShardVerifyBudget bounds the SAT effort of each per-shard CEC
+	// check (0: DefaultVerifyBudget). A shard that fails its check —
+	// inequivalent, or structurally incompatible with the boundary map —
+	// is rejected: its original cone is kept and the run continues.
+	ShardVerifyBudget int64
+	// WholeVerify additionally checks the stitched result against the
+	// parent circuit (budget WholeVerifyBudget, 0: DefaultVerifyBudget).
+	// Unlike a shard failure this cannot be retried away — all shards
+	// already passed individually — so disproved equivalence is an error.
+	WholeVerify       bool
+	WholeVerifyBudget int64
+}
+
+// ShardStat is the per-shard QoR record of a run.
+type ShardStat struct {
+	Index     int
+	Inputs    int // boundary PIs
+	Outputs   int // boundary POs
+	InitAnds  int
+	FinalAnds int
+	WallNs    int64
+	Worker    string
+	Rejected  bool
+}
+
+// Stats is the full record of one partitioned run, convertible to the
+// dacpara-metrics/v1 partition section.
+type Stats struct {
+	RequestedShards int
+	Shards          int
+	Sizes           []int
+	CrossingEdges   int
+	Balance         float64
+
+	SelectNs   int64
+	ExtractNs  int64
+	OptimizeNs int64
+	StitchNs   int64
+	VerifyNs   int64
+
+	Rejected int
+	PerShard []ShardStat
+
+	// WholeChecked/Equivalent/Proved report the whole-circuit check
+	// (meaningful only when RunOptions.WholeVerify was set).
+	WholeChecked bool
+	Equivalent   bool
+	Proved       bool
+}
+
+// Snapshot converts the run record to the metrics schema.
+func (st *Stats) Snapshot() *metrics.PartitionSnapshot {
+	ps := &metrics.PartitionSnapshot{
+		Shards:          st.Shards,
+		RequestedShards: st.RequestedShards,
+		CrossingEdges:   st.CrossingEdges,
+		Balance:         st.Balance,
+		SelectNs:        st.SelectNs,
+		ExtractNs:       st.ExtractNs,
+		OptimizeNs:      st.OptimizeNs,
+		StitchNs:        st.StitchNs,
+		VerifyNs:        st.VerifyNs,
+		Rejected:        st.Rejected,
+	}
+	for _, s := range st.PerShard {
+		ps.PerShard = append(ps.PerShard, metrics.ShardQoR{
+			Shard:       s.Index,
+			Inputs:      s.Inputs,
+			Outputs:     s.Outputs,
+			InitialAnds: s.InitAnds,
+			FinalAnds:   s.FinalAnds,
+			WallNs:      s.WallNs,
+			Worker:      s.Worker,
+			Rejected:    s.Rejected,
+		})
+	}
+	return ps
+}
+
+// Decorate stamps the partition section and the pipeline's phase
+// timings onto a run-level metrics snapshot (used by the facade and the
+// serve layer, which build their snapshots by hand for partitioned
+// runs).
+func (st *Stats) Decorate(s *metrics.Snapshot) {
+	if s == nil {
+		return
+	}
+	s.Partition = st.Snapshot()
+	for _, ph := range []struct {
+		name string
+		ns   int64
+	}{
+		{"select", st.SelectNs},
+		{"extract", st.ExtractNs},
+		{"optimize", st.OptimizeNs},
+		{"stitch", st.StitchNs},
+		{"verify", st.VerifyNs},
+	} {
+		s.Phases = append(s.Phases, metrics.PhaseSnapshot{
+			Name:      "partition/" + ph.name,
+			WallNs:    ph.ns,
+			WorkNs:    ph.ns,
+			Intervals: 1,
+		})
+	}
+}
+
+// Run executes the whole pipeline on a: select a plan, extract shards,
+// optimize them concurrently, verify each optimized shard against its
+// extracted original, stitch, and optionally verify the stitched whole.
+// The input graph is never mutated; the optimized circuit is returned
+// as a fresh graph (callers wanting in-place semantics Adopt it).
+func Run(ctx context.Context, a *aig.AIG, opts RunOptions) (*aig.AIG, *Stats, error) {
+	st := &Stats{RequestedShards: opts.Shards}
+	t0 := time.Now()
+	plan, err := Select(a, Options{Shards: opts.Shards, MaxImbalance: opts.MaxImbalance, RefinePasses: opts.RefinePasses})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.SelectNs = time.Since(t0).Nanoseconds()
+	st.Shards = plan.Shards
+	st.Sizes = append([]int(nil), plan.Sizes...)
+	st.CrossingEdges = plan.CrossingEdges
+	st.Balance = plan.Balance
+
+	t0 = time.Now()
+	sp, err := Extract(a, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.ExtractNs = time.Since(t0).Nanoseconds()
+
+	n := plan.Shards
+	st.PerShard = make([]ShardStat, n)
+	for i, sh := range sp.Shards {
+		st.PerShard[i] = ShardStat{
+			Index:    i,
+			Inputs:   len(sh.Inputs),
+			Outputs:  len(sh.Outputs),
+			InitAnds: sh.Sub.NumAnds(),
+		}
+	}
+
+	optimized := make([]*aig.AIG, n)
+	if opts.Optimize != nil {
+		t0 = time.Now()
+		par := opts.Parallel
+		if par <= 0 || par > n {
+			par = n
+		}
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := range sp.Shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					errs[i] = context.Cause(ctx)
+					return
+				}
+				ts := time.Now()
+				out, worker, err := opts.Optimize(ctx, i, sp.Shards[i].Sub.Clone())
+				st.PerShard[i].WallNs = time.Since(ts).Nanoseconds()
+				st.PerShard[i].Worker = worker
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				optimized[i] = out
+			}(i)
+		}
+		wg.Wait()
+		st.OptimizeNs = time.Since(t0).Nanoseconds()
+		for i, err := range errs {
+			if err != nil {
+				return nil, st, fmt.Errorf("partition: shard %d: %w", i, err)
+			}
+		}
+	}
+
+	// Per-shard verification: every substituted graph must be equivalent
+	// to the cone it replaces. Failure rejects the shard (the original
+	// logic is kept) instead of failing the run.
+	budget := opts.ShardVerifyBudget
+	if budget <= 0 {
+		budget = DefaultVerifyBudget
+	}
+	tv := time.Now()
+	for i, opt := range optimized {
+		if opt == nil {
+			continue
+		}
+		sh := sp.Shards[i]
+		ok := opt.NumPIs() == len(sh.Inputs) && opt.NumPOs() == len(sh.Outputs)
+		if ok {
+			res, err := cec.Check(sh.Sub, opt, cec.Options{OutputBudget: budget})
+			ok = err == nil && res.Equivalent
+		}
+		if !ok {
+			optimized[i] = nil
+			st.Rejected++
+			st.PerShard[i].Rejected = true
+		}
+	}
+	st.VerifyNs = time.Since(tv).Nanoseconds()
+	for i, opt := range optimized {
+		if opt != nil {
+			st.PerShard[i].FinalAnds = opt.NumAnds()
+		} else {
+			st.PerShard[i].FinalAnds = sp.Shards[i].Sub.NumAnds()
+		}
+	}
+
+	t0 = time.Now()
+	out, err := sp.Stitch(optimized)
+	if err != nil {
+		return nil, st, err
+	}
+	st.StitchNs = time.Since(t0).Nanoseconds()
+
+	if opts.WholeVerify {
+		wb := opts.WholeVerifyBudget
+		if wb <= 0 {
+			wb = DefaultVerifyBudget
+		}
+		tv = time.Now()
+		res, err := cec.Check(a, out, cec.Options{OutputBudget: wb})
+		st.VerifyNs += time.Since(tv).Nanoseconds()
+		st.WholeChecked = true
+		if err != nil {
+			return nil, st, fmt.Errorf("partition: whole-circuit check: %w", err)
+		}
+		st.Equivalent, st.Proved = res.Equivalent, res.Proved
+		if !res.Equivalent {
+			return nil, st, fmt.Errorf("partition: stitched circuit disproved equivalent (output %d)", res.FailingOutput)
+		}
+	}
+	return out, st, nil
+}

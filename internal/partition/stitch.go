@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"fmt"
+
+	"dacpara/internal/aig"
+)
+
+// Stitch composes the shards back into one full-circuit AIG, with
+// optimized[i] substituted for shard i's logic (nil: keep the shard's
+// original extracted logic). Every AND inserted goes through the
+// builder's structural hashing, so the result is re-strashed as it is
+// built; the parent graph is never touched.
+//
+// When every entry of optimized is nil the result is a straight clone
+// of the parent — byte-identical under aig.StructuralDigest. With at
+// least one optimized shard the graph is rebuilt shard-major (legal
+// because shards only ever depend on earlier shards), which preserves
+// function but may renumber nodes; dangling cones (ANDs with no path to
+// any PO) are dropped by the rebuild.
+//
+// An optimized graph whose PI/PO counts disagree with the shard's
+// boundary map is a hard error here; Run screens for this earlier and
+// downgrades it to a shard rejection.
+func (sp *Split) Stitch(optimized []*aig.AIG) (*aig.AIG, error) {
+	if len(optimized) != len(sp.Shards) {
+		return nil, fmt.Errorf("partition: stitch: %d optimized graphs for %d shards", len(optimized), len(sp.Shards))
+	}
+	allNil := true
+	for i, opt := range optimized {
+		if opt == nil {
+			continue
+		}
+		allNil = false
+		sh := sp.Shards[i]
+		if opt.NumPIs() != len(sh.Inputs) || opt.NumPOs() != len(sh.Outputs) {
+			return nil, fmt.Errorf("partition: stitch: shard %d boundary mismatch: optimized %d PIs/%d POs, want %d/%d",
+				i, opt.NumPIs(), opt.NumPOs(), len(sh.Inputs), len(sh.Outputs))
+		}
+	}
+	parent := sp.Parent
+	if allNil {
+		return parent.Clone(), nil
+	}
+
+	out := aig.New(aig.Options{CapacityHint: int(parent.Capacity())})
+	// pm maps parent node id → out literal for the node's positive
+	// phase; defined for the constant, every PI, and every shard export.
+	pm := make([]aig.Lit, parent.Capacity())
+	for _, pi := range parent.PIs() {
+		pm[pi] = out.AddPI()
+	}
+	for i, sh := range sp.Shards {
+		use := optimized[i]
+		if use == nil {
+			use = sh.Sub
+		}
+		sm := make([]aig.Lit, use.Capacity())
+		for k, spi := range use.PIs() {
+			sm[spi] = pm[sh.Inputs[k]]
+		}
+		for _, id := range use.TopoOrder(nil) {
+			n := use.N(id)
+			if !n.IsAnd() {
+				continue
+			}
+			f0, f1 := n.Fanin0(), n.Fanin1()
+			sm[id] = out.And(
+				sm[f0.Node()].XorCompl(f0.Compl()),
+				sm[f1.Node()].XorCompl(f1.Compl()))
+		}
+		for k, u := range sh.Outputs {
+			po := use.PO(k)
+			pm[u] = sm[po.Node()].XorCompl(po.Compl())
+		}
+	}
+	for _, po := range parent.POs() {
+		out.AddPO(pm[po.Node()].XorCompl(po.Compl()))
+	}
+	return out, nil
+}

@@ -43,7 +43,8 @@ const DefaultMaxUploadBytes = 256 << 20
 // preserve_delay, max_cuts, max_structs, classes, preset (p1|p2), seed,
 // format (aiger|bench), verify, verify_budget, deadline (a Go duration
 // such as 30s or 2m bounding the job's running time; see
-// JobRequest.Deadline).
+// JobRequest.Deadline), partition (shard count ≥ 2 for a partitioned
+// run; see JobRequest.Partition).
 func (s *Service) Handler() http.Handler {
 	return s.handler(DefaultMaxUploadBytes)
 }
@@ -299,6 +300,7 @@ func parseSubmission(r *http.Request, maxUpload int64) (JobRequest, error) {
 		{"max_cuts", &req.Config.MaxCuts},
 		{"max_structs", &req.Config.MaxStructs},
 		{"classes", &req.Config.NumClasses},
+		{"partition", &req.Partition},
 	} {
 		if err := intParam(p.name, p.dst); err != nil {
 			return req, err

@@ -85,6 +85,13 @@ type JobRequest struct {
 	// VerifyBudget bounds the SAT conflicts per output of that check
 	// (0: the service default).
 	VerifyBudget int64
+	// Partition, when ≥ 2, runs the job partitioned: the circuit is cut
+	// into that many shards along low-coupling frontiers, every shard is
+	// rewritten as its own sub-job (fanned out to cluster workers when a
+	// fleet is attached, run on local goroutines otherwise), and the
+	// optimized shards are CEC-checked and stitched back. 0 runs the
+	// whole circuit as one job.
+	Partition int
 	// Deadline bounds the job's wall-clock running time (measured from
 	// the moment a scheduler slot picks it up, not from submission, so a
 	// deep queue does not eat the budget). 0 means the service default;
@@ -110,6 +117,13 @@ type Job struct {
 	// from resumeStep on.
 	resumeStep int
 	resumed    bool
+
+	// shardOut holds digest-verified optimized-shard blobs restored by
+	// crash recovery for a partitioned job: shard index → binary AIGER.
+	// Shards present here are not re-run; the job resumes at the stitch
+	// step once the missing ones finish. Written only before the
+	// scheduler starts, read only by the job's own run.
+	shardOut map[int][]byte
 
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
@@ -304,6 +318,10 @@ type JobStatus struct {
 	Passes  int            `json:"passes"`
 	Seed    int64          `json:"seed"`
 
+	// Partition is the requested shard count of a partitioned job (0:
+	// whole-circuit job).
+	Partition int `json:"partition,omitempty"`
+
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -359,6 +377,7 @@ func (j *Job) Status() JobStatus {
 		Workers:     j.req.Config.Workers,
 		Passes:      j.req.Config.Passes,
 		Seed:        j.req.Seed,
+		Partition:   j.req.Partition,
 		SubmittedAt: j.submitted,
 		DeadlineNs:  j.req.Deadline.Nanoseconds(),
 		Resumed:     j.resumed,

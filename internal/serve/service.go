@@ -12,6 +12,7 @@ import (
 
 	"dacpara"
 	"dacpara/internal/cluster"
+	"dacpara/internal/partition"
 )
 
 // Options configures a Service; the zero value gets the documented
@@ -300,6 +301,9 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if req.VerifyBudget <= 0 {
 		req.VerifyBudget = s.opts.VerifyBudget
 	}
+	if req.Partition != 0 && (req.Partition < 2 || req.Partition > partition.MaxShards) {
+		return nil, fmt.Errorf("serve: partition must be 2..%d (got %d)", partition.MaxShards, req.Partition)
+	}
 	if req.Deadline < 0 {
 		return nil, errors.New("serve: negative deadline")
 	}
@@ -462,18 +466,19 @@ func (s *Service) worker() {
 }
 
 // cacheKey is the full result-cache key: input structure + engine (or
-// flow script) + every result-affecting config knob + seed.
-func cacheKey(digest string, eng dacpara.Engine, flow string, cfg dacpara.Config, seed int64) string {
-	return fmt.Sprintf("%s|%s|flow=%q|k=%d,cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d|seed=%d",
+// flow script) + every result-affecting config knob + partitioning +
+// seed.
+func cacheKey(digest string, eng dacpara.Engine, flow string, cfg dacpara.Config, part int, seed int64) string {
+	return fmt.Sprintf("%s|%s|flow=%q|k=%d,cuts=%d,structs=%d,classes=%d,z=%t,l=%t,passes=%d,workers=%d,part=%d|seed=%d",
 		digest, eng, flow, cfg.K, cfg.MaxCuts, cfg.MaxStructs, cfg.NumClasses, cfg.ZeroGain, cfg.PreserveDelay,
-		cfg.Passes, cfg.Workers, seed)
+		cfg.Passes, cfg.Workers, part, seed)
 }
 
 // run executes one job to a terminal state: remotely when a cluster
 // coordinator with live workers is attached, locally otherwise.
 func (s *Service) run(job *Job) {
 	s.journalStarted(job)
-	key := cacheKey(job.digest, job.req.Engine, job.req.Flow, job.req.Config, job.req.Seed)
+	key := cacheKey(job.digest, job.req.Engine, job.req.Flow, job.req.Config, job.req.Partition, job.req.Seed)
 	if res, ok := s.cache.get(key); ok {
 		s.completed.Add(1)
 		job.finish(StateDone, res, nil, true, "")
@@ -492,6 +497,14 @@ func (s *Service) run(job *Job) {
 		defer cancelDeadline()
 	}
 
+	if job.req.Partition >= 2 {
+		// Partitioned jobs never go to a single worker whole: the
+		// coordinator fans their shards out instead (runPartitioned
+		// dispatches one shard task per worker lease, or runs shards on
+		// local goroutines when no fleet is attached).
+		s.runPartitioned(rctx, job, key)
+		return
+	}
 	if s.coord != nil && s.runRemote(rctx, job, key) {
 		return
 	}

@@ -1,0 +1,161 @@
+package dacpara
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dacpara/internal/metrics"
+	"dacpara/internal/partition"
+)
+
+// MaxPartitionShards is the largest supported shard count of a
+// partitioned run.
+const MaxPartitionShards = partition.MaxShards
+
+// PartitionSnapshot is the partition section of a metrics snapshot —
+// split shape, pipeline timings, per-shard QoR.
+type PartitionSnapshot = metrics.PartitionSnapshot
+
+// RewritePartitioned splits net into shards along low-coupling
+// frontiers, rewrites every shard independently (concurrently, up to
+// Config.Workers goroutines split across shards), and stitches the
+// optimized shards back, re-strashing. Each substituted shard is
+// CEC-checked against the cone it replaces — a failing shard is
+// rejected and its original logic kept — and the stitched whole is
+// equivalence-checked against the input within a bounded SAT budget.
+// Like Rewrite, the optimized circuit replaces net in place.
+func RewritePartitioned(net *Network, engine Engine, cfg Config, shards int) (Result, error) {
+	return RewritePartitionedContext(context.Background(), net, engine, cfg, shards)
+}
+
+// RewritePartitionedContext is RewritePartitioned with cancellation.
+func RewritePartitionedContext(ctx context.Context, net *Network, engine Engine, cfg Config, shards int) (Result, error) {
+	if cfg.K > MaxCutWidth {
+		return Result{}, fmt.Errorf("dacpara: cut width %d beyond the supported maximum %d", cfg.K, MaxCutWidth)
+	}
+	return runPartitioned(ctx, net, cfg, shards, "partition("+string(engine)+")",
+		func(ctx context.Context, sub *Network, wcfg Config) (Result, *Network, error) {
+			res, err := RewriteContext(ctx, sub, engine, wcfg)
+			return res, sub, err
+		})
+}
+
+// FlowPartitioned runs a whole flow script on every shard of a
+// partitioned split — the partitioned counterpart of Flow, returning
+// the summary result. See RewritePartitioned for the verification
+// contract.
+func FlowPartitioned(net *Network, script string, cfg Config, shards int) (Result, error) {
+	return FlowPartitionedContext(context.Background(), net, script, cfg, shards)
+}
+
+// FlowPartitionedContext is FlowPartitioned with cancellation.
+func FlowPartitionedContext(ctx context.Context, net *Network, script string, cfg Config, shards int) (Result, error) {
+	if _, err := ParseFlow(script); err != nil {
+		return Result{}, err
+	}
+	return runPartitioned(ctx, net, cfg, shards, "partition(flow)",
+		func(ctx context.Context, sub *Network, wcfg Config) (Result, *Network, error) {
+			steps, final, err := FlowContext(ctx, sub, script, wcfg)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			return SummarizeFlow(steps, wcfg, final), final, nil
+		})
+}
+
+// runPartitioned drives partition.Run with a local shard optimizer and
+// folds the per-shard engine results into one facade Result.
+func runPartitioned(ctx context.Context, net *Network, cfg Config, shards int, engineName string,
+	step func(ctx context.Context, sub *Network, wcfg Config) (Result, *Network, error)) (Result, error) {
+
+	start := time.Now()
+	res := Result{
+		Engine:      engineName,
+		Passes:      max(1, cfg.Passes),
+		InitialAnds: net.NumAnds(),
+	}
+	res.InitialDelay = net.Delay()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallel := min(shards, workers)
+	res.Threads = workers
+	wcfg := cfg
+	wcfg.Workers = max(1, workers/max(1, parallel))
+	wcfg.Metrics = nil // per-shard runs may overlap; one collector cannot serve them
+
+	var mu sync.Mutex
+	shardRes := map[int]Result{}
+	out, st, err := partition.Run(ctx, net, partition.RunOptions{
+		Shards:   shards,
+		Parallel: parallel,
+		Optimize: func(ctx context.Context, i int, sub *Network) (*Network, string, error) {
+			r, final, err := step(ctx, sub, wcfg)
+			if err != nil {
+				return nil, "local", err
+			}
+			mu.Lock()
+			shardRes[i] = r
+			mu.Unlock()
+			return final, "local", nil
+		},
+		WholeVerify: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, r := range shardRes {
+		if st.PerShard[i].Rejected {
+			continue // the shard's work was discarded with its graph
+		}
+		res.Replacements += r.Replacements
+		res.Attempts += r.Attempts
+		res.Stale += r.Stale
+		res.Commits += r.Commits
+		res.Aborts += r.Aborts
+		res.InjectedAborts += r.InjectedAborts
+		res.CommittedWork += r.CommittedWork
+		res.WastedWork += r.WastedWork
+		res.Incomplete = res.Incomplete || r.Incomplete
+	}
+
+	net.Adopt(out)
+	res.FinalAnds = net.NumAnds()
+	res.FinalDelay = net.Delay()
+	res.Duration = time.Since(start)
+
+	if cfg.Metrics != nil {
+		snap := &MetricsSnapshot{
+			Schema:  metrics.SchemaMetrics,
+			Engine:  engineName,
+			Workers: workers,
+			Passes:  res.Passes,
+			WallNs:  res.Duration.Nanoseconds(),
+			Speculation: metrics.Spec{
+				Commits:        res.Commits,
+				Aborts:         res.Aborts,
+				InjectedAborts: res.InjectedAborts,
+				CommittedNs:    res.CommittedWork.Nanoseconds(),
+				WastedNs:       res.WastedWork.Nanoseconds(),
+			},
+			QoR: metrics.QoRSnapshot{
+				InitialAnds:  res.InitialAnds,
+				FinalAnds:    res.FinalAnds,
+				InitialDelay: int(res.InitialDelay),
+				FinalDelay:   int(res.FinalDelay),
+				Replacements: res.Replacements,
+				Attempts:     res.Attempts,
+				Stale:        res.Stale,
+				Incomplete:   res.Incomplete,
+			},
+		}
+		st.Decorate(snap)
+		res.Metrics = snap
+	}
+	return res, nil
+}

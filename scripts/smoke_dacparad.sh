@@ -13,9 +13,10 @@ WORK="$(mktemp -d)"
 DAEMON_PID=""
 W1_PID=""
 W2_PID=""
+W3_PID=""
 
 cleanup() {
-  for pid in "$DAEMON_PID" "$W1_PID" "$W2_PID"; do
+  for pid in "$DAEMON_PID" "$W1_PID" "$W2_PID" "$W3_PID"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill -9 "$pid" 2>/dev/null || true
     fi
@@ -311,11 +312,92 @@ curl -sf -o "$WORK/cluster.aig" "$BASE/jobs/$CJOB/result" || fail "cluster resul
 head -c 3 "$WORK/cluster.aig" | grep -q '^aig' || fail "cluster result is not binary AIGER"
 echo "smoke: cluster failover ok"
 
-for pid in "$W1_PID" "$W2_PID"; do
+# --- partitioned cluster job: shards fan out, kill a shard's worker --
+# A partition=2 submission splits the circuit along a low-coupling
+# frontier and dispatches each shard as its own leased task. Killing the
+# worker that holds a shard mid-run must cost only that shard's attempt:
+# the coordinator re-runs it (on the survivor or degraded-locally) and
+# the stitched result still proves equivalent to the input.
+echo "smoke: booting replacement worker w3"
+"$WORK/dacparad" -role worker -join "$BASE" -worker-id w3 &
+W3_PID=$!
+for i in $(seq 1 100); do
+  curl -sf "$BASE/metrics" >"$WORK/pmetrics.json" || fail "coordinator metrics poll failed"
+  grep -q '"live_workers": *2' "$WORK/pmetrics.json" && break
+  [[ $i -eq 100 ]] && fail "replacement worker never registered: $(cat "$WORK/pmetrics.json")"
+  sleep 0.1
+done
+
+curl -sf -X POST --data-binary "@$AIG" \
+  "$BASE/jobs?flow=b%3B%20rw%20-z%3B%20b&workers=2&passes=2000&partition=2&verify=1" >"$WORK/pjob.json" \
+  || fail "partitioned submission rejected"
+PJOB="$(json_field "$WORK/pjob.json" .id '"id": *"[^"]*"')"
+[[ "$PJOB" == j* ]] || fail "no job id in partitioned submit response: $(cat "$WORK/pjob.json")"
+echo "smoke: submitted partitioned job $PJOB (2 shards)"
+
+# Wait for a worker to go busy on a shard task, then kill it.
+if command -v jq >/dev/null 2>&1; then
+  BUSY=""
+  for i in $(seq 1 400); do
+    curl -sf "$BASE/metrics" >"$WORK/pmetrics.json"
+    BUSY="$(jq -r '.cluster.workers[] | select(.state=="busy") | .id' "$WORK/pmetrics.json" | head -1)"
+    [[ -n "$BUSY" ]] && break
+    STATE="$(curl -sf "$BASE/jobs/$PJOB" | grep -o '"state": *"[^"]*"' | head -1)"
+    case "$STATE" in
+      *done*|*failed*|*cancelled*) fail "partitioned job ended ($STATE) before any shard was leased" ;;
+    esac
+    [[ $i -eq 400 ]] && fail "no worker went busy on a shard: $(cat "$WORK/pmetrics.json")"
+    sleep 0.05
+  done
+  case "$BUSY" in
+    w1) VICTIM_PID=$W1_PID ;;
+    w2) VICTIM_PID=$W2_PID ;;
+    w3) VICTIM_PID=$W3_PID ;;
+    *) fail "unknown busy worker '$BUSY'" ;;
+  esac
+  echo "smoke: kill -9 shard holder $BUSY"
+  kill -9 "$VICTIM_PID"
+  wait "$VICTIM_PID" 2>/dev/null || true
+  case "$BUSY" in
+    w1) W1_PID="" ;;
+    w2) W2_PID="" ;;
+    w3) W3_PID="" ;;
+  esac
+else
+  echo "smoke: jq missing; skipping the shard-worker kill (completion still checked)"
+fi
+
+STATE=""
+for i in $(seq 1 1800); do
+  curl -sf "$BASE/jobs/$PJOB" >"$WORK/pstat.json" || fail "partitioned job status poll failed"
+  STATE="$(json_field "$WORK/pstat.json" .state '"state": *"[^"]*"')"
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled|deadline_exceeded) fail "partitioned job ended $STATE: $(cat "$WORK/pstat.json")" ;;
+  esac
+  sleep 0.1
+done
+[[ "$STATE" == done ]] || fail "partitioned job stuck in '$STATE'"
+grep -q '"partition": *2' "$WORK/pstat.json" || fail "status payload missing partition: $(cat "$WORK/pstat.json")"
+grep -q '"equivalent": *true' "$WORK/pstat.json" || fail "partitioned verify did not prove equivalence: $(cat "$WORK/pstat.json")"
+
+curl -sf "$BASE/jobs/$PJOB/metrics" >"$WORK/pmet.json" || fail "partitioned metrics download failed"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.partition.shards == 2 and (.partition.per_shard | length) == 2' "$WORK/pmet.json" >/dev/null \
+    || fail "metrics snapshot missing the partition section: $(cat "$WORK/pmet.json")"
+else
+  grep -q '"partition"' "$WORK/pmet.json" || fail "metrics snapshot missing the partition section"
+fi
+curl -sf -o "$WORK/part.aig" "$BASE/jobs/$PJOB/result" || fail "partitioned result download failed"
+head -c 3 "$WORK/part.aig" | grep -q '^aig' || fail "partitioned result is not binary AIGER"
+echo "smoke: partitioned cluster job ok"
+
+for pid in "$W1_PID" "$W2_PID" "$W3_PID"; do
   [[ -n "$pid" ]] && kill -TERM "$pid" 2>/dev/null || true
 done
 W1_PID=""
 W2_PID=""
+W3_PID=""
 kill -TERM "$DAEMON_PID"
 for i in $(seq 1 100); do
   kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; break; }

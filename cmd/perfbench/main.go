@@ -95,7 +95,7 @@ func main() {
 	}
 
 	coll := dacpara.NewMetrics()
-	record := func(name, pass, eng string, w, k, part int, res dacpara.Result, runErr error) {
+	record := func(name, pass, eng string, w, k, part int, res dacpara.Result, runErr error, mem *metrics.BenchMem) {
 		run := metrics.BenchRun{
 			Circuit:   name,
 			Pass:      pass,
@@ -103,6 +103,7 @@ func main() {
 			Workers:   w,
 			Partition: part,
 			Metrics:   res.Metrics,
+			Mem:       mem,
 		}
 		if k > 4 {
 			run.K = k
@@ -112,9 +113,10 @@ func main() {
 		}
 		file.Runs = append(file.Runs, run)
 		if !*quiet {
-			fmt.Printf("%-14s %-9s %-16s w=%-2d k=%d p=%d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%\n",
+			fmt.Printf("%-14s %-9s %-16s w=%-2d k=%d p=%d ands %6d -> %6d  %8.3fs  aborts=%d wasted=%.2f%%  alloc=%.1fMB/%d gc=%d\n",
 				name, pass, eng, w, max(k, 4), part, res.InitialAnds, res.FinalAnds, res.Duration.Seconds(),
-				res.Aborts, 100*res.WastedFraction())
+				res.Aborts, 100*res.WastedFraction(),
+				float64(mem.Bytes)/(1<<20), mem.Allocs, mem.NumGC)
 		}
 	}
 	for _, name := range names {
@@ -133,12 +135,14 @@ func main() {
 								}
 								var res dacpara.Result
 								var runErr error
-								if part >= 2 {
-									res, runErr = dacpara.RewritePartitioned(net, dacpara.Engine(eng), cfg, part)
-								} else {
-									res, runErr = dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
-								}
-								record(name, pass, eng, w, k, part, res, runErr)
+								mem := measureMem(func() {
+									if part >= 2 {
+										res, runErr = dacpara.RewritePartitioned(net, dacpara.Engine(eng), cfg, part)
+									} else {
+										res, runErr = dacpara.Rewrite(net, dacpara.Engine(eng), cfg)
+									}
+								})
+								record(name, pass, eng, w, k, part, res, runErr, mem)
 							}
 						}
 					}
@@ -147,17 +151,25 @@ func main() {
 				for _, w := range workerCounts {
 					net, err := dacpara.Generate(name, sc)
 					fatal(err)
-					res, runErr := refactor.RunParallelCtx(context.Background(), net,
-						refactor.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, 4, 0, res, runErr)
+					var res dacpara.Result
+					var runErr error
+					mem := measureMem(func() {
+						res, runErr = refactor.RunParallelCtx(context.Background(), net,
+							refactor.Config{Metrics: coll}, w)
+					})
+					record(name, pass, res.Engine, w, 4, 0, res, runErr, mem)
 				}
 			case "resub":
 				for _, w := range workerCounts {
 					net, err := dacpara.Generate(name, sc)
 					fatal(err)
-					res, runErr := resub.RunParallelCtx(context.Background(), net,
-						resub.Config{Metrics: coll}, w)
-					record(name, pass, res.Engine, w, 4, 0, res, runErr)
+					var res dacpara.Result
+					var runErr error
+					mem := measureMem(func() {
+						res, runErr = resub.RunParallelCtx(context.Background(), net,
+							resub.Config{Metrics: coll}, w)
+					})
+					record(name, pass, res.Engine, w, 4, 0, res, runErr, mem)
 				}
 			default:
 				fatal(fmt.Errorf("unknown pass %q (want rewrite, refactor or resub)", pass))
@@ -224,6 +236,23 @@ func parseShards(csv string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// measureMem runs fn between two runtime.MemStats snapshots and returns
+// the deltas as the run's mem section. The counters are process-wide;
+// perfbench executes runs one at a time, which keeps the deltas
+// attributable to fn.
+func measureMem(fn func()) *metrics.BenchMem {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return &metrics.BenchMem{
+		Allocs:    after.Mallocs - before.Mallocs,
+		Bytes:     after.TotalAlloc - before.TotalAlloc,
+		GCPauseNs: after.PauseTotalNs - before.PauseTotalNs,
+		NumGC:     after.NumGC - before.NumGC,
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,88 @@
+package dacpara
+
+import (
+	"testing"
+
+	"dacpara/internal/aig"
+)
+
+// TestCutCacheByteIdentity pins the persistent cut-set contract: a
+// CutCache must be a pure performance artifact. Every deterministic
+// engine run with a cache shared across its passes has to produce a
+// network byte-identical to the same run enumerating fresh cut sets per
+// pass (the nil-cache behavior). iccad18 is covered at one worker only —
+// its multi-worker commit order is nondeterministic by design (see
+// determinism_test.go), so byte comparison is meaningless there.
+func TestCutCacheByteIdentity(t *testing.T) {
+	net, err := Generate("sin", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		engine  Engine
+		workers int
+	}{
+		{"abc", EngineSerial, 1},
+		{"dacpara-w4", EngineDACPara, 4},
+		{"dac22-w4", EngineStaticDAC22, 4},
+		{"tcad23-w4", EngineStaticTCAD23, 4},
+		{"iccad18-w1", EngineLockPar, 1},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base := Config{Workers: tc.workers, Passes: 3}
+
+			fresh := net.Clone()
+			if _, err := Rewrite(fresh, tc.engine, base); err != nil {
+				t.Fatal(err)
+			}
+
+			cached := net.Clone()
+			ccfg := base
+			ccfg.CutCache = NewCutCache()
+			if _, err := Rewrite(cached, tc.engine, ccfg); err != nil {
+				t.Fatal(err)
+			}
+
+			if df, dc := aig.StructuralDigest(fresh), aig.StructuralDigest(cached); df != dc {
+				t.Fatalf("cut cache changed the result: fresh %s vs cached %s (%d vs %d ANDs)",
+					df, dc, fresh.NumAnds(), cached.NumAnds())
+			}
+		})
+	}
+}
+
+// TestFlowCutCacheByteIdentity pins the same contract one level up: a
+// multi-step flow shares one auto-installed cache across ALL its steps
+// (rewrite invalidates cuts that resub recomputes, balance clones miss
+// the cache entirely), and must land on the same network as driving the
+// script one command at a time through separate Flow calls, each of
+// which starts a fresh cache.
+func TestFlowCutCacheByteIdentity(t *testing.T) {
+	net, err := Generate("sin", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const script = "rw; rf -p; rs -p; b; rw"
+
+	shared := net.Clone()
+	_, sharedFinal, err := Flow(shared, script, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stepwise := net.Clone()
+	for _, step := range []string{"rw", "rf -p", "rs -p", "b", "rw"} {
+		var ferr error
+		if _, stepwise, ferr = Flow(stepwise, step, Config{}); ferr != nil {
+			t.Fatal(ferr)
+		}
+	}
+
+	if ds, dw := aig.StructuralDigest(sharedFinal), aig.StructuralDigest(stepwise); ds != dw {
+		t.Fatalf("shared flow cache changed the result: %s vs %s (%d vs %d ANDs)",
+			ds, dw, sharedFinal.NumAnds(), stepwise.NumAnds())
+	}
+}

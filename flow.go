@@ -260,6 +260,13 @@ func FlowResumeContext(ctx context.Context, net *Network, script string, cfg Con
 	if startStep < 0 || startStep > len(steps) {
 		return nil, net, fmt.Errorf("dacpara: flow: resume step %d out of range [0, %d]", startStep, len(steps))
 	}
+	// One cut cache per flow run: rewriting steps reuse cut sets across
+	// passes and steps, invalidating incrementally by node version
+	// instead of re-enumerating from scratch (results are byte-identical
+	// either way; see cut.Cache).
+	if cfg.CutCache == nil {
+		cfg.CutCache = NewCutCache()
+	}
 	var results []Result
 	for i := startStep; i < len(steps); i++ {
 		if err := ctx.Err(); err != nil {
@@ -296,6 +303,9 @@ func FlowGuardedContext(ctx context.Context, net *Network, script string, cfg Co
 	steps, err := ParseFlow(script)
 	if err != nil {
 		return nil, nil, net, err
+	}
+	if cfg.CutCache == nil {
+		cfg.CutCache = NewCutCache()
 	}
 	var results []Result
 	var reports []*GuardReport

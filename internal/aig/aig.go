@@ -12,7 +12,19 @@ const (
 	pageMask = pageSize - 1
 )
 
-type page [pageSize]Node
+// page is one struct-of-arrays block of the node store: every node field
+// is a dense per-page array, so a sweep that reads one field (fanins
+// during simulation, meta during levelize, versions during cut freshness
+// checks) walks sequential cache lines instead of striding across full
+// node records. A Node handle is a (page, index) pair into these arrays.
+type page struct {
+	fanin0  [pageSize]atomic.Uint32
+	fanin1  [pageSize]atomic.Uint32
+	meta    [pageSize]atomic.Uint32 // kind (2 bits) | level (30 bits)
+	ref     [pageSize]atomic.Int32
+	version [pageSize]atomic.Uint32
+	fanouts [pageSize][]int32 // AND fanout IDs; -(k+1) encodes PO index k
+}
 
 // AIG is an And-Inverter Graph. The zero value is not usable; call New.
 type AIG struct {
@@ -77,17 +89,18 @@ func New(opts ...Options) *AIG {
 	return a
 }
 
-// node returns the slot for id. The pointer stays valid forever.
-func (a *AIG) node(id int32) *Node {
+// node returns the handle for id. Pages are append-only, so the handle
+// stays valid forever.
+func (a *AIG) node(id int32) Node {
 	pages := *a.pages.Load()
-	return &pages[id>>pageBits][id&pageMask]
+	return Node{p: pages[id>>pageBits], i: id & pageMask}
 }
 
 // N returns the node with the given ID.
-func (a *AIG) N(id int32) *Node { return a.node(id) }
+func (a *AIG) N(id int32) Node { return a.node(id) }
 
 // NodeOf returns the node a literal points at.
-func (a *AIG) NodeOf(l Lit) *Node { return a.node(l.Node()) }
+func (a *AIG) NodeOf(l Lit) Node { return a.node(l.Node()) }
 
 // ensure grows the page table to cover at least n slots.
 func (a *AIG) ensure(n int64) {
@@ -188,7 +201,7 @@ func (a *AIG) AddPI() Lit {
 	id := a.alloc()
 	n := a.node(id)
 	n.setKind(KindPI)
-	n.level = 0
+	n.setLevel(0)
 	a.piMu.Lock()
 	a.pis = append(a.pis, id)
 	a.piMu.Unlock()
@@ -202,7 +215,7 @@ func (a *AIG) AddPO(l Lit) int {
 	a.pos = append(a.pos, l)
 	a.poMu.Unlock()
 	n := a.NodeOf(l)
-	n.ref.Add(1)
+	n.refAdd(1)
 	n.addFanout(POFanout(k))
 	return k
 }
@@ -215,12 +228,12 @@ func (a *AIG) ReplacePO(k int, l Lit) {
 		return
 	}
 	nn := a.NodeOf(l)
-	nn.ref.Add(1)
+	nn.refAdd(1)
 	nn.addFanout(POFanout(k))
 	a.pos[k] = l
 	on := a.NodeOf(old)
 	on.removeFanout(POFanout(k))
-	if on.ref.Add(-1) == 0 && on.IsAnd() {
+	if on.refAdd(-1) == 0 && on.IsAnd() {
 		a.deleteNodeCone(old.Node())
 	}
 }
@@ -269,10 +282,10 @@ func (a *AIG) Lookup(f0, f1 Lit) (Lit, bool) {
 	n0, n1 := a.NodeOf(f0), a.NodeOf(f1)
 	// Scan the shorter fanout list.
 	host := n0
-	if len(n1.fanouts) < len(n0.fanouts) {
+	if n1.FanoutCount() < n0.FanoutCount() {
 		host = n1
 	}
-	for _, e := range host.fanouts {
+	for _, e := range host.Fanouts() {
 		if e < 0 {
 			continue
 		}
@@ -306,15 +319,15 @@ func (a *AIG) newAnd(f0, f1 Lit, tryLock func(int32) bool) Lit {
 	id := a.allocReuse(tryLock)
 	n := a.node(id)
 	n.setKind(KindAnd)
-	n.version.Add(1)
+	n.bumpVersion()
 	n.setFanins(f0, f1)
-	n.fanouts = n.fanouts[:0]
-	n.ref.Store(0)
+	n.resetFanouts()
+	n.refStore(0)
 	n0, n1 := a.NodeOf(f0), a.NodeOf(f1)
-	n.level = 1 + max32(n0.level, n1.level)
-	n0.ref.Add(1)
+	n.setLevel(1 + max32(n0.Level(), n1.Level()))
+	n0.refAdd(1)
 	n0.addFanout(id)
-	n1.ref.Add(1)
+	n1.refAdd(1)
 	n1.addFanout(id)
 	a.numAnds.Add(1)
 	if a.strash != nil {
@@ -351,14 +364,14 @@ func (a *AIG) deleteNodeCone(id int32) int {
 	if n.Kind() != KindAnd {
 		return 0
 	}
-	if n.ref.Load() != 0 {
-		panic(fmt.Sprintf("aig: deleting node %d with ref %d", id, n.ref.Load()))
+	if n.Ref() != 0 {
+		panic(fmt.Sprintf("aig: deleting node %d with ref %d", id, n.Ref()))
 	}
 	deleted := 1
 	f0, f1 := n.Fanin0(), n.Fanin1()
 	n.setKind(KindFree)
-	n.version.Add(1)
-	n.fanouts = n.fanouts[:0]
+	n.bumpVersion()
+	n.resetFanouts()
 	a.numAnds.Add(-1)
 	if a.strash != nil {
 		a.strash.remove(f0, f1, id)
@@ -366,7 +379,7 @@ func (a *AIG) deleteNodeCone(id int32) int {
 	for _, f := range [2]Lit{f0, f1} {
 		fn := a.NodeOf(f)
 		fn.removeFanout(id)
-		if fn.ref.Add(-1) == 0 && fn.Kind() == KindAnd {
+		if fn.refAdd(-1) == 0 && fn.Kind() == KindAnd {
 			deleted += a.deleteNodeCone(f.Node())
 		}
 	}
@@ -383,15 +396,15 @@ func (a *AIG) Levelize() int32 {
 	for _, id := range order {
 		n := a.node(id)
 		if n.Kind() == KindAnd {
-			n.level = 1 + max32(a.NodeOf(n.Fanin0()).level, a.NodeOf(n.Fanin1()).level)
+			n.setLevel(1 + max32(a.NodeOf(n.Fanin0()).Level(), a.NodeOf(n.Fanin1()).Level()))
 		} else {
-			n.level = 0
+			n.setLevel(0)
 		}
 	}
 	a.levelsDirty.Store(false)
 	var d int32
 	for _, po := range a.pos {
-		d = max32(d, a.NodeOf(po).level)
+		d = max32(d, a.NodeOf(po).Level())
 	}
 	return d
 }
@@ -403,7 +416,7 @@ func (a *AIG) Delay() int32 {
 	}
 	var d int32
 	for _, po := range a.pos {
-		d = max32(d, a.NodeOf(po).level)
+		d = max32(d, a.NodeOf(po).Level())
 	}
 	return d
 }

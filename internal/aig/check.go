@@ -59,7 +59,7 @@ func (a *AIG) Check(opts CheckOptions) error {
 				}
 				refs[f.Node()]++
 				found := false
-				for _, e := range a.node(f.Node()).fanouts {
+				for _, e := range a.node(f.Node()).Fanouts() {
 					if e == id {
 						found = true
 						break
@@ -85,7 +85,7 @@ func (a *AIG) Check(opts CheckOptions) error {
 		}
 		refs[po.Node()]++
 		found := false
-		for _, e := range a.node(po.Node()).fanouts {
+		for _, e := range a.node(po.Node()).Fanouts() {
 			if e == POFanout(k) {
 				found = true
 				break
@@ -98,18 +98,18 @@ func (a *AIG) Check(opts CheckOptions) error {
 	for id := int32(0); id < cap; id++ {
 		n := a.node(id)
 		if n.Kind() == KindFree {
-			if len(n.fanouts) != 0 {
+			if n.FanoutCount() != 0 {
 				return fmt.Errorf("aig: dead node %d has fanouts", id)
 			}
 			continue
 		}
-		if n.ref.Load() != refs[id] {
-			return fmt.Errorf("aig: node %d ref=%d, expected %d", id, n.ref.Load(), refs[id])
+		if n.Ref() != refs[id] {
+			return fmt.Errorf("aig: node %d ref=%d, expected %d", id, n.Ref(), refs[id])
 		}
-		if len(n.fanouts) != int(refs[id]) {
-			return fmt.Errorf("aig: node %d fanout list length %d, expected %d", id, len(n.fanouts), refs[id])
+		if n.FanoutCount() != int(refs[id]) {
+			return fmt.Errorf("aig: node %d fanout list length %d, expected %d", id, n.FanoutCount(), refs[id])
 		}
-		for _, e := range n.fanouts {
+		for _, e := range n.Fanouts() {
 			if k, isPO := IsPOFanout(e); isPO {
 				if k >= len(a.pos) || a.pos[k].Node() != id {
 					return fmt.Errorf("aig: node %d fanout claims PO %d", id, k)

@@ -12,6 +12,7 @@ func BenchmarkAndStrash(b *testing.B) {
 		pis = append(pis, a.AddPI())
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	lits := pis
 	for i := 0; i < b.N; i++ {
@@ -32,6 +33,7 @@ func BenchmarkSimulate64(b *testing.B) {
 	for i := range pi {
 		pi[i] = rng.Uint64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Run(pi)
@@ -39,14 +41,48 @@ func BenchmarkSimulate64(b *testing.B) {
 	b.ReportMetric(float64(a.NumAnds()), "gates")
 }
 
+// BenchmarkSimulateBatch measures the strided simulation sweep: one graph
+// walk evaluating MaxSimStride 64-pattern words per node, the kernel
+// RandomSignature leans on. Compare per-word cost against Simulate64.
+func BenchmarkSimulateBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomNetwork(b, rng, 32, 20000, 32)
+	sim := NewSimulator(a)
+	pi := make([]uint64, a.NumPIs()*MaxSimStride)
+	for i := range pi {
+		pi[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunBatch(pi, MaxSimStride)
+	}
+	b.ReportMetric(float64(a.NumAnds()*MaxSimStride), "gate-words")
+}
+
 func BenchmarkTopoOrder(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	a := randomNetwork(b, rng, 32, 20000, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var buf []int32
 	for i := 0; i < b.N; i++ {
 		buf = a.TopoOrder(buf[:0])
 	}
+}
+
+// BenchmarkLevelize measures the full level recomputation sweep — a pure
+// read-modify walk over the struct-of-arrays node storage, the cheapest
+// whole-graph traversal the layout supports.
+func BenchmarkLevelize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomNetwork(b, rng, 32, 20000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Levelize()
+	}
+	b.ReportMetric(float64(a.NumAnds()), "gates")
 }
 
 func BenchmarkReplace(b *testing.B) {
@@ -61,6 +97,7 @@ func BenchmarkReplace(b *testing.B) {
 		a.ForEachAnd(func(id int32) { ands = append(ands, id) })
 	}
 	rebuild()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%4096 == 4095 {

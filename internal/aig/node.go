@@ -1,7 +1,5 @@
 package aig
 
-import "sync/atomic"
-
 // Kind discriminates the node types of an AIG.
 type Kind uint8
 
@@ -31,22 +29,32 @@ func (k Kind) String() string {
 	return "invalid"
 }
 
-// Node is one slot of the graph. Nodes are addressed by ID and must not be
-// copied.
+// The meta word packs kind (2 bits) and level (30 bits) into one atomic
+// uint32: kind and level always travel together through the hot sweeps
+// (levelize, topological walks, worklist partitioning), so one load
+// serves both. 2^30 levels is far beyond any combinational depth.
+const (
+	kindShift = 30
+	levelMask = 1<<kindShift - 1
+)
+
+// Node is a handle to one slot of the graph: a pointer to the slot's page
+// plus the index within it. Node storage itself is struct-of-arrays (see
+// the page type in aig.go): each field lives in its own dense per-page
+// array, so sweeps that read one field across many nodes — level updates,
+// simulation, strash scans — touch sequential memory instead of striding
+// over full node records. Handles are small values; copy them freely.
 //
-// Field synchronization: kind, the fanins, the reference count and the
-// incarnation version are atomic, so the lock-free evaluation stage and
-// speculative activities may read them at any time (they see a consistent
-// individual value; cross-field consistency requires the node's exclusive
-// lock, which every writer holds). The fanout list and level are accessed
-// only under the node's lock (or single-threaded).
+// Field synchronization: kind+level (one packed word), the fanins, the
+// reference count and the incarnation version are atomic, so the
+// lock-free evaluation stage and speculative activities may read them at
+// any time (they see a consistent individual value; cross-field
+// consistency requires the node's exclusive lock, which every writer
+// holds). The fanout list is accessed only under the node's lock (or
+// single-threaded).
 type Node struct {
-	fanin0, fanin1 atomic.Uint32
-	fanouts        []int32 // AND fanout IDs; -(k+1) encodes PO index k
-	ref            atomic.Int32
-	version        atomic.Uint32
-	kind           atomic.Uint32
-	level          int32
+	p *page
+	i int32
 }
 
 // Version identifies the node slot's incarnation: it is bumped every time
@@ -55,62 +63,85 @@ type Node struct {
 // the node was deleted, and its ID possibly reused for different logic
 // (the paper's Fig. 3 hazard) — exactly when Version() != v. PIs and the
 // constant are never deleted; their version stays 0.
-func (n *Node) Version() uint32 { return n.version.Load() }
+func (n Node) Version() uint32 { return n.p.version[n.i].Load() }
+
+func (n Node) bumpVersion() { n.p.version[n.i].Add(1) }
 
 // Kind returns the node's kind.
-func (n *Node) Kind() Kind { return Kind(n.kind.Load()) }
+func (n Node) Kind() Kind { return Kind(n.p.meta[n.i].Load() >> kindShift) }
 
-func (n *Node) setKind(k Kind) { n.kind.Store(uint32(k)) }
+// setKind rewrites the kind bits, preserving the level. The caller holds
+// the node's exclusive lock (all meta writers do), so the load-modify-
+// store cannot lose a concurrent write.
+func (n Node) setKind(k Kind) {
+	m := n.p.meta[n.i].Load()
+	n.p.meta[n.i].Store(m&levelMask | uint32(k)<<kindShift)
+}
+
+// setLevel rewrites the level bits, preserving the kind (same locking
+// contract as setKind).
+func (n Node) setLevel(l int32) {
+	m := n.p.meta[n.i].Load()
+	n.p.meta[n.i].Store(m&^uint32(levelMask) | uint32(l)&levelMask)
+}
 
 // IsAnd reports whether the node is a live AND gate.
-func (n *Node) IsAnd() bool { return n.Kind() == KindAnd }
+func (n Node) IsAnd() bool { return n.Kind() == KindAnd }
 
 // IsPI reports whether the node is a primary input.
-func (n *Node) IsPI() bool { return n.Kind() == KindPI }
+func (n Node) IsPI() bool { return n.Kind() == KindPI }
 
 // IsDead reports whether the slot is free.
-func (n *Node) IsDead() bool { return n.Kind() == KindFree }
+func (n Node) IsDead() bool { return n.Kind() == KindFree }
 
 // Fanin0 returns the first (smaller-literal) fanin of an AND node.
-func (n *Node) Fanin0() Lit { return Lit(n.fanin0.Load()) }
+func (n Node) Fanin0() Lit { return Lit(n.p.fanin0[n.i].Load()) }
 
 // Fanin1 returns the second fanin of an AND node.
-func (n *Node) Fanin1() Lit { return Lit(n.fanin1.Load()) }
+func (n Node) Fanin1() Lit { return Lit(n.p.fanin1[n.i].Load()) }
 
-func (n *Node) setFanins(f0, f1 Lit) {
-	n.fanin0.Store(uint32(f0))
-	n.fanin1.Store(uint32(f1))
+func (n Node) setFanins(f0, f1 Lit) {
+	n.p.fanin0[n.i].Store(uint32(f0))
+	n.p.fanin1[n.i].Store(uint32(f1))
 }
 
 // Ref returns the current reference count: the number of AND fanins and
 // primary outputs pointing at the node.
-func (n *Node) Ref() int32 { return n.ref.Load() }
+func (n Node) Ref() int32 { return n.p.ref[n.i].Load() }
+
+func (n Node) refAdd(d int32) int32 { return n.p.ref[n.i].Add(d) }
+
+func (n Node) refStore(v int32) { n.p.ref[n.i].Store(v) }
 
 // Level returns the node's depth: 0 for PIs and the constant, and
 // 1+max(fanin levels) for AND nodes. Levels are maintained on creation and
 // recomputed on demand after replacements (see AIG.Levelize).
-func (n *Node) Level() int32 { return n.level }
+func (n Node) Level() int32 { return int32(n.p.meta[n.i].Load() & levelMask) }
 
 // FanoutCount returns the length of the fanout list (including PO
 // references).
-func (n *Node) FanoutCount() int { return len(n.fanouts) }
+func (n Node) FanoutCount() int { return len(n.p.fanouts[n.i]) }
 
 // Fanouts returns the node's fanout list. Entries >= 0 are AND node IDs;
 // an entry -(k+1) is a reference from primary output k. The slice is the
 // live list: callers must hold the node's lock in parallel contexts and
 // must not mutate it.
-func (n *Node) Fanouts() []int32 { return n.fanouts }
+func (n Node) Fanouts() []int32 { return n.p.fanouts[n.i] }
 
 // addFanout appends a fanout entry.
-func (n *Node) addFanout(e int32) { n.fanouts = append(n.fanouts, e) }
+func (n Node) addFanout(e int32) { n.p.fanouts[n.i] = append(n.p.fanouts[n.i], e) }
+
+// resetFanouts empties the fanout list, keeping its backing storage.
+func (n Node) resetFanouts() { n.p.fanouts[n.i] = n.p.fanouts[n.i][:0] }
 
 // removeFanout deletes one occurrence of e from the fanout list.
-func (n *Node) removeFanout(e int32) bool {
-	for i, x := range n.fanouts {
+func (n Node) removeFanout(e int32) bool {
+	s := n.p.fanouts[n.i]
+	for i, x := range s {
 		if x == e {
-			last := len(n.fanouts) - 1
-			n.fanouts[i] = n.fanouts[last]
-			n.fanouts = n.fanouts[:last]
+			last := len(s) - 1
+			s[i] = s[last]
+			n.p.fanouts[n.i] = s[:last]
 			return true
 		}
 	}

@@ -58,7 +58,7 @@ func (a *AIG) Replace(old int32, repl Lit, opts ReplaceOptions) int {
 		}
 		fwd[v] = r
 
-		snap := append([]int32(nil), vn.fanouts...)
+		snap := append([]int32(nil), vn.Fanouts()...)
 		for _, e := range snap {
 			if k, isPO := IsPOFanout(e); isPO {
 				po := a.pos[k]
@@ -69,9 +69,9 @@ func (a *AIG) Replace(old int32, repl Lit, opts ReplaceOptions) int {
 				a.pos[k] = newPO
 				vn.removeFanout(e)
 				rn := a.NodeOf(newPO)
-				rn.ref.Add(1)
+				rn.refAdd(1)
 				rn.addFanout(e)
-				if vn.ref.Add(-1) == 0 {
+				if vn.refAdd(-1) == 0 {
 					deleted += a.deleteNodeCone(v)
 				}
 				continue
@@ -105,7 +105,7 @@ func (a *AIG) Replace(old int32, repl Lit, opts ReplaceOptions) int {
 			}
 			deleted += a.rehash(f, f0, f1)
 		}
-		if vn.Kind() == KindAnd && vn.ref.Load() == 0 {
+		if vn.Kind() == KindAnd && vn.Ref() == 0 {
 			deleted += a.deleteNodeCone(v)
 		}
 	}
@@ -125,18 +125,18 @@ func (a *AIG) rehash(f int32, f0, f1 Lit) int {
 	// appears on both sides never transiently reaches ref 0.
 	for _, nf := range [2]Lit{f0, f1} {
 		n := a.NodeOf(nf)
-		n.ref.Add(1)
+		n.refAdd(1)
 		n.addFanout(f)
 	}
 	fn.setFanins(f0, f1)
-	fn.level = 1 + max32(a.NodeOf(f0).level, a.NodeOf(f1).level)
+	fn.setLevel(1 + max32(a.NodeOf(f0).Level(), a.NodeOf(f1).Level()))
 	deleted := 0
 	for _, of := range [2]Lit{old0, old1} {
 		n := a.NodeOf(of)
 		if !n.removeFanout(f) {
 			panic(fmt.Sprintf("aig: node %d missing fanout %d", of.Node(), f))
 		}
-		if n.ref.Add(-1) == 0 && n.Kind() == KindAnd {
+		if n.refAdd(-1) == 0 && n.Kind() == KindAnd {
 			deleted += a.deleteNodeCone(of.Node())
 		}
 	}
@@ -159,7 +159,7 @@ func (a *AIG) DerefCone(root int32, isLeaf func(int32) bool) int {
 	count := 1
 	for _, f := range [2]Lit{n.Fanin0(), n.Fanin1()} {
 		fn := a.NodeOf(f)
-		if fn.ref.Add(-1) == 0 && fn.Kind() == KindAnd && !isLeaf(f.Node()) {
+		if fn.refAdd(-1) == 0 && fn.Kind() == KindAnd && !isLeaf(f.Node()) {
 			count += a.DerefCone(f.Node(), isLeaf)
 		}
 	}
@@ -172,7 +172,7 @@ func (a *AIG) RefCone(root int32, isLeaf func(int32) bool) int {
 	count := 1
 	for _, f := range [2]Lit{n.Fanin0(), n.Fanin1()} {
 		fn := a.NodeOf(f)
-		if fn.ref.Add(1) == 1 && fn.Kind() == KindAnd && !isLeaf(f.Node()) {
+		if fn.refAdd(1) == 1 && fn.Kind() == KindAnd && !isLeaf(f.Node()) {
 			count += a.RefCone(f.Node(), isLeaf)
 		}
 	}
@@ -190,7 +190,7 @@ func (a *AIG) HasInTFI(id, target int32, m *Marks) bool {
 	if id == target {
 		return true
 	}
-	tlevel := a.node(target).level
+	tlevel := a.node(target).Level()
 	m.Next()
 	var dfs func(int32) bool
 	dfs = func(cur int32) bool {
@@ -198,7 +198,7 @@ func (a *AIG) HasInTFI(id, target int32, m *Marks) bool {
 			return true
 		}
 		n := a.node(cur)
-		if n.Kind() != KindAnd || n.level <= tlevel || m.Marked(cur) {
+		if n.Kind() != KindAnd || n.Level() <= tlevel || m.Marked(cur) {
 			return false
 		}
 		m.Mark(cur)

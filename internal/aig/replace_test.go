@@ -278,11 +278,11 @@ func TestCheckDetectsCorruption(t *testing.T) {
 	l := a.And(x, y)
 	a.AddPO(l)
 	// Corrupt a reference count.
-	a.NodeOf(l).ref.Add(1)
+	a.NodeOf(l).refAdd(1)
 	if err := a.Check(CheckOptions{}); err == nil {
 		t.Fatal("Check missed a wrong reference count")
 	}
-	a.NodeOf(l).ref.Add(-1)
+	a.NodeOf(l).refAdd(-1)
 	if err := a.Check(CheckOptions{}); err != nil {
 		t.Fatalf("restored network still flagged: %v", err)
 	}

@@ -180,11 +180,28 @@ const (
 )
 
 // entry is a node's stored cut set, tagged with the incarnation of the
-// node it was computed for.
+// node it was computed for plus the provenance needed to prove, in a
+// later epoch, that the stored set is still bit-identical to what a cold
+// re-enumeration would produce: the fanin literals at compute time, the
+// fanin entries' content generations, and the bitmask of fanin cuts that
+// were fresh when the merge ran. If all of these still hold, the merge
+// inputs are unchanged and the merge is skipped (see Manager.ensure).
 type entry struct {
-	cuts []Cut
-	ver  uint32
-	ok   bool
+	cuts  []Cut
+	ver   uint32 // node incarnation the set was computed for
+	gen   uint32 // content generation: bumped when a recompute changes the set
+	epoch uint32 // manager epoch at which the entry was last validated
+	f0    aig.Lit
+	f1    aig.Lit
+	g0    uint32 // fanin entry generations at compute time
+	g1    uint32
+	m0    uint64 // fanin cut freshness bitmasks at compute time
+	m1    uint64
+	// maskOK records whether m0/m1 cover the fanin sets (a set longer
+	// than 64 cuts cannot be represented; the entry is then never reused
+	// across epochs).
+	maskOK bool
+	ok     bool
 }
 
 type cutPage [cutPageSize]entry
@@ -198,23 +215,37 @@ type Manager struct {
 	a      *aig.AIG
 	params Params
 
+	// epoch is the current validation epoch. An entry whose epoch matches
+	// has already been validated (or computed) since the last NextEpoch
+	// call and is returned without re-checking its fanins. Written only
+	// between passes (NextEpoch), read by all workers during one.
+	epoch uint32
+
 	pages  atomic.Pointer[[]*cutPage]
 	growMu sync.Mutex
 }
 
 // NewManager creates a cut manager for the graph.
 func NewManager(a *aig.AIG, params Params) *Manager {
-	m := &Manager{a: a, params: params}
+	m := &Manager{a: a, params: params, epoch: 1}
 	pages := make([]*cutPage, 0, 8)
 	m.pages.Store(&pages)
-	m.ensure(a.Capacity())
+	m.grow(a.Capacity())
 	return m
 }
 
 // K returns the resolved cut width the manager enumerates with.
 func (m *Manager) K() int { return m.params.k() }
 
-func (m *Manager) ensure(n int32) {
+// NextEpoch opens a new validation epoch: the next Ensure of each node
+// revalidates its stored set against the current graph (node version,
+// fanin literals, fanin set generations and freshness) instead of
+// trusting it outright. Engine passes call it once per pass when reusing
+// a cached manager, before any worker runs; it must never race with
+// enumeration.
+func (m *Manager) NextEpoch() { m.epoch++ }
+
+func (m *Manager) grow(n int32) {
 	for {
 		pages := *m.pages.Load()
 		if int32(len(pages))*cutPageSize > n {
@@ -237,7 +268,7 @@ func (m *Manager) ensure(n int32) {
 }
 
 func (m *Manager) entry(id int32) *entry {
-	m.ensure(id)
+	m.grow(id)
 	pages := *m.pages.Load()
 	return &pages[id>>cutPageBits][id&cutPageMask]
 }
@@ -260,10 +291,15 @@ func (m *Manager) Clear(id int32) {
 	e.ok = false
 }
 
-// trivial returns the unit cut of a node.
+// trivial returns the unit cut of a node. Built field by field (not via
+// NewCut) so the hot enumeration path never materializes a leaf slice.
 func (m *Manager) trivial(id int32) Cut {
-	c := NewCut([]int32{id}, tt.Var64(0))
-	c.Stamp(m.a)
+	var c Cut
+	c.Size = 1
+	c.Leaves[0] = id
+	c.LeafVer[0] = m.a.N(id).Version()
+	c.TT = tt.Var64(0)
+	c.sig = 1 << (uint(id) & 63)
 	return c
 }
 
@@ -281,40 +317,144 @@ type Visitor func(id int32) bool
 // and all its relevant nodes"). visit, when non-nil, is invoked for every
 // node touched; a false return aborts with ok=false.
 func (m *Manager) Ensure(id int32, visit Visitor) ([]Cut, bool) {
+	return m.EnsureP(id, visit, nil)
+}
+
+// EnsureP is Ensure with a per-worker storage pool: merge scratch and
+// entry storage come from (and return to) the pool, so steady-state
+// enumeration with a warm pool performs no heap allocation. A nil pool
+// falls back to plain allocation.
+func (m *Manager) EnsureP(id int32, visit Visitor, pool *Pool) ([]Cut, bool) {
+	set, _, ok := m.ensure(id, visit, pool)
+	return set, ok
+}
+
+// ensure is the recursive enumerator. It returns the node's cut set plus
+// the entry's content generation, which the parent's reuse check records.
+//
+// An entry is trusted without recomputation in exactly two cases: its
+// epoch matches the manager's (it was computed or validated earlier in
+// this pass — the historical Ensure hit), or this is its first visit of a
+// new epoch and the stored provenance proves a cold merge would see
+// bit-identical inputs: same node incarnation, same fanin literals
+// (rehash changes fanins without a version bump), same fanin set
+// contents (generation match) and the same subset of fanin cuts fresh
+// (freshness mask match — the merge budget makes the kept set depend on
+// which pairs merged, so freshness drift alone invalidates). Identical
+// inputs give an identical merge output, including the leaf version
+// stamps: a fresh fanin cut's leaves still carry the versions recorded at
+// compute time, so the skipped re-stamp would write the same values.
+func (m *Manager) ensure(id int32, visit Visitor, pool *Pool) ([]Cut, uint32, bool) {
 	if visit != nil && !visit(id) {
-		return nil, false
+		return nil, 0, false
 	}
 	n := m.a.N(id)
 	e := m.entry(id)
-	if e.ok && e.ver == n.Version() {
-		return e.cuts, true
+	if e.ok && e.epoch == m.epoch && e.ver == n.Version() {
+		return e.cuts, e.gen, true
 	}
-	var set []Cut
 	switch n.Kind() {
-	case aig.KindConst:
-		set = []Cut{constCut()}
-	case aig.KindPI:
-		set = []Cut{m.trivial(id)}
+	case aig.KindConst, aig.KindPI:
+		// Leaves never change incarnation in place: a version match means
+		// the stored unit cut is still exact.
+		if e.ok && e.ver == n.Version() {
+			e.epoch = m.epoch
+			return e.cuts, e.gen, true
+		}
+		var one [1]Cut
+		if n.Kind() == aig.KindConst {
+			one[0] = constCut()
+		} else {
+			one[0] = m.trivial(id)
+		}
+		m.commit(e, one[:], pool, n.Version())
+		e.maskOK = false
 	case aig.KindAnd:
 		f0, f1 := n.Fanin0(), n.Fanin1()
-		s0, ok := m.Ensure(f0.Node(), visit)
+		s0, g0, ok := m.ensure(f0.Node(), visit, pool)
 		if !ok {
-			return nil, false
+			return nil, 0, false
 		}
-		s1, ok := m.Ensure(f1.Node(), visit)
+		s1, g1, ok := m.ensure(f1.Node(), visit, pool)
 		if !ok {
-			return nil, false
+			return nil, 0, false
 		}
-		set = m.merge(id, f0, f1, s0, s1)
+		mm0, mok0 := freshMask(m.a, s0)
+		mm1, mok1 := freshMask(m.a, s1)
+		if e.ok && e.ver == n.Version() && e.maskOK && mok0 && mok1 &&
+			e.f0 == f0 && e.f1 == f1 && e.g0 == g0 && e.g1 == g1 &&
+			e.m0 == mm0 && e.m1 == mm1 {
+			e.epoch = m.epoch
+			return e.cuts, e.gen, true
+		}
+		res := m.mergeInto(scratchFor(pool, m.params.maxCuts()+2), id, f0, f1, s0, s1, mm0, mok0, mm1, mok1)
+		m.commit(e, res, pool, n.Version())
+		e.f0, e.f1, e.g0, e.g1 = f0, f1, g0, g1
+		e.m0, e.m1, e.maskOK = mm0, mm1, mok0 && mok1
 	default:
 		// A dead node has no cuts; store an empty set for its current
 		// incarnation so callers see "enumerated, nothing usable".
-		set = []Cut{}
+		m.commit(e, nil, pool, n.Version())
+		e.maskOK = false
 	}
-	e.cuts = set
-	e.ver = n.Version()
+	return e.cuts, e.gen, true
+}
+
+// commit stores res as the entry's cut set for incarnation ver, bumping
+// the content generation when the set changed and recycling storage
+// through the pool: the resident slice is reused in place whenever it is
+// large enough, so a recompute that reproduces the previous set's size
+// allocates nothing.
+func (m *Manager) commit(e *entry, res []Cut, pool *Pool, ver uint32) {
+	if !e.ok || !cutsEqual(e.cuts, res) {
+		e.gen++
+	}
+	if cap(e.cuts) >= len(res) {
+		if len(res) == 0 && cap(e.cuts) > 0 {
+			// A dying entry donates its storage instead of pinning it.
+			poolPut(pool, e.cuts)
+			e.cuts = nil
+		} else {
+			e.cuts = e.cuts[:len(res)]
+		}
+	} else {
+		poolPut(pool, e.cuts)
+		e.cuts = poolGet(pool, len(res))
+	}
+	copy(e.cuts, res)
+	e.ver = ver
+	e.epoch = m.epoch
 	e.ok = true
-	return set, true
+}
+
+// cutsEqual reports whether two cut sets are bit-identical (Cut has no
+// reference fields, so element equality is exact).
+func cutsEqual(a, b []Cut) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// freshMask computes the bitmask of fresh cuts in a set. ok is false when
+// the set is too long for a 64-bit mask; callers then fall back to
+// per-cut Fresh checks and forgo cross-epoch reuse.
+func freshMask(a *aig.AIG, s []Cut) (uint64, bool) {
+	if len(s) > 64 {
+		return 0, false
+	}
+	var msk uint64
+	for i := range s {
+		if s[i].Fresh(a) {
+			msk |= 1 << uint(i)
+		}
+	}
+	return msk, true
 }
 
 // Refresh recomputes id's cut set on the latest graph even if a set for
@@ -322,27 +462,41 @@ func (m *Manager) Ensure(id int32, visit Visitor) ([]Cut, bool) {
 // stored result is found outdated at replacement time. Fanin sets are
 // reused (Ensure semantics) with their stale cuts filtered out.
 func (m *Manager) Refresh(id int32, visit Visitor) ([]Cut, bool) {
+	return m.RefreshP(id, visit, nil)
+}
+
+// RefreshP is Refresh with a per-worker storage pool (see EnsureP).
+func (m *Manager) RefreshP(id int32, visit Visitor, pool *Pool) ([]Cut, bool) {
 	if visit != nil && !visit(id) {
 		return nil, false
 	}
 	m.entry(id).ok = false
-	return m.Ensure(id, visit)
+	return m.EnsureP(id, visit, pool)
 }
 
-// merge computes the cut set of an AND node from its fanins' sets,
-// skipping stale fanin cuts (whose leaves were deleted or reused by
-// rewriting since they were enumerated).
-func (m *Manager) merge(id int32, f0, f1 aig.Lit, s0, s1 []Cut) []Cut {
+// mergeInto computes the cut set of an AND node from its fanins' sets
+// into the caller-provided scratch, skipping stale fanin cuts (whose
+// leaves were deleted or reused by rewriting since they were enumerated).
+// Freshness comes from the precomputed masks when they cover the sets
+// (mok*), which also become the entry's reuse provenance.
+func (m *Manager) mergeInto(dst []Cut, id int32, f0, f1 aig.Lit, s0, s1 []Cut, m0 uint64, mok0 bool, m1 uint64, mok1 bool) []Cut {
 	k := m.params.k()
 	maxCuts := m.params.maxCuts()
-	out := make([]Cut, 0, min(maxCuts+1, len(s0)*len(s1)+1))
-	out = append(out, m.trivial(id))
+	dst = append(dst, m.trivial(id))
 	for i := range s0 {
-		if !s0[i].Fresh(m.a) {
+		if mok0 {
+			if m0&(1<<uint(i)) == 0 {
+				continue
+			}
+		} else if !s0[i].Fresh(m.a) {
 			continue
 		}
 		for j := range s1 {
-			if !s1[j].Fresh(m.a) {
+			if mok1 {
+				if m1&(1<<uint(j)) == 0 {
+					continue
+				}
+			} else if !s1[j].Fresh(m.a) {
 				continue
 			}
 			c, ok := mergeCuts(&s0[i], &s1[j], f0.Compl(), f1.Compl(), k)
@@ -350,19 +504,19 @@ func (m *Manager) merge(id int32, f0, f1 aig.Lit, s0, s1 []Cut) []Cut {
 				continue
 			}
 			c.Stamp(m.a)
-			if addCut(&out, c, maxCuts) && len(out) > maxCuts {
+			if addCut(&dst, c, maxCuts) && len(dst) > maxCuts {
 				// Keep the budget: drop the widest non-trivial cut.
 				drop := 1
-				for k := 2; k < len(out); k++ {
-					if out[k].Size > out[drop].Size {
-						drop = k
+				for x := 2; x < len(dst); x++ {
+					if dst[x].Size > dst[drop].Size {
+						drop = x
 					}
 				}
-				out = append(out[:drop], out[drop+1:]...)
+				dst = append(dst[:drop], dst[drop+1:]...)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // addCut inserts c unless it is dominated; it removes cuts c dominates.
@@ -461,11 +615,4 @@ func expand(f tt.Func64, oldLeaves, newLeaves []int32) tt.Func64 {
 		out |= tt.Func64(uint64(f)>>src&1) << row
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

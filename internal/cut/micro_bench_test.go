@@ -10,6 +10,7 @@ import (
 func BenchmarkEnumerate(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := randomAIG(rng, 16, 10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := NewManager(a, Params{})
@@ -21,6 +22,7 @@ func BenchmarkEnumerate(b *testing.B) {
 func BenchmarkEnumerateP1Budget(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := randomAIG(rng, 16, 10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := NewManager(a, Params{MaxCuts: 8})
@@ -79,6 +81,7 @@ func BenchmarkEnsure(b *testing.B) {
 	for _, shape := range faninShapes {
 		b.Run(shape.name, func(b *testing.B) {
 			a := shape.build()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m := NewManager(a, Params{})
@@ -98,9 +101,34 @@ func BenchmarkEnsureWarm(b *testing.B) {
 			a := shape.build()
 			m := NewManager(a, Params{})
 			a.ForEachAnd(func(id int32) { m.Ensure(id, nil) })
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.ForEachAnd(func(id int32) { m.Ensure(id, nil) })
+			}
+		})
+	}
+}
+
+// BenchmarkEnsureEpochWarm measures the persistent-cut revalidation
+// sweep: the manager holds every set from the previous epoch, NextEpoch
+// opens a new one, and re-enumeration reduces to version checks against
+// warm per-worker pools. This is the per-pass cost a flow-level cut.Cache
+// pays instead of cold enumeration; the bench-smoke CI gate pins it (and
+// TestWarmEnumerationZeroAlloc asserts it) at 0 allocs/op.
+func BenchmarkEnsureEpochWarm(b *testing.B) {
+	for _, shape := range faninShapes {
+		b.Run(shape.name, func(b *testing.B) {
+			a := shape.build()
+			m := NewManager(a, Params{})
+			pool := NewPool()
+			visit := func(id int32) { m.EnsureP(id, nil, pool) }
+			a.ForEachAnd(visit)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.NextEpoch()
+				a.ForEachAnd(visit)
 			}
 		})
 	}
@@ -116,6 +144,7 @@ func BenchmarkRefresh(b *testing.B) {
 			m := NewManager(a, Params{})
 			a.ForEachAnd(func(id int32) { m.Ensure(id, nil) })
 			root := a.POs()[0].Node()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Refresh(root, nil)
@@ -151,6 +180,7 @@ func BenchmarkMergeCuts(b *testing.B) {
 	for _, p := range pairs {
 		merges += len(p.s0) * len(p.s1)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range pairs {

@@ -1,0 +1,68 @@
+package cut
+
+// Pool is a per-worker free list of cut-set storage. Steady-state
+// enumeration recycles entry slices in place, so a warm pool lets
+// EnsureP/RefreshP run without heap allocation: the merge scratch is
+// reused across nodes, grown entry slices come from the free list, and
+// storage shed by shrinking or dying entries goes back onto it.
+//
+// A Pool is single-threaded state: each worker slot owns one (see
+// engine.Env.CutPools) and hands it to every manager call it makes. A nil
+// *Pool is always legal and falls back to plain allocation.
+type Pool struct {
+	scratch []Cut
+	free    [][]Cut
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// NewPools creates n independent pools, one per worker slot.
+func NewPools(n int) []*Pool {
+	ps := make([]*Pool, n)
+	for i := range ps {
+		ps[i] = NewPool()
+	}
+	return ps
+}
+
+// poolMaxFree bounds the free list so a pathological churn of entry
+// storage cannot pin unbounded memory in a pool.
+const poolMaxFree = 256
+
+// scratchFor returns an empty merge-scratch slice with capacity >= n,
+// reusing the pool's resident scratch when possible.
+func scratchFor(p *Pool, n int) []Cut {
+	if p == nil {
+		return make([]Cut, 0, n)
+	}
+	if cap(p.scratch) < n {
+		p.scratch = make([]Cut, 0, n)
+	}
+	return p.scratch[:0]
+}
+
+// poolGet returns a slice of length n, recycled from the free list when a
+// large-enough slice is available.
+func poolGet(p *Pool, n int) []Cut {
+	if p != nil {
+		f := p.free
+		for i := len(f) - 1; i >= 0; i-- {
+			if cap(f[i]) >= n {
+				s := f[i]
+				f[i] = f[len(f)-1]
+				p.free = f[:len(f)-1]
+				return s[:n]
+			}
+		}
+	}
+	return make([]Cut, n)
+}
+
+// poolPut donates storage to the free list.
+func poolPut(p *Pool, s []Cut) {
+	if p == nil || cap(s) == 0 || len(p.free) >= poolMaxFree {
+		return
+	}
+	p.free = append(p.free, s[:0])
+}

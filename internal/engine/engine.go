@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"dacpara/internal/aig"
+	"dacpara/internal/cut"
 	"dacpara/internal/galois"
 	"dacpara/internal/metrics"
 )
@@ -91,12 +92,24 @@ const (
 )
 
 // Env hands a pass the spine resources it may account against: the
-// per-worker metrics shards (nil when metrics are off) and the shared
+// per-worker metrics shards (nil when metrics are off), the shared
 // attempt counter (fused/serial passes count their own attempts; the
-// three-phase modes count attempts from Stored).
+// three-phase modes count attempts from Stored), and the per-worker-slot
+// cut-storage pools. Pools are created once per engine run and survive
+// the pass loop, so later passes enumerate into already-warm free lists.
 type Env struct {
 	Shards   []metrics.Shard
 	Attempts *atomic.Int64
+	CutPools []*cut.Pool
+}
+
+// CutPool returns the worker slot's cut-storage pool, or nil when the
+// spine provided none (a nil pool degrades to plain allocation).
+func (e Env) CutPool(worker int) *cut.Pool {
+	if worker >= 0 && worker < len(e.CutPools) {
+		return e.CutPools[worker]
+	}
+	return nil
 }
 
 // Pass is the per-pass hook set of a three-phase divide-and-conquer
@@ -231,7 +244,7 @@ func runDynamic(ctx context.Context, a *aig.AIG, pass Pass, plan Plan, e Exec) (
 	m.StartRun(plan.Name, workers, passes)
 	shards := m.Shards(workers + 1) // nil when metrics are off
 	var attempts, replacements, stale atomic.Int64
-	env := Env{Shards: shards, Attempts: &attempts}
+	env := Env{Shards: shards, Attempts: &attempts, CutPools: cut.NewPools(workers + 1)}
 	var runErr error
 	for p := 0; p < passes; p++ {
 		ex := galois.NewExecutor(a.Capacity()+1, workers)
@@ -389,7 +402,7 @@ func runStatic(ctx context.Context, a *aig.AIG, pass Pass, plan Plan, e Exec) (R
 	m.StartRun(plan.Name, workers, passes)
 	shards := m.Shards(workers) // nil when metrics are off
 	var attempts, replacements, stale atomic.Int64
-	env := Env{Shards: shards, Attempts: &attempts}
+	env := Env{Shards: shards, Attempts: &attempts, CutPools: cut.NewPools(workers)}
 	var runErr error
 	// levelCancelled polls the context at a level boundary and records
 	// the wrapped error once.
@@ -492,7 +505,7 @@ func runFused(ctx context.Context, a *aig.AIG, pass FusedPass, plan Plan, e Exec
 	m.StartRun(plan.Name, workers, passes)
 	shards := m.Shards(workers + 1) // nil when metrics are off
 	var attempts, replacements, stale atomic.Int64
-	env := Env{Shards: shards, Attempts: &attempts}
+	env := Env{Shards: shards, Attempts: &attempts, CutPools: cut.NewPools(workers + 1)}
 	var runErr error
 	for p := 0; p < passes; p++ {
 		ex := galois.NewExecutor(a.Capacity()+1, workers)
@@ -554,7 +567,7 @@ func runSerial(ctx context.Context, a *aig.AIG, pass FusedPass, plan Plan, e Exe
 	// breakdown is the in-loop stage time the pass accumulates there.
 	shards := m.Shards(1)
 	var attempts, replacements, stale atomic.Int64
-	env := Env{Shards: shards, Attempts: &attempts}
+	env := Env{Shards: shards, Attempts: &attempts, CutPools: cut.NewPools(1)}
 	var runErr error
 	for p := 0; p < passes && runErr == nil; p++ {
 		pass.Begin(1, env)

@@ -66,10 +66,11 @@ type fusedPass struct {
 var _ engine.FusedPass = (*fusedPass)(nil)
 
 func (p *fusedPass) Begin(slots int, env engine.Env) {
-	p.cm = cut.NewManager(p.a, cut.Params{K: p.cfg.K, MaxCuts: p.cfg.MaxCuts})
+	p.cm = rewrite.CutManagerFor(p.cfg, p.a)
 	p.evs = make([]*rewrite.Evaluator, slots)
 	for w := range p.evs {
 		p.evs[w] = rewrite.NewEvaluator(p.a, p.lib, p.cfg)
+		p.evs[w].CutPool = env.CutPool(w)
 	}
 	p.env = env
 }
@@ -95,7 +96,7 @@ func (p *fusedPass) Fuse(worker int, id int32, lock engine.Locker) engine.Status
 	ev := p.evs[worker]
 	// Enumeration: lock the recursive region whose cut sets the
 	// operator reads or writes.
-	cuts, ok := p.cm.Ensure(id, cut.Visitor(lock))
+	cuts, ok := p.cm.EnsureP(id, cut.Visitor(lock), p.env.CutPool(worker))
 	if !ok {
 		sh.Conflict(metrics.PhaseFused, id)
 		return engine.StatusConflict

@@ -50,6 +50,28 @@ type BenchRun struct {
 	// (the metrics still cover the work done up to that point).
 	Error   string    `json:"error,omitempty"`
 	Metrics *Snapshot `json:"metrics"`
+	// Mem, when present, records the run's heap traffic (see BenchMem).
+	// Absent in files written before the field existed; readers must
+	// treat a missing section as "not measured", not as zero.
+	Mem *BenchMem `json:"mem,omitempty"`
+}
+
+// BenchMem is the optional allocation profile of one run, measured as
+// runtime.MemStats deltas across the engine invocation. The counters are
+// process-wide, so concurrent background activity pollutes them; perfbench
+// runs engines one at a time, which makes the deltas attributable.
+type BenchMem struct {
+	// Allocs is the number of heap objects allocated during the run
+	// (Mallocs delta).
+	Allocs uint64 `json:"allocs"`
+	// Bytes is the cumulative heap bytes allocated during the run
+	// (TotalAlloc delta).
+	Bytes uint64 `json:"bytes"`
+	// GCPauseNs is the total stop-the-world pause time incurred during
+	// the run (PauseTotalNs delta).
+	GCPauseNs uint64 `json:"gc_pause_ns"`
+	// NumGC is the number of completed GC cycles during the run.
+	NumGC uint32 `json:"num_gc"`
 }
 
 // Validate checks the structural invariants of the schema: a wrong or
@@ -124,6 +146,12 @@ func (f *BenchFile) Validate() error {
 			if p.Speculation.Aborts < 0 || p.Speculation.WastedNs < 0 {
 				return fmt.Errorf("%s: negative speculation counters in phase %s", where, p.Name)
 			}
+		}
+		// Mem is optional (older files predate it); when present its
+		// pause time cannot exceed the wall clock it ran under.
+		if r.Mem != nil && m.WallNs > 0 && r.Mem.GCPauseNs > uint64(m.WallNs) {
+			return fmt.Errorf("%s: GC pause %dns exceeds wall time %dns",
+				where, r.Mem.GCPauseNs, m.WallNs)
 		}
 		// Static-information engines can realize negative gain (the
 		// Table 3 penalty), so FinalAnds may exceed InitialAnds; only

@@ -82,6 +82,9 @@ func TestBenchValidateRejectsMalformed(t *testing.T) {
 		{"negative phase work", func(f *BenchFile) { f.Runs[0].Metrics.Phases[1].WorkNs = -5 }},
 		{"negative aborts", func(f *BenchFile) { f.Runs[0].Metrics.Phases[0].Speculation.Aborts = -1 }},
 		{"negative ands", func(f *BenchFile) { f.Runs[0].Metrics.QoR.FinalAnds = -1 }},
+		{"impossible gc pause", func(f *BenchFile) {
+			f.Runs[0].Mem = &BenchMem{GCPauseNs: uint64(f.Runs[0].Metrics.WallNs) + 1}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -108,6 +111,37 @@ func TestBenchValidateAllowsNegativeGain(t *testing.T) {
 	f.Runs[1].Error = "deadline exceeded"
 	if err := f.Validate(); err != nil {
 		t.Fatalf("errored run rejected: %v", err)
+	}
+}
+
+// TestBenchMemOptional pins the mem section's compatibility contract:
+// the checked-in golden file predates the field (absent mem must stay
+// valid — TestBenchGoldenValidates covers that), a populated section
+// validates and survives a round trip, and the zero profile is legal (a
+// warm zero-alloc run really does report all-zero deltas).
+func TestBenchMemOptional(t *testing.T) {
+	f, _ := loadGolden(t)
+	if f.Runs[0].Mem != nil || f.Runs[1].Mem != nil {
+		t.Fatal("golden file unexpectedly carries mem sections")
+	}
+	f.Runs[0].Mem = &BenchMem{Allocs: 12345, Bytes: 1 << 20, GCPauseNs: 1000, NumGC: 2}
+	f.Runs[1].Mem = &BenchMem{}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("mem sections rejected: %v", err)
+	}
+	out, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseBench(out)
+	if err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	if g.Runs[0].Mem == nil || *g.Runs[0].Mem != *f.Runs[0].Mem {
+		t.Fatalf("mem section changed in round trip: %+v", g.Runs[0].Mem)
+	}
+	if g.Runs[1].Mem == nil || *g.Runs[1].Mem != (BenchMem{}) {
+		t.Fatalf("zero mem section changed in round trip: %+v", g.Runs[1].Mem)
 	}
 }
 

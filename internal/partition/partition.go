@@ -493,7 +493,7 @@ func refinePass(a *aig.AIG, plan *Plan, cap int) int {
 
 // moveLegal reports whether moving node n from shard s to shard to keeps
 // every incident AND edge ordered (fanins in ≤, fanouts in ≥ shards).
-func moveLegal(a *aig.AIG, n *aig.Node, assign []int16, s, to int16) bool {
+func moveLegal(a *aig.AIG, n aig.Node, assign []int16, s, to int16) bool {
 	if to < s {
 		// Moving down: both AND fanins must already live strictly below s.
 		if f := n.Fanin0().Node(); assign[f] >= 0 && assign[f] > to {
@@ -518,7 +518,7 @@ func moveLegal(a *aig.AIG, n *aig.Node, assign []int16, s, to int16) bool {
 
 // moveDelta is the exact crossing-edge count change of moving n from s
 // to to.
-func moveDelta(a *aig.AIG, n *aig.Node, assign []int16, s, to int16) int {
+func moveDelta(a *aig.AIG, n aig.Node, assign []int16, s, to int16) int {
 	d := 0
 	count := func(peer int32) {
 		if assign[peer] < 0 {

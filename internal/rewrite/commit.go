@@ -85,7 +85,7 @@ func (e *Evaluator) Execute(cm *cut.Manager, cand *Candidate, lock Locker) (gain
 		// Some leaf was deleted (and its ID possibly reused): re-enumerate
 		// on the current graph and match the stored leaf set against the
 		// fresh cut set, as the paper prescribes for the Fig. 3 hazard.
-		set, ok := refreshCuts(cm, root, lock)
+		set, ok := refreshCuts(cm, root, lock, e.CutPool)
 		if !ok {
 			return 0, StatusConflict
 		}
@@ -217,13 +217,14 @@ func (e *Evaluator) Execute(cm *cut.Manager, cand *Candidate, lock Locker) (gain
 	return gain, StatusCommitted
 }
 
-// refreshCuts re-enumerates root's cuts under the activity's locks.
-func refreshCuts(cm *cut.Manager, root int32, lock Locker) ([]cut.Cut, bool) {
+// refreshCuts re-enumerates root's cuts under the activity's locks,
+// recycling storage through the worker's pool.
+func refreshCuts(cm *cut.Manager, root int32, lock Locker, pool *cut.Pool) ([]cut.Cut, bool) {
 	visit := cut.Visitor(nil)
 	if lock != nil {
 		visit = cut.Visitor(lock)
 	}
-	return cm.Refresh(root, visit)
+	return cm.RefreshP(root, visit, pool)
 }
 
 // coneTT recomputes the function of root over the cut's leaves by walking

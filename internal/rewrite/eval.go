@@ -267,6 +267,10 @@ type Evaluator struct {
 	// gain).
 	TrustStoredGain bool
 
+	// CutPool is the worker slot's cut-storage pool, used by Execute's
+	// commit-time re-enumeration. Nil degrades to plain allocation.
+	CutPool *cut.Pool
+
 	mask []bool
 	semi *npn.SemiCache
 }

@@ -31,6 +31,7 @@ type Pass struct {
 	SkipStaleLeaves bool
 
 	cm   *cut.Manager
+	env  engine.Env
 	evs  []*Evaluator
 	prep []Candidate
 }
@@ -38,11 +39,13 @@ type Pass struct {
 var _ engine.Pass = (*Pass)(nil)
 
 func (p *Pass) Begin(slots int, env engine.Env) {
-	p.cm = cut.NewManager(p.A, cut.Params{K: p.Cfg.K, MaxCuts: p.Cfg.MaxCuts})
+	p.cm = p.Cfg.cutManager(p.A)
+	p.env = env
 	p.evs = make([]*Evaluator, slots)
 	for w := range p.evs {
 		p.evs[w] = NewEvaluator(p.A, p.Lib, p.Cfg)
 		p.evs[w].TrustStoredGain = p.TrustStoredGain
+		p.evs[w].CutPool = env.CutPool(w)
 	}
 	// Ensure the PI and constant cut sets once, serially: every
 	// recursive enumeration bottoms out on them.
@@ -55,11 +58,11 @@ func (p *Pass) Begin(slots int, env engine.Env) {
 	p.prep = make([]Candidate, p.A.Capacity())
 }
 
-func (p *Pass) Enumerate(_ int, id int32, lock engine.Locker) bool {
+func (p *Pass) Enumerate(worker int, id int32, lock engine.Locker) bool {
 	if !p.A.N(id).IsAnd() {
 		return true
 	}
-	_, ok := p.cm.Ensure(id, cut.Visitor(lock))
+	_, ok := p.cm.EnsureP(id, cut.Visitor(lock), p.env.CutPool(worker))
 	return ok
 }
 
@@ -112,8 +115,9 @@ type serialPass struct {
 var _ engine.FusedPass = (*serialPass)(nil)
 
 func (p *serialPass) Begin(_ int, env engine.Env) {
-	p.cm = cut.NewManager(p.a, cut.Params{K: p.cfg.K, MaxCuts: p.cfg.MaxCuts})
+	p.cm = p.cfg.cutManager(p.a)
 	p.ev = NewEvaluator(p.a, p.lib, p.cfg)
+	p.ev.CutPool = env.CutPool(0)
 	p.env = env
 }
 
@@ -122,7 +126,7 @@ func (p *serialPass) Fuse(_ int, id int32, _ engine.Locker) engine.Status {
 		return engine.StatusSkip
 	}
 	if p.env.Shards == nil {
-		cuts, _ := p.cm.Ensure(id, nil)
+		cuts, _ := p.cm.EnsureP(id, nil, p.env.CutPool(0))
 		cand := p.ev.Evaluate(id, cuts)
 		if !cand.Ok() {
 			return engine.StatusSkip
@@ -142,7 +146,7 @@ func (p *serialPass) Fuse(_ int, id int32, _ engine.Locker) engine.Status {
 	// parallel engines'.
 	sh := &p.env.Shards[0]
 	t0 := time.Now()
-	cuts, _ := p.cm.Ensure(id, nil)
+	cuts, _ := p.cm.EnsureP(id, nil, p.env.CutPool(0))
 	t1 := time.Now()
 	cand := p.ev.Evaluate(id, cuts)
 	t2 := time.Now()

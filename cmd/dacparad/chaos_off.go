@@ -1,0 +1,34 @@
+//go:build !chaos
+
+package main
+
+import (
+	"errors"
+	"net/http"
+)
+
+// The default build carries no fault-injection code: -chaos-plan is
+// always a recognized flag (so scripts can pass it unconditionally) but
+// setting it on this binary is a startup error, never a silent no-op —
+// a chaos run that quietly injects nothing would report a robustness
+// pass it did not earn.
+
+var errChaosNotBuilt = errors.New("built without chaos support; rebuild with -tags chaos to use -chaos-plan")
+
+// chaosWorkerClient returns the HTTP client for the worker role. With
+// no plan it defers to the worker's default client.
+func chaosWorkerClient(spec, workerID string) (*http.Client, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	return nil, errChaosNotBuilt
+}
+
+// chaosWrapHandler wraps the daemon handler with coordinator-side
+// faults. With no plan the handler passes through untouched.
+func chaosWrapHandler(spec string, h http.Handler) (http.Handler, error) {
+	if spec == "" {
+		return h, nil
+	}
+	return nil, errChaosNotBuilt
+}

@@ -1,0 +1,43 @@
+//go:build chaos
+
+package main
+
+import (
+	"net/http"
+
+	"dacpara/internal/chaos"
+)
+
+// Built with -tags chaos: -chaos-plan accepts a JSON plan literal or
+// @file and injects its faults deterministically. The same plan string
+// works on both roles — workers fault their outbound RPCs through a
+// chaos.Transport, the coordinator faults its /cluster/ handling
+// through a chaos.Middleware — and because every fault is a pure
+// function of (seed, stream, call index), a failing run reproduces
+// from the plan alone.
+
+// chaosWorkerClient returns an HTTP client whose transport applies the
+// plan's faults to this worker's RPC streams.
+func chaosWorkerClient(spec, workerID string) (*http.Client, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := chaos.ParsePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &http.Client{Transport: chaos.NewTransport(plan, nil, workerID)}, nil
+}
+
+// chaosWrapHandler wraps the daemon handler with the plan's
+// coordinator-side faults (only /cluster/ traffic is touched).
+func chaosWrapHandler(spec string, h http.Handler) (http.Handler, error) {
+	if spec == "" {
+		return h, nil
+	}
+	plan, err := chaos.ParsePlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	return chaos.NewMiddleware(plan, h), nil
+}

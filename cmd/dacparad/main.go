@@ -74,12 +74,14 @@ func main() {
 		lease     = flag.Duration("lease", 15*time.Second, "coordinator: how long a worker may go silent before its lease expires and the job fails over")
 		heartbeat = flag.Duration("heartbeat", 0, "heartbeat cadence (coordinator advertises it; worker override). 0 = lease/3")
 		attempts  = flag.Int("attempts", 3, "coordinator: lease budget per job before it is terminally failed")
+
+		chaosSpec = flag.String("chaos-plan", "", "deterministic fault-injection plan, JSON literal or @file (needs a binary built with -tags chaos); same seed, same faults")
 	)
 	flag.Parse()
 
 	switch *role {
 	case "worker":
-		os.Exit(runWorker(*join, *workerID, *heartbeat))
+		os.Exit(runWorker(*join, *workerID, *heartbeat, *chaosSpec))
 	case "standalone", "coordinator":
 	default:
 		fmt.Fprintf(os.Stderr, "dacparad: unknown -role %q (want standalone, coordinator or worker)\n", *role)
@@ -130,7 +132,12 @@ func main() {
 		fmt.Printf("dacparad: recovered %s: %d journal records (%d torn bytes dropped), %d terminal jobs restored, %d requeued (%d from checkpoints), %d lost\n",
 			*dataDir, rec.Replayed, rec.TruncatedBytes, len(rec.Restored), len(rec.Requeued), len(rec.Resumed), len(rec.Lost))
 	}
-	handler.Store(svc.HandlerMaxUpload(*uploadMB << 20))
+	live, err := chaosWrapHandler(*chaosSpec, svc.HandlerMaxUpload(*uploadMB<<20))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dacparad:", err)
+		os.Exit(2)
+	}
+	handler.Store(live)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -151,7 +158,7 @@ func main() {
 	// jobs, let running jobs finish within the grace period, cancel
 	// stragglers at their next cancellation point, then exit.
 	fmt.Println("dacparad: draining (no new jobs; running jobs get", *drainGrac, "to finish)")
-	handler.Store(drainingHandler(svc.HandlerMaxUpload(*uploadMB << 20)))
+	handler.Store(drainingHandler(live))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrac+10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -196,7 +203,7 @@ func drainingHandler(live http.Handler) http.Handler {
 // runWorker is the worker role: join the coordinator and pull work
 // until SIGTERM. The worker keeps no state worth draining — on signal
 // the in-flight job is abandoned and its lease fails it over.
-func runWorker(join, id string, heartbeat time.Duration) int {
+func runWorker(join, id string, heartbeat time.Duration, chaosSpec string) int {
 	if join == "" {
 		fmt.Fprintln(os.Stderr, "dacparad: -role worker requires -join <coordinator URL>")
 		return 2
@@ -208,12 +215,18 @@ func runWorker(join, id string, heartbeat time.Duration) int {
 		}
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	client, err := chaosWorkerClient(chaosSpec, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dacparad:", err)
+		return 2
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	w := cluster.NewWorker(cluster.WorkerOptions{
 		Coordinator: join,
 		ID:          id,
 		Heartbeat:   heartbeat,
+		Client:      client,
 	})
 	fmt.Printf("dacparad: worker %s joining %s\n", id, join)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {

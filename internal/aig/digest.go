@@ -12,9 +12,11 @@ import (
 // networks that are identical up to node-ID assignment (the same circuit
 // uploaded twice, or parsed from ASCII vs binary AIGER) digest equally;
 // any structural difference — an extra inverter, a swapped fanin cone —
-// changes the digest. It keys the service's result cache and integrity-
-// checks every blob (inputs, flow checkpoints, cluster uploads) against
-// the journal.
+// changes the digest. Each AND's two fanin literals are hashed in sorted
+// order: an AND is commutative, and binary AIGER reorders fanins on
+// write, so the digest must survive a WriteBinary/Read roundtrip. It
+// keys the service's result cache and integrity-checks every blob
+// (inputs, flow checkpoints, cluster uploads) against the journal.
 func StructuralDigest(a *AIG) string {
 	h := sha256.New()
 	var buf [binary.MaxVarintLen64]byte
@@ -47,8 +49,12 @@ func StructuralDigest(a *AIG) string {
 		}
 		ren[id] = next
 		next++
-		put(renLit(n.Fanin0()))
-		put(renLit(n.Fanin1()))
+		f0, f1 := renLit(n.Fanin0()), renLit(n.Fanin1())
+		if f0 > f1 {
+			f0, f1 = f1, f0
+		}
+		put(f0)
+		put(f1)
 	}
 	for _, po := range a.POs() {
 		put(renLit(po))

@@ -1,0 +1,323 @@
+// Package chaos injects seeded, deterministic network faults into the
+// dacparad cluster protocol. A Plan describes the fault mix — drop,
+// delay, duplicate, corrupt, partition — and a pure hash of
+// (seed, stream, call index) decides the fate of every RPC, so the same
+// seed always produces the same fault schedule, byte for byte. Faults
+// are applied by a worker-side Transport (an http.RoundTripper) and a
+// coordinator-side Middleware; both record a trace that can be replayed
+// from the Plan alone.
+//
+// Determinism is the whole point: a chaos failure in CI is reproduced
+// by re-running with the printed seed, not by rerolling dice until the
+// bug reappears. To keep that property the schedule is indexed by
+// per-stream call counts, never by wall-clock time — a partition
+// "window" covers the Nth..Mth RPC a worker sends, and heals after
+// those calls have been absorbed, whenever that happens to be.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"time"
+)
+
+// Delay describes the injected-latency distribution: each RPC is
+// delayed with probability Rate, by Base plus a deterministic fraction
+// of Jitter. Sized past the lease or heartbeat deadline, a delay is how
+// a "slow network" kills a healthy worker's lease.
+type Delay struct {
+	// Rate is the per-RPC delay probability in [0,1].
+	Rate float64 `json:"rate,omitempty"`
+	// Base is the minimum injected delay.
+	Base time.Duration `json:"base,omitempty"`
+	// Jitter is the maximum deterministic extra on top of Base.
+	Jitter time.Duration `json:"jitter,omitempty"`
+}
+
+// Partition directions. An empty Direction means the link is fully
+// dead (requests never reach the coordinator). DirResponse is the
+// asymmetric half-open case: the request arrives and is processed, but
+// the reply is lost — the worker sees an error for work that happened.
+const (
+	DirRequest  = "request"
+	DirResponse = "response"
+)
+
+// Window is one partition between a worker and the coordinator,
+// expressed in per-worker RPC counts: the worker's calls numbered
+// [From, To) fail. Call counts, not wall-clock, keep the schedule
+// reproducible; the window heals once the worker has burned To−From
+// calls against it.
+type Window struct {
+	// Worker names the partitioned worker; "" partitions every worker.
+	Worker string `json:"worker,omitempty"`
+	// From and To bound the affected per-worker call indexes: [From, To).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Direction is "" (fully dead), DirRequest (requests lost before the
+	// coordinator sees them) or DirResponse (processed, reply lost).
+	Direction string `json:"direction,omitempty"`
+}
+
+// Plan is one deterministic fault schedule. The zero value injects
+// nothing; rates are independent probabilities in [0,1].
+type Plan struct {
+	// Seed selects the schedule; same seed, same faults.
+	Seed int64 `json:"seed"`
+	// DropRate drops a request (before send) or its response (after the
+	// coordinator processed it) — each with this probability.
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// DelayDist injects latency.
+	DelayDist Delay `json:"delay,omitempty"`
+	// DupRate duplicates checkpoint/result uploads: the RPC is sent
+	// twice back-to-back under the same lease.
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// CorruptRate flips one byte in a framed blob body (uploads and poll
+	// responses), at a deterministic offset.
+	CorruptRate float64 `json:"corrupt_rate,omitempty"`
+	// Partitions are call-indexed link failures between named workers
+	// and the coordinator.
+	Partitions []Window `json:"partitions,omitempty"`
+}
+
+// Validate rejects rates outside [0,1] and inverted windows.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop_rate", p.DropRate}, {"dup_rate", p.DupRate}, {"corrupt_rate", p.CorruptRate}, {"delay.rate", p.DelayDist.Rate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	for i, w := range p.Partitions {
+		if w.To < w.From || w.From < 0 {
+			return fmt.Errorf("chaos: partition %d window [%d,%d) invalid", i, w.From, w.To)
+		}
+		switch w.Direction {
+		case "", DirRequest, DirResponse:
+		default:
+			return fmt.Errorf("chaos: partition %d direction %q (want %q or %q)", i, w.Direction, DirRequest, DirResponse)
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes a Plan from a JSON literal or, with a leading '@',
+// from a file (the -chaos-plan flag's syntax).
+func ParsePlan(spec string) (Plan, error) {
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: plan file: %w", err)
+		}
+		raw = data
+	}
+	var p Plan
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("chaos: plan: %w", err)
+	}
+	return p, p.Validate()
+}
+
+// Decision is the precomputed fate of one RPC. It is a pure function of
+// (Plan, stream, call) — see Decide — which is what makes a recorded
+// trace replayable from the seed alone.
+type Decision struct {
+	// Delay is injected latency (0: none). Applied first: a delayed RPC
+	// can still be dropped or corrupted afterwards.
+	Delay time.Duration
+	// DropRequest fails the RPC before it is sent.
+	DropRequest bool
+	// DropResponse sends the RPC, lets the peer process it, then
+	// discards the reply — the asymmetric "applied but unacknowledged"
+	// case that flushes out non-idempotent handlers.
+	DropResponse bool
+	// Duplicate sends the RPC twice (upload paths only).
+	Duplicate bool
+	// Corrupt flips one byte of the blob body at CorruptFrac·len.
+	Corrupt     bool
+	CorruptFrac float64
+}
+
+// String renders the decision as a stable trace token.
+func (d Decision) String() string {
+	var parts []string
+	if d.Delay > 0 {
+		parts = append(parts, "delay="+d.Delay.String())
+	}
+	if d.DropRequest {
+		parts = append(parts, "drop-request")
+	}
+	if d.DropResponse {
+		parts = append(parts, "drop-response")
+	}
+	if d.Duplicate {
+		parts = append(parts, "duplicate")
+	}
+	if d.Corrupt {
+		parts = append(parts, fmt.Sprintf("corrupt@%.3f", d.CorruptFrac))
+	}
+	if len(parts) == 0 {
+		return "pass"
+	}
+	return strings.Join(parts, "+")
+}
+
+// fnv64 hashes a stream name into the decision domain.
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed bijection
+// that turns structured inputs (seed ^ stream ^ call) into uniform
+// bits.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns a uniform [0,1) variate for one (stream, call, purpose)
+// triple. Distinct purposes decorrelate the fault kinds: whether call 7
+// is dropped says nothing about whether it is also delayed.
+func (p Plan) draw(stream string, call int, purpose string) float64 {
+	v := mix(uint64(p.Seed) ^ mix(fnv64(stream)) ^ mix(uint64(call)+1) ^ fnv64(purpose))
+	return float64(v>>11) / (1 << 53)
+}
+
+// Decide computes the fate of a stream's call-th RPC. Pure: no clock,
+// no mutable state, so any trace entry can be re-derived from the Plan.
+func (p Plan) Decide(stream string, call int) Decision {
+	var d Decision
+	if p.DelayDist.Rate > 0 && p.draw(stream, call, "delay") < p.DelayDist.Rate {
+		d.Delay = p.DelayDist.Base
+		if p.DelayDist.Jitter > 0 {
+			d.Delay += time.Duration(p.draw(stream, call, "delay-len") * float64(p.DelayDist.Jitter))
+		}
+	}
+	if p.DropRate > 0 {
+		if p.draw(stream, call, "drop-req") < p.DropRate {
+			d.DropRequest = true
+		} else if p.draw(stream, call, "drop-resp") < p.DropRate {
+			d.DropResponse = true
+		}
+	}
+	if p.DupRate > 0 && p.draw(stream, call, "dup") < p.DupRate {
+		d.Duplicate = true
+	}
+	if p.CorruptRate > 0 && p.draw(stream, call, "corrupt") < p.CorruptRate {
+		d.Corrupt = true
+		d.CorruptFrac = p.draw(stream, call, "corrupt-at")
+	}
+	return d
+}
+
+// PartitionAt reports whether the worker's call-th RPC (counted across
+// all its streams) falls inside a partition window, and in which
+// direction the link is dead ("" when reachable).
+func (p Plan) PartitionAt(worker string, call int) (string, bool) {
+	for _, w := range p.Partitions {
+		if w.Worker != "" && w.Worker != worker {
+			continue
+		}
+		if call >= w.From && call < w.To {
+			if w.Direction == "" {
+				return DirRequest, true
+			}
+			return w.Direction, true
+		}
+	}
+	return "", false
+}
+
+// Schedule renders the first n decisions of a stream as one line per
+// call — the byte-for-byte reproducibility artifact: two Plans with the
+// same seed render identical schedules.
+func (p Plan) Schedule(stream string, n int) string {
+	var b strings.Builder
+	for call := 0; call < n; call++ {
+		fmt.Fprintf(&b, "%s#%d %s\n", stream, call, p.Decide(stream, call))
+	}
+	return b.String()
+}
+
+// FaultError is the transport-visible face of an injected fault: the
+// RPC failed because the plan said so, not because anything real broke.
+// Workers treat it like any other transport error (retry/backoff),
+// which is exactly the point.
+type FaultError struct {
+	Stream string
+	Call   int
+	Fault  string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: %s#%d: %s", e.Stream, e.Call, e.Fault)
+}
+
+// Event is one trace entry: which RPC, and what the plan decided for
+// it. PartCall is the per-worker call index used for partition lookup
+// (streams interleave nondeterministically, so the event records the
+// index it drew; re-deriving Decision and Partition from the Plan with
+// these indexes must reproduce the event byte for byte).
+type Event struct {
+	Stream    string
+	Call      int
+	PartCall  int
+	Partition string // "", DirRequest, DirResponse
+	Decision  Decision
+}
+
+// String renders one stable trace line.
+func (e Event) String() string {
+	if e.Partition != "" {
+		return fmt.Sprintf("%s#%d(p%d) partition-%s", e.Stream, e.Call, e.PartCall, e.Partition)
+	}
+	return fmt.Sprintf("%s#%d(p%d) %s", e.Stream, e.Call, e.PartCall, e.Decision)
+}
+
+// Replay recomputes an event's fate from the plan alone. A trace is
+// deterministic iff every recorded event equals its replay.
+func (p Plan) Replay(e Event) Event {
+	out := Event{Stream: e.Stream, Call: e.Call, PartCall: e.PartCall}
+	if dir, ok := p.PartitionAt(workerOf(e.Stream), e.PartCall); ok {
+		out.Partition = dir
+		return out
+	}
+	out.Decision = p.Decide(e.Stream, e.Call)
+	return out
+}
+
+// workerOf extracts the worker component of a "worker|path" stream key.
+func workerOf(stream string) string {
+	if i := strings.IndexByte(stream, '|'); i >= 0 {
+		return stream[:i]
+	}
+	return stream
+}
+
+// streamKey builds the canonical stream identity for a worker's RPCs to
+// one path.
+func streamKey(worker, path string) string { return worker + "|" + path }
+
+// Stats counts applied faults, for test assertions and the daemon's
+// shutdown log line.
+type Stats struct {
+	Calls       int64 `json:"calls"`
+	Delayed     int64 `json:"delayed"`
+	DroppedReq  int64 `json:"dropped_requests"`
+	DroppedResp int64 `json:"dropped_responses"`
+	Duplicated  int64 `json:"duplicated"`
+	Corrupted   int64 `json:"corrupted"`
+	Partitioned int64 `json:"partitioned"`
+}

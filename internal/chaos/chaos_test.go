@@ -1,0 +1,340 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the whole contract — two Plan values with
+// the same seed render byte-identical schedules, and a different seed
+// renders a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	mk := func(seed int64) Plan {
+		return Plan{
+			Seed:        seed,
+			DropRate:    0.2,
+			DupRate:     0.3,
+			CorruptRate: 0.15,
+			DelayDist:   Delay{Rate: 0.25, Base: 10 * time.Millisecond, Jitter: 40 * time.Millisecond},
+		}
+	}
+	streams := []string{"w1|/cluster/poll", "w1|/cluster/heartbeat", "w2|/cluster/result", "coord|w1|/cluster/checkpoint"}
+	for _, s := range streams {
+		a := mk(42).Schedule(s, 200)
+		b := mk(42).Schedule(s, 200)
+		if a != b {
+			t.Fatalf("same seed, different schedule for %s:\n%s\nvs\n%s", s, a, b)
+		}
+		c := mk(43).Schedule(s, 200)
+		if a == c {
+			t.Fatalf("seeds 42 and 43 produced identical schedules for %s", s)
+		}
+		if !strings.Contains(a, "drop-request") && !strings.Contains(a, "drop-response") {
+			t.Fatalf("200 calls at drop_rate 0.2 with no drops on %s:\n%s", s, a)
+		}
+	}
+	// Distinct streams must not share a schedule (or one worker's faults
+	// would mirror another's).
+	if mk(42).Schedule(streams[0], 100) == mk(42).Schedule(streams[1], 100) {
+		t.Fatal("different streams share one schedule")
+	}
+}
+
+// TestDecisionIndependence: fault kinds must be decorrelated — at high
+// rates a call can draw several faults at once, and a delay draw never
+// influences a drop draw.
+func TestDecisionIndependence(t *testing.T) {
+	p := Plan{Seed: 7, DropRate: 0.5, DupRate: 0.5, CorruptRate: 0.5, DelayDist: Delay{Rate: 0.5, Base: time.Millisecond}}
+	var both int
+	for call := 0; call < 400; call++ {
+		d := p.Decide("w|/cluster/result", call)
+		if d.Delay > 0 && (d.DropRequest || d.DropResponse) {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no call drew delay+drop together in 400 tries at 50% rates: draws are correlated")
+	}
+}
+
+func TestPartitionWindows(t *testing.T) {
+	p := Plan{Partitions: []Window{
+		{Worker: "w1", From: 5, To: 10},
+		{Worker: "w2", From: 0, To: 3, Direction: DirResponse},
+		{From: 100, To: 101}, // "" matches every worker
+	}}
+	if dir, ok := p.PartitionAt("w1", 4); ok {
+		t.Fatalf("w1 call 4 partitioned (%s), window starts at 5", dir)
+	}
+	if dir, ok := p.PartitionAt("w1", 5); !ok || dir != DirRequest {
+		t.Fatalf("w1 call 5 = (%s,%v), want request-partitioned", dir, ok)
+	}
+	if _, ok := p.PartitionAt("w1", 10); ok {
+		t.Fatal("w1 call 10 partitioned, window is half-open [5,10)")
+	}
+	if dir, ok := p.PartitionAt("w2", 1); !ok || dir != DirResponse {
+		t.Fatalf("w2 call 1 = (%s,%v), want response-partitioned", dir, ok)
+	}
+	if _, ok := p.PartitionAt("anyone", 100); !ok {
+		t.Fatal("wildcard window did not match")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan(`{"seed": 9, "drop_rate": 0.1, "delay": {"rate": 0.2, "base": 50000000}, "partitions": [{"worker": "w1", "from": 2, "to": 8, "direction": "response"}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.DropRate != 0.1 || p.DelayDist.Base != 50*time.Millisecond || len(p.Partitions) != 1 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if _, err := ParsePlan(`{"seed": 1, "drop_rate": 1.5}`); err == nil {
+		t.Fatal("drop_rate 1.5 accepted")
+	}
+	if _, err := ParsePlan(`{"seed": 1, "partitions": [{"from": 5, "to": 2}]}`); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := ParsePlan(`{"sneed": 1}`); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	file := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(file, []byte(`{"seed": 77}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePlan("@" + file)
+	if err != nil || p2.Seed != 77 {
+		t.Fatalf("file plan = %+v, %v", p2, err)
+	}
+}
+
+// countingServer records every request body it receives, keyed by path.
+func countingServer() (*httptest.Server, *atomic.Int64, *[][]byte) {
+	var hits atomic.Int64
+	bodies := &[][]byte{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		*bodies = append(*bodies, b)
+		w.WriteHeader(http.StatusOK)
+	}))
+	return srv, &hits, bodies
+}
+
+func post(t *testing.T, rt http.RoundTripper, url string, body []byte) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+// TestTransportDropAndTrace: a full-drop plan fails every RPC with a
+// typed FaultError and the trace replays from the plan alone.
+func TestTransportDropAndTrace(t *testing.T) {
+	srv, hits, _ := countingServer()
+	defer srv.Close()
+	tr := NewTransport(Plan{Seed: 3, DropRate: 1}, nil, "w1")
+	for i := 0; i < 5; i++ {
+		resp, err := post(t, tr, srv.URL+"/cluster/heartbeat", nil)
+		var fe *FaultError
+		if err == nil || !errors.As(err, &fe) {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			t.Fatalf("call %d: err = %v, want *FaultError", i, err)
+		}
+	}
+	// DropRate=1 means the request-drop draw always wins: nothing may
+	// ever reach the server.
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests through a 100%% drop plan", hits.Load())
+	}
+	trace := tr.Trace()
+	if len(trace) != 5 {
+		t.Fatalf("trace has %d events, want 5", len(trace))
+	}
+	plan := Plan{Seed: 3, DropRate: 1}
+	for _, e := range trace {
+		if got := plan.Replay(e); got.String() != e.String() {
+			t.Fatalf("trace not reproducible: recorded %q, replay %q", e, got)
+		}
+	}
+	if st := tr.Stats(); st.DroppedReq != 5 || st.Calls != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTransportDuplicateUploads: DupRate=1 sends every upload twice;
+// non-upload paths are never duplicated.
+func TestTransportDuplicateUploads(t *testing.T) {
+	srv, hits, bodies := countingServer()
+	defer srv.Close()
+	tr := NewTransport(Plan{Seed: 5, DupRate: 1}, nil, "w1")
+	resp, err := post(t, tr, srv.URL+"/cluster/checkpoint", []byte("blob-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicated upload hit server %d times, want 2", hits.Load())
+	}
+	if !bytes.Equal((*bodies)[0], (*bodies)[1]) || string((*bodies)[0]) != "blob-bytes" {
+		t.Fatalf("duplicate bodies diverged: %q vs %q", (*bodies)[0], (*bodies)[1])
+	}
+	resp, err = post(t, tr, srv.URL+"/cluster/heartbeat", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 3 {
+		t.Fatalf("heartbeat duplicated (server hits %d, want 3)", hits.Load())
+	}
+}
+
+// TestTransportCorruptUpload: CorruptRate=1 flips exactly one byte of
+// an upload blob, at an offset that replays from the plan.
+func TestTransportCorruptUpload(t *testing.T) {
+	srv, _, bodies := countingServer()
+	defer srv.Close()
+	tr := NewTransport(Plan{Seed: 11, CorruptRate: 1}, nil, "w1")
+	orig := []byte("aig 1 2 3 4 5 payload payload payload")
+	resp, err := post(t, tr, srv.URL+"/cluster/result", append([]byte(nil), orig...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := (*bodies)[0]
+	if len(got) != len(orig) {
+		t.Fatalf("corrupted body length %d, want %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+// TestTransportPartitionDirections: a request-partition never reaches
+// the server; a response-partition reaches it (the handler runs) but
+// the caller still sees an error.
+func TestTransportPartitionDirections(t *testing.T) {
+	srv, hits, _ := countingServer()
+	defer srv.Close()
+	plan := Plan{Partitions: []Window{
+		{Worker: "w1", From: 0, To: 2},
+		{Worker: "w1", From: 2, To: 4, Direction: DirResponse},
+	}}
+	tr := NewTransport(plan, nil, "w1")
+	for i := 0; i < 2; i++ {
+		if _, err := post(t, tr, srv.URL+"/cluster/poll", nil); err == nil {
+			t.Fatalf("call %d crossed a dead link", i)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("request-partitioned calls reached the server %d times", hits.Load())
+	}
+	for i := 2; i < 4; i++ {
+		if _, err := post(t, tr, srv.URL+"/cluster/poll", nil); err == nil {
+			t.Fatalf("call %d got a reply through a response partition", i)
+		}
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("response-partitioned calls reached the server %d times, want 2", hits.Load())
+	}
+	// Window healed: traffic flows again.
+	resp, err := post(t, tr, srv.URL+"/cluster/poll", nil)
+	if err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+	resp.Body.Close()
+	if st := tr.Stats(); st.Partitioned != 4 {
+		t.Fatalf("stats %+v, want 4 partitioned", st)
+	}
+}
+
+// TestTransportDelayRespectsContext: a delay longer than the request
+// deadline surfaces as a FaultError once the context expires — the
+// "delayed past the heartbeat deadline" case.
+func TestTransportDelayRespectsContext(t *testing.T) {
+	srv, hits, _ := countingServer()
+	defer srv.Close()
+	tr := NewTransport(Plan{Seed: 2, DelayDist: Delay{Rate: 1, Base: time.Hour}}, nil, "w1")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/cluster/heartbeat", nil)
+	start := time.Now()
+	_, err := tr.RoundTrip(req)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FaultError", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("delay ignored the context (took %v)", el)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("delayed-then-expired request still reached the server")
+	}
+}
+
+// TestMiddlewareResponseFaults: the coordinator-side middleware can
+// lose a response after the handler ran, and corrupt one that it lets
+// through; non-cluster paths pass untouched.
+func TestMiddlewareResponseFaults(t *testing.T) {
+	var handled atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handled.Add(1)
+		w.Write([]byte("framed-reply-bytes"))
+	})
+
+	drop := NewMiddleware(Plan{Seed: 1, DropRate: 1}, inner)
+	srv := httptest.NewServer(drop)
+	resp, err := http.Post(srv.URL+"/cluster/poll?worker=w1", "", nil)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("full-drop middleware produced a reply")
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "", nil)
+	if err != nil {
+		t.Fatalf("non-cluster path faulted: %v", err)
+	}
+	resp.Body.Close()
+	srv.Close()
+
+	handled.Store(0)
+	corrupt := NewMiddleware(Plan{Seed: 1, CorruptRate: 1}, inner)
+	srv = httptest.NewServer(corrupt)
+	defer srv.Close()
+	resp, err = http.Post(srv.URL+"/cluster/poll?worker=w1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if handled.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", handled.Load())
+	}
+	if string(body) == "framed-reply-bytes" {
+		t.Fatal("corrupting middleware passed the body through unchanged")
+	}
+	if len(body) != len("framed-reply-bytes") {
+		t.Fatalf("corruption changed length: %d", len(body))
+	}
+	if st := corrupt.Stats(); st.Corrupted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

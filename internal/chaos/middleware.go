@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware is the coordinator-side fault injector: it wraps the
+// daemon handler and applies the plan to /cluster/ traffic from the
+// receiving end — delaying requests before the handler sees them,
+// refusing them outright, or letting the handler run and then losing or
+// corrupting its response. Combined with the worker-side Transport this
+// covers both halves of every link.
+//
+// Streams are keyed "coord|<worker>|<path>" so the coordinator's
+// schedule never collides with a worker transport's, and the same
+// Plan can drive both sides.
+type Middleware struct {
+	plan Plan
+	next http.Handler
+
+	mu    sync.Mutex
+	calls map[string]int
+	trace []Event
+	stats Stats
+}
+
+// NewMiddleware wraps next with the plan's coordinator-side faults.
+func NewMiddleware(plan Plan, next http.Handler) *Middleware {
+	return &Middleware{plan: plan, next: next, calls: make(map[string]int)}
+}
+
+// bufferedResponse captures a handler's reply so the middleware can
+// drop or corrupt it after the handler has fully run — the
+// "coordinator applied it, worker never heard back" fault.
+type bufferedResponse struct {
+	h    http.Header
+	code int
+	body []byte
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.h }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/cluster/") {
+		m.next.ServeHTTP(w, r)
+		return
+	}
+	stream := "coord|" + r.URL.Query().Get("worker") + "|" + r.URL.Path
+	m.mu.Lock()
+	call := m.calls[stream]
+	m.calls[stream]++
+	m.stats.Calls++
+	m.mu.Unlock()
+
+	d := m.plan.Decide(stream, call)
+	m.record(Event{Stream: stream, Call: call, Decision: d})
+
+	if d.Delay > 0 {
+		m.bump(&m.stats.Delayed)
+		select {
+		case <-time.After(d.Delay):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+	if d.DropRequest {
+		// Refused before the handler runs: the worker sees a dead
+		// connection, the coordinator applied nothing.
+		m.bump(&m.stats.DroppedReq)
+		panic(http.ErrAbortHandler)
+	}
+	if !d.DropResponse && !d.Corrupt {
+		m.next.ServeHTTP(w, r)
+		return
+	}
+
+	buf := &bufferedResponse{h: make(http.Header)}
+	m.next.ServeHTTP(buf, r)
+	if d.DropResponse {
+		// The handler ran to completion — its effects stand — but the
+		// reply is lost on the wire.
+		m.bump(&m.stats.DroppedResp)
+		panic(http.ErrAbortHandler)
+	}
+	if d.Corrupt && len(buf.body) > 0 {
+		flip(buf.body, d.CorruptFrac)
+		m.bump(&m.stats.Corrupted)
+	}
+	for k, vs := range buf.h {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	code := buf.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	w.Write(buf.body)
+}
+
+func (m *Middleware) record(e Event) {
+	m.mu.Lock()
+	m.trace = append(m.trace, e)
+	m.mu.Unlock()
+}
+
+func (m *Middleware) bump(p *int64) {
+	m.mu.Lock()
+	*p++
+	m.mu.Unlock()
+}
+
+// Trace returns a copy of the coordinator-side fault trace.
+func (m *Middleware) Trace() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.trace...)
+}
+
+// Stats snapshots applied-fault counters.
+func (m *Middleware) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

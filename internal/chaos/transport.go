@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport is the worker-side fault injector: an http.RoundTripper
+// that consults the Plan before (and after) every RPC to the
+// coordinator. Each worker gets its own Transport carrying its identity
+// so partition windows can target it by name; all decisions are keyed
+// by per-stream call counts, so a run's fault schedule is a pure
+// function of the Plan.
+type Transport struct {
+	plan   Plan
+	base   http.RoundTripper
+	worker string
+
+	mu       sync.Mutex
+	calls    map[string]int // per-stream RPC counters
+	partCall int            // per-worker counter driving partition windows
+	trace    []Event
+	stats    Stats
+}
+
+// NewTransport wraps base (nil: http.DefaultTransport) with the plan's
+// faults for the named worker.
+func NewTransport(plan Plan, base http.RoundTripper, worker string) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{plan: plan, base: base, worker: worker, calls: make(map[string]int)}
+}
+
+// isUpload reports paths whose request body is a framed/raw blob worth
+// corrupting or duplicating (the idempotency-critical uploads).
+func isUpload(path string) bool {
+	return strings.HasSuffix(path, "/checkpoint") || strings.HasSuffix(path, "/result")
+}
+
+// isPoll reports the one path whose response carries a framed blob.
+func isPoll(path string) bool { return strings.HasSuffix(path, "/poll") }
+
+// flip corrupts one byte at the decision's deterministic offset.
+func flip(body []byte, frac float64) {
+	off := int(frac * float64(len(body)))
+	if off >= len(body) {
+		off = len(body) - 1
+	}
+	body[off] ^= 0x20
+}
+
+// RoundTrip applies the plan to one RPC: partition check first (the
+// link may simply be dead), then delay, request drop, blob corruption,
+// duplication, and response drop, in that order.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	path := req.URL.Path
+	stream := streamKey(t.worker, path)
+	t.mu.Lock()
+	call := t.calls[stream]
+	t.calls[stream]++
+	pcall := t.partCall
+	t.partCall++
+	t.stats.Calls++
+	t.mu.Unlock()
+
+	if dir, ok := t.plan.PartitionAt(t.worker, pcall); ok {
+		t.record(Event{Stream: stream, Call: call, PartCall: pcall, Partition: dir})
+		t.bump(&t.stats.Partitioned)
+		if dir == DirResponse {
+			// Asymmetric half: the request crosses and is processed, but
+			// the reply never comes back.
+			resp, err := t.base.RoundTrip(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			return nil, &FaultError{Stream: stream, Call: call, Fault: "partition-response"}
+		}
+		drainRequest(req)
+		return nil, &FaultError{Stream: stream, Call: call, Fault: "partition"}
+	}
+
+	d := t.plan.Decide(stream, call)
+	t.record(Event{Stream: stream, Call: call, PartCall: pcall, Decision: d})
+
+	if d.Delay > 0 {
+		t.bump(&t.stats.Delayed)
+		select {
+		case <-time.After(d.Delay):
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, &FaultError{Stream: stream, Call: call, Fault: "delay " + d.Delay.String() + " outlived deadline"}
+		}
+	}
+	if d.DropRequest {
+		t.bump(&t.stats.DroppedReq)
+		drainRequest(req)
+		return nil, &FaultError{Stream: stream, Call: call, Fault: "drop-request"}
+	}
+
+	// Corruption and duplication both need the body in hand.
+	var body []byte
+	if req.Body != nil && isUpload(path) && (d.Corrupt || d.Duplicate) {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if d.Corrupt && len(body) > 0 {
+			flip(body, d.CorruptFrac)
+			t.bump(&t.stats.Corrupted)
+		}
+	}
+	send := func() (*http.Response, error) {
+		if body == nil {
+			return t.base.RoundTrip(req)
+		}
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		return t.base.RoundTrip(r2)
+	}
+	if d.Duplicate && isUpload(path) && body != nil {
+		t.bump(&t.stats.Duplicated)
+		if first, err := send(); err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+	}
+	resp, err := send()
+	if err != nil {
+		return nil, err
+	}
+	if d.DropResponse {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.bump(&t.stats.DroppedResp)
+		return nil, &FaultError{Stream: stream, Call: call, Fault: "drop-response"}
+	}
+	if d.Corrupt && isPoll(path) && resp.StatusCode == http.StatusOK {
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(raw) > 0 {
+			flip(raw, d.CorruptFrac)
+			t.bump(&t.stats.Corrupted)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
+	}
+	return resp, nil
+}
+
+func drainRequest(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+func (t *Transport) record(e Event) {
+	t.mu.Lock()
+	t.trace = append(t.trace, e)
+	t.mu.Unlock()
+}
+
+func (t *Transport) bump(p *int64) {
+	t.mu.Lock()
+	*p++
+	t.mu.Unlock()
+}
+
+// Trace returns a copy of the per-RPC fault trace in arrival order.
+func (t *Transport) Trace() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.trace...)
+}
+
+// TraceString renders the trace one event per line — the artifact that
+// must be byte-identical across runs with the same seed and call
+// sequence.
+func (t *Transport) TraceString() string {
+	var b strings.Builder
+	for _, e := range t.Trace() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats snapshots applied-fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

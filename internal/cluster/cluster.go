@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"dacpara"
+	"dacpara/internal/aig"
 	"dacpara/internal/journal"
 )
 
@@ -57,6 +59,22 @@ type Config struct {
 	// MiB), so a corrupt length or a hostile worker cannot make the
 	// coordinator allocate without bound.
 	MaxBlobBytes int64
+	// SkewGrace pads lease expiry to tolerate bounded clock skew and
+	// scheduling jitter between coordinator and workers. 0 (the
+	// default) sizes the grace adaptively per worker, from how much its
+	// observed heartbeat cadence overshoots the advertised one (capped
+	// at Lease/2); a negative value disables the grace entirely.
+	SkewGrace time.Duration
+	// FlapThreshold is how many lease expiries one worker may
+	// accumulate within LiveWindow before the coordinator quarantines
+	// it — a flapping worker burns attempt budgets without ever
+	// finishing, so it stops getting leases instead of getting the next
+	// one (default 3; negative disables quarantining).
+	FlapThreshold int
+	// Quarantine is how long a flapping worker is barred from new
+	// leases (default 4×Lease). Quarantined workers may still poll and
+	// heartbeat; they just get no work until the window lapses.
+	Quarantine time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBlobBytes <= 0 {
 		c.MaxBlobBytes = 256 << 20
 	}
+	if c.FlapThreshold == 0 {
+		c.FlapThreshold = 3
+	}
+	if c.Quarantine <= 0 {
+		c.Quarantine = 4 * c.Lease
+	}
 	return c
 }
 
@@ -104,6 +128,12 @@ type Task struct {
 	// Attempt is 1 for the first lease on this job, incremented on every
 	// re-dispatch.
 	Attempt int `json:"attempt"`
+	// BlobDigest is the structural digest of the AIGER blob streamed
+	// with this lease (the submitted circuit, or the checkpoint a
+	// failover resumes from). Workers verify the received blob against
+	// it and refuse to compute on a corrupted transfer; empty skips the
+	// check.
+	BlobDigest string `json:"blob_digest,omitempty"`
 }
 
 // Verify is a worker-side equivalence check verdict (mirrors the
@@ -126,6 +156,44 @@ type RemoteResult struct {
 	// Worker and Attempt identify the lease that completed the job.
 	Worker  string
 	Attempt int
+}
+
+// BlobCorruptError reports a transferred circuit blob whose bytes do
+// not match the structural digest declared for it — a corrupted stream
+// caught at the transfer boundary, before it could become a wrong
+// answer. It is retryable: the sender's copy is intact, only the wire
+// bytes were damaged, so the cure is a fresh transfer.
+type BlobCorruptError struct {
+	Job  string
+	Kind string // "input", "checkpoint", "result"
+	// Want is the declared digest; Got is what the received bytes hash
+	// to ("" when they did not even decode).
+	Want string
+	Got  string
+}
+
+func (e *BlobCorruptError) Error() string {
+	if e.Got == "" {
+		return fmt.Sprintf("cluster: job %s: %s blob corrupt (undecodable; want digest %s)", e.Job, e.Kind, e.Want)
+	}
+	return fmt.Sprintf("cluster: job %s: %s blob corrupt: digest %s, want %s", e.Job, e.Kind, e.Got, e.Want)
+}
+
+// verifyBlob checks a transferred AIGER blob against its declared
+// structural digest. An empty want skips the check (senders that never
+// learned the digest).
+func verifyBlob(kind, job, want string, blob []byte) error {
+	if want == "" {
+		return nil
+	}
+	n, err := aig.Read(bytes.NewReader(blob))
+	if err != nil {
+		return &BlobCorruptError{Job: job, Kind: kind, Want: want}
+	}
+	if got := aig.StructuralDigest(n); got != want {
+		return &BlobCorruptError{Job: job, Kind: kind, Want: want, Got: got}
+	}
+	return nil
 }
 
 // ErrNoWorkers reports a Dispatch attempted with zero live workers; the

@@ -37,6 +37,21 @@ type workerState struct {
 	leaseExpires time.Time
 	completed    int64
 	failed       int64
+
+	// epoch counts registrations under this ID. It is baked into every
+	// lease token, so when a worker re-registers (restart, healed
+	// partition) the old session's leases are fenced: two processes
+	// sharing one ID can never both hold a valid token.
+	epoch int
+	// maxHBGap is the worst observed gap between consecutive proofs of
+	// life while holding a lease — the adaptive input to the
+	// lease-expiry skew grace.
+	maxHBGap time.Duration
+	// expiries are recent lease expiries (the flap detector's memory,
+	// pruned to LiveWindow).
+	expiries []time.Time
+	// quarantinedUntil bars a flapping worker from new leases.
+	quarantinedUntil time.Time
 }
 
 // task is one dispatched job's coordinator-side state.
@@ -56,6 +71,10 @@ type task struct {
 	leaseExpires time.Time
 	cancelled    bool
 	lastErr      string
+
+	// ckSeen dedups checkpoint uploads by (attempt, step, digest): a
+	// network-duplicated upload is a no-op, not a journal double-entry.
+	ckSeen map[string]bool
 
 	done chan struct{}
 	res  *RemoteResult
@@ -91,6 +110,12 @@ type Coordinator struct {
 	stopOnce sync.Once
 	swept    chan struct{} // sweeper exited
 
+	// finished remembers which lease completed recently-finished jobs
+	// (bounded FIFO) so a duplicated result upload arriving after the
+	// task is forgotten gets an idempotent 200, not a 410.
+	finished      map[string]string
+	finishedOrder []string
+
 	leasesGranted       int64
 	leasesExpired       int64
 	requeued            int64
@@ -99,19 +124,24 @@ type Coordinator struct {
 	heartbeats          int64
 	completedRemote     int64
 	failedUploads       int64
+	dupSuppressed       int64
+	corruptBlobs        int64
+	fencedLeases        int64
+	quarantined         int64
 }
 
 // NewCoordinator starts a coordinator and its lease sweeper. Close it
 // when the owning service drains.
 func NewCoordinator(cfg Config, hooks Hooks) *Coordinator {
 	c := &Coordinator{
-		cfg:     cfg.withDefaults(),
-		hooks:   hooks,
-		workers: make(map[string]*workerState),
-		tasks:   make(map[string]*task),
-		wake:    make(chan struct{}, 1),
-		stopc:   make(chan struct{}),
-		swept:   make(chan struct{}),
+		cfg:      cfg.withDefaults(),
+		hooks:    hooks,
+		workers:  make(map[string]*workerState),
+		tasks:    make(map[string]*task),
+		finished: make(map[string]string),
+		wake:     make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
+		swept:    make(chan struct{}),
 	}
 	go c.sweeper()
 	return c
@@ -219,10 +249,15 @@ func (c *Coordinator) touchWorker(id string, now time.Time) *workerState {
 }
 
 // liveWorkersLocked counts workers whose last contact is fresh enough
-// to trust with new work.
+// to trust with new work. Quarantined workers do not count: they may be
+// up, but they are not allowed to take work, and a queue with only
+// quarantined workers must degrade to local execution, not stall.
 func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 	n := 0
 	for _, w := range c.workers {
+		if now.Before(w.quarantinedUntil) {
+			continue
+		}
 		if now.Sub(w.lastSeen) <= c.cfg.LiveWindow {
 			n++
 		}
@@ -237,13 +272,34 @@ func (c *Coordinator) LiveWorkers() int {
 	return c.liveWorkersLocked(time.Now())
 }
 
-// register handles first contact from a worker and returns the
-// failure-detector parameters it must live by.
+// register handles contact from a worker — first or repeated — and
+// returns the failure-detector parameters it must live by. Every
+// registration starts a new epoch for the ID: if the old session still
+// holds a lease (a restarted or split-brained worker re-joining), that
+// lease is fenced and its job requeued, because the epoch in every
+// lease token guarantees the old session's uploads can no longer land.
 func (c *Coordinator) register(id string) registration {
 	now := time.Now()
+	var cbs []func()
 	c.mu.Lock()
-	c.touchWorker(id, now)
+	w := c.touchWorker(id, now)
+	w.epoch++
+	if w.job != "" {
+		if tk := c.tasks[w.job]; tk != nil && tk.worker == id {
+			c.fencedLeases++
+			job, worker, attempt := tk.t.Job, tk.worker, tk.attempts
+			tk.lastErr = fmt.Sprintf("lease fenced: worker %s re-registered under a new epoch (attempt %d)", worker, attempt)
+			if c.hooks.OnLeaseExpired != nil {
+				cbs = append(cbs, func() { c.hooks.OnLeaseExpired(job, worker, attempt) })
+			}
+			cbs = append(cbs, c.requeueOrFinishLocked(tk, now)...)
+		}
+		w.job = ""
+	}
 	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
 	return registration{
 		LeaseNs:     int64(c.cfg.Lease),
 		HeartbeatNs: int64(c.cfg.Heartbeat),
@@ -261,18 +317,32 @@ func (c *Coordinator) acquire(workerID string) (hdr *pollHeader, blob []byte, ok
 	var attempt, resumeStep int
 	c.mu.Lock()
 	w := c.touchWorker(workerID, now)
+	if now.Before(w.quarantinedUntil) {
+		// A quarantined worker stays registered and may poll, but gets
+		// no work; re-nudge so a healthy poller picks the task up.
+		if len(c.pending) > 0 {
+			c.wakeLocked()
+		}
+		c.mu.Unlock()
+		return nil, nil, false
+	}
 	if len(c.pending) > 0 {
 		tk := c.pending[0]
 		c.pending = c.pending[1:]
 		c.leaseSeq++
 		tk.attempts++
 		tk.worker = workerID
-		tk.lease = fmt.Sprintf("%s#%d", workerID, c.leaseSeq)
+		tk.lease = fmt.Sprintf("%s#e%d#%d", workerID, w.epoch, c.leaseSeq)
 		tk.leaseExpires = now.Add(c.cfg.Lease)
 		step, state := tk.resumePoint()
 		t := tk.t
 		t.Attempt = tk.attempts
 		t.ResumeStep = step
+		if tk.ckAIGER != nil {
+			// Resuming from a checkpoint: the streamed blob is the
+			// checkpoint, so the digest the worker must verify is its.
+			t.BlobDigest = tk.ckDigest
+		}
 		w.job = t.Job
 		w.attempt = tk.attempts
 		w.leaseExpires = tk.leaseExpires
@@ -298,6 +368,9 @@ func (c *Coordinator) heartbeat(job, workerID, lease string) (status string, val
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil && w.job == job {
+		c.observeGapLocked(w, now)
+	}
 	w := c.touchWorker(workerID, now)
 	tk := c.tasks[job]
 	if tk == nil || tk.worker != workerID || tk.lease != lease {
@@ -318,6 +391,45 @@ func (c *Coordinator) heartbeat(job, workerID, lease string) (status string, val
 	return "ok", true
 }
 
+// observeGapLocked records the gap since a lease holder's previous
+// proof of life. The worst gap seen is the adaptive input to the
+// expiry grace: it captures real network+clock misbehavior between
+// this worker and the coordinator, not a guess.
+func (c *Coordinator) observeGapLocked(w *workerState, now time.Time) {
+	if w == nil || w.lastSeen.IsZero() {
+		return
+	}
+	if gap := now.Sub(w.lastSeen); gap > w.maxHBGap {
+		w.maxHBGap = gap
+	}
+}
+
+// graceLocked sizes the skew tolerance added to a lease before the
+// sweeper may expire it: the configured SkewGrace, or (adaptive
+// default) how much the holder's observed heartbeat cadence overshoots
+// the advertised one, capped at half a lease so a truly dead worker
+// still expires promptly.
+func (c *Coordinator) graceLocked(worker string) time.Duration {
+	if c.cfg.SkewGrace < 0 {
+		return 0
+	}
+	if c.cfg.SkewGrace > 0 {
+		return c.cfg.SkewGrace
+	}
+	w := c.workers[worker]
+	if w == nil {
+		return 0
+	}
+	g := w.maxHBGap - c.cfg.Heartbeat
+	if g < 0 {
+		g = 0
+	}
+	if lim := c.cfg.Lease / 2; g > lim {
+		g = lim
+	}
+	return g
+}
+
 // leaseValidLocked checks an upload's credentials.
 func (c *Coordinator) leaseValidLocked(job, lease string) *task {
 	tk := c.tasks[job]
@@ -329,8 +441,11 @@ func (c *Coordinator) leaseValidLocked(job, lease string) *task {
 
 // uploadCheckpoint records a flow-step checkpoint from a lease holder.
 // A checkpoint is also proof of life: it extends the lease like a
-// heartbeat would. Returns false when the lease is gone (the worker
-// must abandon the job — another worker may already own it).
+// heartbeat would. Uploads are idempotent under (attempt, step,
+// digest): a network-duplicated upload extends the lease but is
+// applied — and journaled — exactly once. Returns false when the lease
+// is gone (the worker must abandon the job — another worker may
+// already own it).
 func (c *Coordinator) uploadCheckpoint(job, lease string, step int, digest string, aiger []byte) bool {
 	now := time.Now()
 	var onCkpt func(string, int, string, []byte)
@@ -340,10 +455,25 @@ func (c *Coordinator) uploadCheckpoint(job, lease string, step int, digest strin
 		c.mu.Unlock()
 		return false
 	}
-	if w := c.workers[tk.worker]; w != nil {
+	w := c.workers[tk.worker]
+	c.observeGapLocked(w, now)
+	if w != nil {
 		w.lastSeen = now
 	}
 	tk.leaseExpires = now.Add(c.cfg.Lease)
+	if w != nil {
+		w.leaseExpires = tk.leaseExpires
+	}
+	key := fmt.Sprintf("%d|%d|%s", tk.attempts, step, digest)
+	if tk.ckSeen[key] {
+		c.dupSuppressed++
+		c.mu.Unlock()
+		return true
+	}
+	if tk.ckSeen == nil {
+		tk.ckSeen = make(map[string]bool)
+	}
+	tk.ckSeen[key] = true
 	if step >= tk.ckStep || tk.ckAIGER == nil {
 		tk.ckStep, tk.ckDigest, tk.ckAIGER = step, digest, aiger
 	}
@@ -359,15 +489,22 @@ func (c *Coordinator) uploadCheckpoint(job, lease string, step int, digest strin
 // uploadResult completes a job from its lease holder. Returns false
 // when the lease is gone — the result is discarded, because the job was
 // already re-assigned (or cancelled) and accepting a stale upload could
-// finish the job twice.
+// finish the job twice. The one exception: a duplicate of the very
+// upload that finished the job (same lease) answers true, so a
+// network-duplicated result is an idempotent no-op for its sender.
 func (c *Coordinator) uploadResult(job, lease string, hdr resultHeader, aiger []byte) bool {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	tk := c.leaseValidLocked(job, lease)
 	if tk == nil {
+		if lease != "" && c.finished[job] == lease {
+			c.dupSuppressed++
+			return true
+		}
 		return false
 	}
+	c.rememberFinishedLocked(job, lease)
 	if w := c.workers[tk.worker]; w != nil {
 		w.lastSeen = now
 		w.completed++
@@ -384,6 +521,29 @@ func (c *Coordinator) uploadResult(job, lease string, hdr resultHeader, aiger []
 		Attempt: tk.attempts,
 	}, nil)
 	return true
+}
+
+// noteCorruptBlob counts a digest-rejected transfer (verification
+// happens in the HTTP handlers, before the upload is applied).
+func (c *Coordinator) noteCorruptBlob() {
+	c.mu.Lock()
+	c.corruptBlobs++
+	c.mu.Unlock()
+}
+
+// rememberFinishedLocked records which lease completed a job, in a
+// bounded FIFO, so late duplicates of the completing upload can be
+// recognized after the task itself is forgotten.
+func (c *Coordinator) rememberFinishedLocked(job, lease string) {
+	if c.finished == nil {
+		c.finished = make(map[string]string)
+	}
+	c.finished[job] = lease
+	c.finishedOrder = append(c.finishedOrder, job)
+	for len(c.finishedOrder) > 1024 {
+		delete(c.finished, c.finishedOrder[0])
+		c.finishedOrder = c.finishedOrder[1:]
+	}
 }
 
 // uploadFailure records a worker-reported job failure: the attempt is
@@ -472,7 +632,7 @@ func (c *Coordinator) sweep(now time.Time) {
 	var cbs []func()
 	c.mu.Lock()
 	for _, tk := range c.tasks {
-		if tk.worker == "" || now.Before(tk.leaseExpires) {
+		if tk.worker == "" || now.Before(tk.leaseExpires.Add(c.graceLocked(tk.worker))) {
 			continue
 		}
 		c.leasesExpired++
@@ -484,8 +644,31 @@ func (c *Coordinator) sweep(now time.Time) {
 			// Missed heartbeats are a failed liveness probe: stop counting
 			// the holder as live until it contacts the coordinator again,
 			// so a one-worker fleet degrades to local execution now rather
-			// than after the liveness window ages out.
-			w.lastSeen = now.Add(-c.cfg.LiveWindow - time.Second)
+			// than after the liveness window ages out. But only when the
+			// worker has truly been silent — a worker whose uploads are
+			// partitioned away can lose the lease while actively polling,
+			// and writing it off would degrade a job its next poll could
+			// retry.
+			if now.Sub(w.lastSeen) >= c.cfg.Lease {
+				w.lastSeen = now.Add(-c.cfg.LiveWindow - time.Second)
+			}
+			// Flap detector: a worker that keeps taking leases and losing
+			// them inside one liveness window burns attempt budgets
+			// without finishing anything — quarantine it instead of
+			// handing it the next lease.
+			cutoff := now.Add(-c.cfg.LiveWindow)
+			keep := w.expiries[:0]
+			for _, e := range w.expiries {
+				if e.After(cutoff) {
+					keep = append(keep, e)
+				}
+			}
+			w.expiries = append(keep, now)
+			if c.cfg.FlapThreshold > 0 && len(w.expiries) >= c.cfg.FlapThreshold {
+				w.quarantinedUntil = now.Add(c.cfg.Quarantine)
+				w.expiries = w.expiries[:0]
+				c.quarantined++
+			}
 		}
 		tk.lastErr = fmt.Sprintf("lease expired: worker %s missed heartbeats for %v (attempt %d)", worker, c.cfg.Lease, attempt)
 		if c.hooks.OnLeaseExpired != nil {
@@ -516,7 +699,7 @@ const SchemaCluster = "dacparad-cluster/v1"
 // WorkerRow is one worker's observability row.
 type WorkerRow struct {
 	ID    string `json:"id"`
-	State string `json:"state"` // idle | busy | gone
+	State string `json:"state"` // idle | busy | gone | quarantined
 	// Job and Attempt describe the current lease (busy workers only).
 	Job     string `json:"job,omitempty"`
 	Attempt int    `json:"attempt,omitempty"`
@@ -546,6 +729,17 @@ type Metrics struct {
 	Heartbeats          int64 `json:"heartbeats"`
 	CompletedRemote     int64 `json:"completed_remote"`
 	FailedUploads       int64 `json:"failed_uploads"`
+	// DupSuppressed counts network-duplicated checkpoint/result uploads
+	// absorbed as idempotent no-ops.
+	DupSuppressed int64 `json:"dup_suppressed"`
+	// CorruptBlobs counts transfers rejected because the blob failed
+	// its structural-digest check.
+	CorruptBlobs int64 `json:"corrupt_blobs"`
+	// FencedLeases counts leases invalidated by a re-registration under
+	// the same worker ID.
+	FencedLeases int64 `json:"fenced_leases"`
+	// Quarantined counts flap-detector quarantine events.
+	Quarantined int64 `json:"quarantined"`
 	// DegradedLocal counts jobs the owning service ran in-process
 	// because no live worker could (filled in by the service).
 	DegradedLocal int64 `json:"degraded_local"`
@@ -568,6 +762,10 @@ func (c *Coordinator) Metrics() Metrics {
 		Heartbeats:          c.heartbeats,
 		CompletedRemote:     c.completedRemote,
 		FailedUploads:       c.failedUploads,
+		DupSuppressed:       c.dupSuppressed,
+		CorruptBlobs:        c.corruptBlobs,
+		FencedLeases:        c.fencedLeases,
+		Quarantined:         c.quarantined,
 	}
 	m.Workers = make([]WorkerRow, 0, len(c.workers))
 	for _, w := range c.workers {
@@ -578,6 +776,8 @@ func (c *Coordinator) Metrics() Metrics {
 			Failed:             w.failed,
 		}
 		switch {
+		case now.Before(w.quarantinedUntil):
+			row.State = "quarantined"
 		case w.job != "":
 			row.State = "busy"
 			row.Job = w.job

@@ -119,6 +119,14 @@ func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusBadRequest, "checkpoint body unreadable or too large")
 		return
 	}
+	// Verify the blob against its declared digest before applying
+	// anything: a transfer corrupted on the wire is a retryable 422, and
+	// the worker resends from its intact local copy.
+	if err := verifyBlob("checkpoint", q.Get("job"), q.Get("digest"), aiger); err != nil {
+		c.noteCorruptBlob()
+		clusterError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
 	if !c.uploadCheckpoint(q.Get("job"), q.Get("lease"), step, q.Get("digest"), aiger) {
 		clusterError(w, http.StatusGone, "lease gone")
 		return
@@ -132,6 +140,11 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	aiger, err := readFramed(r.Body, &hdr, c.cfg.MaxBlobBytes)
 	if err != nil {
 		clusterError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := verifyBlob("result", q.Get("job"), q.Get("digest"), aiger); err != nil {
+		c.noteCorruptBlob()
+		clusterError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	if !c.uploadResult(q.Get("job"), q.Get("lease"), hdr, aiger) {

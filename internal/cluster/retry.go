@@ -77,6 +77,30 @@ func (r Retry) Backoff(n int) time.Duration {
 	return time.Duration(d)
 }
 
+// afterError carries a server-stated wait: the coordinator answered
+// 429/503/410 with a Retry-After header, and its word beats any
+// client-side backoff guess.
+type afterError struct {
+	after time.Duration
+	err   error
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// RetryAfter marks err as retryable no sooner than the server-stated
+// wait: Retry.Do sleeps exactly that long (capped at Retry.Cap)
+// instead of its own backoff. A nil err stays nil.
+func RetryAfter(after time.Duration, err error) error {
+	if err == nil {
+		return nil
+	}
+	if after < 0 {
+		after = 0
+	}
+	return &afterError{after: after, err: err}
+}
+
 // permanentError marks an error that must not be retried (e.g. the
 // coordinator says the lease is gone: retrying cannot ever succeed).
 type permanentError struct{ err error }
@@ -125,10 +149,20 @@ func (r Retry) Do(ctx context.Context, op func(ctx context.Context) error) error
 		if r.Attempts > 0 && attempt == r.Attempts-1 {
 			break
 		}
+		delay := r.Backoff(attempt)
+		var ra *afterError
+		if errors.As(err, &ra) {
+			// The server stated its own wait: honor it, but never beyond
+			// Cap — a confused server must not park the worker for hours.
+			delay = ra.after
+			if delay > r.Cap {
+				delay = r.Cap
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(r.Backoff(attempt)):
+		case <-time.After(delay):
 		}
 	}
 	if last == nil {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -128,5 +129,73 @@ func TestDoAttemptTimeoutUnsticksHungOp(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("hung op held Do for %v", elapsed)
+	}
+}
+
+func TestDoHonorsRetryAfter(t *testing.T) {
+	// The server's stated wait replaces the computed backoff entirely.
+	throttled := errors.New("HTTP 503")
+	r := Retry{Base: time.Microsecond, Cap: 200 * time.Millisecond, Attempts: 2}
+	start := time.Now()
+	err := r.Do(context.Background(), func(context.Context) error {
+		return RetryAfter(40*time.Millisecond, throttled)
+	})
+	if !errors.Is(err, throttled) {
+		t.Fatalf("Do = %v, want the throttled error", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("Do slept %v, want at least the stated 40ms", elapsed)
+	}
+}
+
+func TestRetryAfterCappedAtCap(t *testing.T) {
+	// A hostile or confused server cannot park the client for an hour:
+	// the stated wait is clamped to the policy's Cap.
+	r := Retry{Base: time.Microsecond, Cap: 20 * time.Millisecond, Attempts: 2}
+	start := time.Now()
+	r.Do(context.Background(), func(context.Context) error {
+		return RetryAfter(time.Hour, errors.New("HTTP 429"))
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Do slept %v despite a %v cap", elapsed, 20*time.Millisecond)
+	}
+}
+
+func TestRetryAfterNilAndUnwrap(t *testing.T) {
+	if RetryAfter(time.Second, nil) != nil {
+		t.Fatal("RetryAfter(nil) must stay nil")
+	}
+	base := errors.New("slow down")
+	if !errors.Is(RetryAfter(time.Second, base), base) {
+		t.Fatal("RetryAfter must unwrap to its cause")
+	}
+	// Permanent wins over a stated wait: no point waiting to retry an
+	// unretryable error.
+	calls := 0
+	r := Retry{Base: time.Microsecond, Cap: time.Millisecond, Attempts: 5}
+	r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(RetryAfter(time.Hour, base))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent retry-after ran %d times, want 1", calls)
+	}
+}
+
+func TestParseRetryAfterForms(t *testing.T) {
+	if d, ok := parseRetryAfter("5"); !ok || d != 5*time.Second {
+		t.Fatalf("delta-seconds = %v/%v", d, ok)
+	}
+	if d, ok := parseRetryAfter(time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)); !ok || d <= 0 || d > 3*time.Second {
+		t.Fatalf("http-date = %v/%v", d, ok)
+	}
+	// A date in the past means "now": zero wait, still honored.
+	if d, ok := parseRetryAfter(time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)); !ok || d != 0 {
+		t.Fatalf("past http-date = %v/%v", d, ok)
+	}
+	for _, bad := range []string{"", "soon", "-3"} {
+		if _, ok := parseRetryAfter(bad); ok {
+			t.Fatalf("parseRetryAfter(%q) accepted", bad)
+		}
 	}
 }

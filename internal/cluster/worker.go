@@ -35,6 +35,15 @@ type WorkerOptions struct {
 	// Retry is the backoff policy for upload RPCs (zero value: the
 	// documented Retry defaults with 4 attempts).
 	Retry Retry
+	// BreakerThreshold is how many consecutive poll failures trip the
+	// worker's circuit breaker (default 8; negative disables it). An
+	// open breaker stops hammering the (likely partitioned) coordinator
+	// and probes with single registration attempts every
+	// BreakerCooldown until the link heals.
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker probe interval (default
+	// 2×Retry.Cap).
+	BreakerCooldown time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -62,8 +71,10 @@ type Worker struct {
 	killc    chan struct{}
 	killOnce sync.Once
 
-	registered atomic.Bool
-	executed   atomic.Int64
+	registered   atomic.Bool
+	executed     atomic.Int64
+	breakerTrips atomic.Int64
+	reRegistered atomic.Int64
 }
 
 // NewWorker builds a worker; Run starts it.
@@ -75,6 +86,12 @@ func NewWorker(opts WorkerOptions) *Worker {
 		opts.Retry.Attempts = 4
 	}
 	opts.Retry.AttemptTimeout = opts.RPCTimeout
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 8
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * opts.Retry.withDefaults().Cap
+	}
 	w := &Worker{
 		opts:   opts,
 		client: opts.Client,
@@ -95,6 +112,14 @@ func (w *Worker) Registered() bool { return w.registered.Load() }
 // Executed returns how many jobs this worker has run to an uploaded
 // result.
 func (w *Worker) Executed() int64 { return w.executed.Load() }
+
+// BreakerTrips returns how many times the worker's circuit breaker
+// opened (consecutive poll failures hit the threshold).
+func (w *Worker) BreakerTrips() int64 { return w.breakerTrips.Load() }
+
+// ReRegistered returns how many times the worker re-registered after
+// an open breaker healed.
+func (w *Worker) ReRegistered() int64 { return w.reRegistered.Load() }
 
 // Kill simulates a crash: from this moment the worker sends nothing —
 // no heartbeats, no failure report, no result — and abandons whatever
@@ -143,9 +168,21 @@ func (w *Worker) Run(ctx context.Context) error {
 			// Coordinator unreachable: back off and keep trying — a worker
 			// outliving a coordinator restart rejoins by itself.
 			failures++
+			if th := w.opts.BreakerThreshold; th > 0 && failures >= th {
+				w.breakerWait(ctx)
+				failures = 0
+				continue
+			}
+			delay := w.opts.Retry.Backoff(failures - 1)
+			var ra *afterError
+			if errors.As(err, &ra) {
+				if delay = ra.after; delay > w.opts.Retry.withDefaults().Cap {
+					delay = w.opts.Retry.withDefaults().Cap
+				}
+			}
 			select {
 			case <-ctx.Done():
-			case <-time.After(w.opts.Retry.Backoff(failures - 1)):
+			case <-time.After(delay):
 			}
 			continue
 		}
@@ -157,11 +194,44 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// breakerWait is the open state of the worker's circuit breaker: after
+// too many consecutive poll failures the worker stops hammering the
+// (likely partitioned) coordinator and instead probes with one
+// registration attempt per cooldown. A successful probe re-registers
+// the worker cleanly — the coordinator starts a new epoch and fences
+// whatever lease the pre-partition session still held — and closes the
+// breaker.
+func (w *Worker) breakerWait(ctx context.Context) {
+	w.breakerTrips.Add(1)
+	probe := w.opts.Retry
+	probe.Attempts = 1
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(w.opts.BreakerCooldown):
+		}
+		if w.killed.Load() {
+			return
+		}
+		if err := w.registerWith(ctx, probe); err == nil {
+			w.reRegistered.Add(1)
+			return
+		}
+	}
+}
+
 // register performs first contact, retrying until it succeeds or ctx
 // ends, and adopts the coordinator's failure-detector parameters.
 func (w *Worker) register(ctx context.Context) error {
 	policy := w.opts.Retry
 	policy.Attempts = 0 // keep trying: a worker with no coordinator has nothing else to do
+	return w.registerWith(ctx, policy)
+}
+
+// registerWith is register under a caller-chosen policy (the breaker
+// probes with a single attempt).
+func (w *Worker) registerWith(ctx context.Context, policy Retry) error {
 	return policy.Do(ctx, func(ctx context.Context) error {
 		body, _ := json.Marshal(map[string]string{"worker": w.opts.ID})
 		resp, err := w.do(ctx, "/cluster/register", nil, "application/json", body)
@@ -170,7 +240,7 @@ func (w *Worker) register(ctx context.Context) error {
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("cluster: register: HTTP %d", resp.StatusCode)
+			return httpError("register", resp)
 		}
 		var reg registration
 		if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
@@ -190,6 +260,36 @@ func (w *Worker) register(ctx context.Context) error {
 		w.registered.Store(true)
 		return nil
 	})
+}
+
+// httpError converts a non-OK coordinator reply into a retryable
+// error. When the server states its own wait (Retry-After on 429/503
+// and friends), the error carries it so Retry.Do sleeps the stated
+// time instead of guessing with backoff.
+func httpError(op string, resp *http.Response) error {
+	err := fmt.Errorf("cluster: %s: HTTP %d", op, resp.StatusCode)
+	if after, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		return RetryAfter(after, err)
+	}
+	return err
+}
+
+// parseRetryAfter accepts both Retry-After forms: delta-seconds and an
+// HTTP date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // poll long-polls for one task; (nil, nil, nil) means none arrived.
@@ -213,7 +313,7 @@ func (w *Worker) poll(ctx context.Context) (*pollHeader, []byte, error) {
 		}
 		return &hdr, blob, nil
 	default:
-		return nil, nil, fmt.Errorf("cluster: poll: HTTP %d", resp.StatusCode)
+		return nil, nil, httpError("poll", resp)
 	}
 }
 
@@ -239,6 +339,14 @@ func (w *Worker) execute(ctx context.Context, hdr *pollHeader, input []byte) {
 		return // crashed between poll and execute; the lease will expire
 	}
 	task, lease := hdr.Task, hdr.Lease
+	// Verify the streamed input against the digest the lease declared
+	// for it before spending any compute: a corrupted transfer is a
+	// typed failure report (the attempt requeues with a fresh transfer),
+	// never a silently wrong answer.
+	if err := verifyBlob("input", task.Job, task.BlobDigest, input); err != nil {
+		w.uploadFail(ctx, task.Job, lease, err.Error())
+		return
+	}
 	net, err := aig.Read(bytes.NewReader(input))
 	if err != nil {
 		w.uploadFail(ctx, task.Job, lease, "decoding input: "+err.Error())
@@ -336,7 +444,8 @@ func (w *Worker) execute(ctx context.Context, hdr *pollHeader, input []byte) {
 		w.uploadFail(ctx, task.Job, lease, "encoding result: "+err.Error())
 		return
 	}
-	if err := w.uploadResult(ctx, task.Job, lease, out, buf.Bytes()); err == nil {
+	digest := aig.StructuralDigest(net)
+	if err := w.uploadResult(ctx, task.Job, lease, out, buf.Bytes(), digest); err == nil {
 		w.executed.Add(1)
 	}
 	// An upload that never got through is deliberate silence: the lease
@@ -395,7 +504,9 @@ func (w *Worker) uploadCheckpoint(ctx context.Context, job, lease string, step i
 		case http.StatusGone:
 			return Permanent(errLeaseGone)
 		default:
-			return fmt.Errorf("cluster: checkpoint: HTTP %d", resp.StatusCode)
+			// 422 (blob corrupt in transit) lands here too: the local
+			// copy is intact, so a resend is exactly the right cure.
+			return httpError("checkpoint", resp)
 		}
 	})
 	if errors.Is(err, errLeaseGone) {
@@ -404,14 +515,18 @@ func (w *Worker) uploadCheckpoint(ctx context.Context, job, lease string, step i
 	return nil
 }
 
-// uploadResult streams the finished job back under retry.
-func (w *Worker) uploadResult(ctx context.Context, job, lease string, hdr resultHeader, aiger []byte) error {
+// uploadResult streams the finished job back under retry, declaring
+// the result blob's structural digest so the coordinator can reject a
+// transfer corrupted on the wire (422 → resend from the intact copy).
+func (w *Worker) uploadResult(ctx context.Context, job, lease string, hdr resultHeader, aiger []byte, digest string) error {
 	var body bytes.Buffer
 	if err := writeFramed(&body, hdr, aiger); err != nil {
 		return err
 	}
 	return w.opts.Retry.Do(ctx, func(ctx context.Context) error {
-		resp, err := w.do(ctx, "/cluster/result", url.Values{"job": {job}, "lease": {lease}}, "application/octet-stream", body.Bytes())
+		resp, err := w.do(ctx, "/cluster/result", url.Values{
+			"job": {job}, "lease": {lease}, "digest": {digest},
+		}, "application/octet-stream", body.Bytes())
 		if err != nil {
 			return err
 		}
@@ -422,7 +537,7 @@ func (w *Worker) uploadResult(ctx context.Context, job, lease string, hdr result
 		case http.StatusGone:
 			return Permanent(errLeaseGone)
 		default:
-			return fmt.Errorf("cluster: result: HTTP %d", resp.StatusCode)
+			return httpError("result", resp)
 		}
 	})
 }
@@ -440,7 +555,7 @@ func (w *Worker) uploadFail(ctx context.Context, job, lease, msg string) {
 			return Permanent(errLeaseGone)
 		}
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("cluster: fail: HTTP %d", resp.StatusCode)
+			return httpError("fail", resp)
 		}
 		return nil
 	})

@@ -59,6 +59,11 @@ func (s *Service) runRemote(rctx context.Context, job *Job, key string) bool {
 		Job:        job.ID,
 		Req:        *toJournalRequest(job.req, job.digest),
 		ResumeStep: baseStep,
+		// BlobDigest describes the blob actually streamed with the lease
+		// — job.req.Network, which for a recovery-resumed job is the
+		// restored checkpoint, not the original submission job.digest
+		// names.
+		BlobDigest: StructuralDigest(job.req.Network),
 	}
 	res, err := s.coord.Dispatch(rctx, t, buf.Bytes())
 	if err == nil {

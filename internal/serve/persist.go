@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +28,12 @@ type durability struct {
 	journalErrors    atomic.Int64
 	recoveredJobs    int64 // set once at Open
 	resumedJobs      int64 // set once at Open
+
+	// lastCk remembers each live job's last persisted checkpoint
+	// (step|digest), so a duplicated delivery — a resent upload, a
+	// replayed coordinator hook — appends one journal record, not two.
+	ckMu   sync.Mutex
+	lastCk map[string]string
 
 	// crashed is the test hook for kill -9 simulation: once set, no more
 	// bytes reach the data directory, freezing it in a mid-flight state
@@ -170,6 +177,9 @@ func (s *Service) persistTerminal(job *Job, state State, errMsg string) {
 		d.journalErrors.Add(1)
 		return
 	}
+	d.ckMu.Lock()
+	delete(d.lastCk, job.ID)
+	d.ckMu.Unlock()
 	d.store.Remove(job.ID)
 	removeShardBlobs(d.store, job.ID, job.req.Partition)
 }
@@ -218,6 +228,15 @@ func (s *Service) persistCheckpoint(jobID string, step int, digest string, aiger
 	if d == nil || d.crashed.Load() {
 		return
 	}
+	key := strconv.Itoa(step) + "|" + digest
+	d.ckMu.Lock()
+	dup := d.lastCk[jobID] == key
+	d.ckMu.Unlock()
+	if dup {
+		// Same step, same digest, already durable: a duplicated delivery
+		// must be a no-op, not a journal double-entry.
+		return
+	}
 	ck := journal.Checkpoint{Job: jobID, Step: step, Digest: digest, AIGER: aiger}
 	if err := d.store.SaveCheckpoint(ck); err != nil {
 		d.checkpointErrors.Add(1)
@@ -230,6 +249,12 @@ func (s *Service) persistCheckpoint(jobID string, step int, digest string, aiger
 		d.journalErrors.Add(1)
 		return
 	}
+	d.ckMu.Lock()
+	if d.lastCk == nil {
+		d.lastCk = make(map[string]string)
+	}
+	d.lastCk[jobID] = key
+	d.ckMu.Unlock()
 	d.checkpoints.Add(1)
 }
 
